@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at full
+pipeline fidelity, asserts the paper's qualitative shape, and prints
+the reproduced rows/series (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_scenario
+from repro.pipeline import PipelineConfig
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The default synthetic world, shared across benchmarks."""
+    return build_scenario()
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Full (benchmark) sampling fidelity."""
+    return PipelineConfig()
+
+
+def _report(result) -> None:
+    print(f"\n=== {result.experiment_id}: {result.title} ===")
+    for name, value in sorted(result.metrics.items()):
+        print(f"  {name:42s} {value:10.3f}")
+    for name, ok in result.checks.items():
+        print(f"  [{'ok' if ok else 'XX'}] {name}")
+    if result.rendered:
+        print(result.rendered)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Printer for a reproduced experiment (metrics, checks, sketch)."""
+    return _report

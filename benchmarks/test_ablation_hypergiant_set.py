@@ -1,0 +1,38 @@
+"""Ablation: size of the hypergiant set (§3.2).
+
+The paper uses the 15 hypergiants of Böttger et al.  This ablation
+sweeps the top-5 / top-10 / top-15 sets (by modeled size) and reports
+the traffic share each covers at the ISP-CE: coverage must grow with
+the set size and saturate (the big five already carry most hypergiant
+bytes), supporting the paper's observation that the share is dominated
+by a handful of players.
+"""
+
+import datetime as dt
+
+from repro.core import hypergiants
+from repro.netbase.asdb import HYPERGIANTS
+
+
+def shares_by_set_size(flows):
+    ranked = sorted(HYPERGIANTS, key=lambda a: -a.weight)
+    result = {}
+    for top_n in (5, 10, 15):
+        subset = frozenset(a.asn for a in ranked[:top_n])
+        result[top_n] = hypergiants.hypergiant_share(flows, subset)
+    return result
+
+
+def test_ablation_hypergiant_set_size(benchmark, scenario, config):
+    flows = scenario.isp_ce.generate_flows(
+        dt.date(2020, 2, 19), dt.date(2020, 2, 25),
+        fidelity=config.flow_fidelity,
+    )
+    shares = benchmark(shares_by_set_size, flows)
+    print("\n=== ablation: hypergiant set size ===")
+    for top_n, share in shares.items():
+        print(f"  top-{top_n:2d}: {share:.1%} of delivered bytes")
+    assert shares[5] < shares[10] <= shares[15]
+    # Saturation: the second five add more than the last five.
+    assert shares[10] - shares[5] >= shares[15] - shares[10]
+    assert shares[15] >= 0.55

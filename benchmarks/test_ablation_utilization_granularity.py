@@ -1,0 +1,66 @@
+"""Ablation: measurement granularity of the Fig 5 utilization analysis.
+
+§3.3 measures link usage per *minute*.  Coarser averaging windows (5,
+15, 60 minutes) smooth bursts away and understate the maxima — the
+quantity that triggers port upgrades.  This ablation quantifies the
+understatement per window and confirms the Fig 5 right shift survives
+coarse measurement.
+"""
+
+import datetime as dt
+
+from repro.core import linkutil
+from repro.core.linkutil import ECDF
+from repro.synth import linkutil as linkutil_synth
+
+WINDOWS = (1, 5, 15, 60)
+
+
+def run_granularity(scenario):
+    members = scenario.members["ixp-ce"]
+    base = linkutil_synth.member_day_utilization(
+        members, dt.date(2020, 2, 19), 1.0, seed=scenario.seed + 51
+    )
+    stage = linkutil_synth.member_day_utilization(
+        members, dt.date(2020, 4, 22), 1.3, seed=scenario.seed + 51,
+        shape_name="lockdown-workday",
+    )
+    understatement = {
+        w: linkutil.peak_understatement(stage, w) for w in WINDOWS
+    }
+    shifts = {}
+    for window in WINDOWS:
+        base_max = [
+            float(linkutil.downsample_utilization(s, window).max())
+            for s in base.values()
+        ]
+        stage_max = [
+            float(linkutil.downsample_utilization(s, window).max())
+            for s in stage.values()
+        ]
+        shifts[window] = linkutil.right_shift_fraction(
+            ECDF.from_values(base_max), ECDF.from_values(stage_max)
+        )
+    return understatement, shifts
+
+
+def test_ablation_utilization_granularity(benchmark, scenario):
+    understatement, shifts = benchmark(run_granularity, scenario)
+    print("\n=== ablation: utilization measurement granularity ===")
+    for window in WINDOWS:
+        print(
+            f"  {window:3d}-min window: peak shows "
+            f"{understatement[window]:.1%} of the per-minute peak; "
+            f"max-ECDF right-shift {shifts[window]:.2f}"
+        )
+    # Averaging monotonically hides peaks.
+    assert (
+        understatement[1]
+        >= understatement[5]
+        >= understatement[15]
+        >= understatement[60]
+    )
+    assert understatement[1] == 1.0
+    assert understatement[60] < 0.999
+    # The Fig 5 right shift is robust to the measurement window.
+    assert all(shift >= 0.8 for shift in shifts.values())

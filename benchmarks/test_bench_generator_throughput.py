@@ -1,0 +1,32 @@
+"""Benchmark: synthetic-trace generator throughput.
+
+Not a paper figure — the operational budget of the substrate itself:
+flows generated per second for a full ISP analysis week at reference
+fidelity, and the intensity-model evaluation cost for the whole study
+period.  Regressions here make every other experiment slower.
+"""
+
+from repro import timebase
+
+
+def test_flow_generation_throughput(benchmark, scenario):
+    week = timebase.MACRO_WEEKS["stage1"]
+
+    def generate():
+        return scenario.isp_ce.generate_week_flows(week, fidelity=1.0)
+
+    flows = benchmark(generate)
+    rate = len(flows) / benchmark.stats.stats.mean
+    print(f"\n  generated {len(flows)} flows "
+          f"({rate / 1e3:.0f} kflows/s)")
+    assert len(flows) > 10_000
+
+
+def test_intensity_model_throughput(benchmark, scenario):
+    def evaluate():
+        return scenario.ixp_ce.hourly_traffic(
+            timebase.STUDY_START, timebase.STUDY_END
+        )
+
+    series = benchmark(evaluate)
+    assert len(series) == timebase.STUDY_HOURS

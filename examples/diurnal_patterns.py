@@ -1,0 +1,73 @@
+"""Diurnal-pattern study: how lockdown workdays became weekend-like.
+
+Reproduces the Fig 2 methodology interactively:
+
+* plot (as sparklines) the hourly profile of a February workday, a
+  February Saturday, and a lockdown workday,
+* fit the 6-hour-bin classifier on February,
+* classify every day from January 1 to May 11 and print a calendar
+  strip showing where the workday pattern disappears.
+
+Run:  python examples/diurnal_patterns.py
+"""
+
+import datetime as dt
+
+from repro import build_scenario, timebase
+from repro.core import aggregate, patterns
+from repro.report.figures import sparkline
+
+
+def main() -> None:
+    scenario = build_scenario()
+    series = scenario.isp_ce.hourly_traffic(
+        dt.date(2020, 1, 1), dt.date(2020, 5, 11)
+    )
+
+    profiles = aggregate.day_profiles_normalized(
+        series,
+        [dt.date(2020, 2, 19), dt.date(2020, 2, 22), dt.date(2020, 3, 25)],
+    )
+    print("Hourly traffic profiles (shared scale, hours 0-23):")
+    labels = {
+        dt.date(2020, 2, 19): "Wed Feb 19 (workday)  ",
+        dt.date(2020, 2, 22): "Sat Feb 22 (weekend)  ",
+        dt.date(2020, 3, 25): "Wed Mar 25 (lockdown) ",
+    }
+    for day, label in labels.items():
+        print(f"  {label} {sparkline(profiles[day], lo=0.0, hi=1.0)}")
+
+    classifications = patterns.classify_days(
+        series, timebase.Region.CENTRAL_EUROPE
+    )
+    print("\nCalendar strip (W = workday-like, w = weekend-like; upper")
+    print("case when the prediction matches the calendar):")
+    month = None
+    line = ""
+    for c in classifications:
+        if c.day.month != month:
+            if line:
+                print(line)
+            month = c.day.month
+            line = f"  {c.day:%b}: "
+        glyph = "W" if c.predicted == "workday-like" else "w"
+        if not c.matches_calendar:
+            glyph = glyph.lower() if glyph == "W" else "!"
+        line += glyph
+    print(line)
+
+    shift = patterns.summarize_shift(
+        classifications, timebase.TIMELINE_CE.lockdown
+    )
+    print(
+        f"\nPre-lockdown calendar agreement: "
+        f"{shift.pre_lockdown_agreement:.0%}"
+    )
+    print(
+        "Post-lockdown workdays classified weekend-like: "
+        f"{shift.post_lockdown_weekendlike_workdays:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Peering-graph view of the IXP-CE: who exchanges bytes with whom.
+
+Builds the member-to-member traffic matrix for the base and stage-2
+weeks, turns them into weighted peering graphs, and reports:
+
+* the top hub members and the platform's byte concentration,
+* the near-bipartite structure (content sources -> eyeball sinks),
+* edge churn between the weeks (the §5 "private interconnect instead
+  of peering" signature),
+* a streaming heavy-hitter ranking of source ASes with error bounds.
+
+Run:  python examples/peering_graph.py
+"""
+
+from repro import build_scenario, timebase
+from repro.core import heavyhitters, matrix, topology
+
+
+def main() -> None:
+    scenario = build_scenario()
+    print("Generating base and stage-2 weeks at the IXP-CE ...")
+    base_flows = scenario.ixp_ce.generate_week_flows(
+        timebase.MACRO_WEEKS["base"], fidelity=0.6
+    )
+    stage_flows = scenario.ixp_ce.generate_week_flows(
+        timebase.MACRO_WEEKS["stage2"], fidelity=0.6
+    )
+    base_matrix = matrix.build_matrix(base_flows)
+    stage_matrix = matrix.build_matrix(stage_flows)
+    base_graph = topology.build_peering_graph(base_matrix)
+    stage_graph = topology.build_peering_graph(stage_matrix)
+
+    groups = matrix.source_sink_split(base_matrix, threshold=0.3)
+    summary = topology.summarize_graph(
+        base_graph, groups["sources"], groups["sinks"]
+    )
+    print(f"\n{summary.n_members} members, {summary.n_edges} directed "
+          f"edges (density {summary.density:.3f})")
+    print(f"bytes on source->sink edges: "
+          f"{summary.bipartite_byte_fraction:.0%}")
+    print(f"top-10 hubs carry {summary.hub_share:.0%} of weighted degree:")
+    for asn, degree in summary.top_hubs[:5]:
+        name = scenario.registry.name(asn)
+        print(f"  AS{asn:<7d} {name[:30]:30s} {degree / 1e9:8.2f} GB")
+
+    print(f"\ntop 1% of member pairs carry "
+          f"{base_matrix.concentration(0.01):.0%} of the platform")
+
+    churn = topology.edge_churn(base_graph, stage_graph, min_bytes=1e6)
+    print(f"\nedge churn base -> stage2 (>1 MB edges): "
+          f"{churn.n_appeared} appeared, {churn.n_disappeared} gone")
+    if churn.heaviest_lost_weight:
+        print(f"  heaviest vanished edge: "
+              f"{churn.heaviest_lost_weight / 1e6:.1f} MB "
+              "(the §5 rerouting signature at scale)")
+
+    print("\nstreaming source-AS heavy hitters (Space-Saving, k=256):")
+    hitters = heavyhitters.top_sources_streaming([base_flows], n=5)
+    for hitter in hitters:
+        name = scenario.registry.name(hitter.key)
+        print(f"  AS{hitter.key:<7d} {name[:28]:28s} "
+              f">= {hitter.guaranteed / 1e9:6.2f} GB "
+              f"(<= {hitter.count / 1e9:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,391 @@
+"""Command-line interface: ``lockdown-effect``.
+
+Subcommands:
+
+* ``list`` — show available experiments,
+* ``run [EXPERIMENT ...]`` — run experiments (default: all) and print
+  metrics, checks, and the figure sketch,
+* ``report`` — run everything and emit a Markdown paper-vs-measured
+  report (the generator behind EXPERIMENTS.md),
+* ``generate`` — write a synthetic flow trace to disk (CSV or NPZ).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import sys
+from typing import List, Optional, Sequence
+
+from repro.flows import io as flow_io
+from repro.pipeline import (
+    EXPERIMENTS,
+    ExperimentResult,
+    PipelineConfig,
+    run_experiment,
+)
+from repro.synth.scenario import DEFAULT_SEED, build_scenario
+
+#: Paper-reported reference values shown next to measurements in the
+#: report (experiment id -> {metric: description}).
+PAPER_REFERENCE = {
+    "fig01": {
+        "ipx/lockdown": "paper: roaming collapses (travel stops)",
+        "isp-ce/lockdown": "paper: fixed lines rise 15-20%",
+    },
+    "disc09": {
+        "peak-growth": "paper: peak increase is moderate (§9)",
+        "valley-growth": "paper: the pandemic fills the valleys (§9)",
+        "max-member-growth": "paper: single links way beyond 15-20% (§9)",
+    },
+    "fig03": {
+        "isp-ce/stage1": "paper: >+20%",
+        "ixp-ce/stage1": "paper: +30%",
+        "ixp-se/stage1": "paper: +12%",
+        "ixp-us/stage1": "paper: +2%",
+        "isp-ce/stage3": "paper: +6%",
+    },
+    "fig04": {"hypergiant-share": "paper: ~75% of delivered traffic"},
+    "fig09": {"ixp-ce/webconf": "paper: >+200% during business hours"},
+    "fig10": {"domain/march": "paper: >+200% during working hours"},
+    "fig11": {
+        "max-workday-drop": "paper: up to -55%",
+        "ratio/base": "paper: up to 15x",
+    },
+    "fig12": {
+        "incoming-growth": "paper: 2.0x",
+        "outgoing-growth": "paper: ~0.5x",
+        "total-growth": "paper: 1.24x",
+        "web/in-growth": "paper: 1.7x",
+        "email/in-growth": "paper: 1.8x",
+        "vpn/in-growth": "paper: 4.8x",
+        "remote-desktop/in-growth": "paper: 5.9x",
+        "ssh/in-growth": "paper: 9.1x",
+        "unknown-fraction": "paper: 39%",
+    },
+}
+
+
+def _print_result(result: ExperimentResult, verbose: bool) -> None:
+    marker = "PASS" if result.passed else "FAIL"
+    print(f"== {result.experiment_id}: {result.title} [{marker}]")
+    for name, value in sorted(result.metrics.items()):
+        reference = PAPER_REFERENCE.get(result.experiment_id, {}).get(name, "")
+        suffix = f"   ({reference})" if reference else ""
+        print(f"   {name:40s} {value:10.3f}{suffix}")
+    for name, ok in result.checks.items():
+        print(f"   [{'ok' if ok else 'XX'}] {name}")
+    if verbose and result.rendered:
+        print(result.rendered)
+    print()
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for experiment_id, runner in EXPERIMENTS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:8s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    config = PipelineConfig.fast() if args.fast else PipelineConfig()
+    scenario = build_scenario(seed=args.seed)
+    failed = 0
+    results = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, scenario, config)
+        results.append(result)
+        _print_result(result, verbose=args.verbose)
+        failed += 0 if result.passed else 1
+    if args.artifacts:
+        from repro.report.export import export_results
+
+        root = export_results(results, args.artifacts)
+        print(f"artifacts written to {root}")
+    if failed:
+        print(f"{failed} experiment(s) with failing shape checks")
+    return 1 if failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = PipelineConfig.fast() if args.fast else PipelineConfig()
+    scenario = build_scenario(seed=args.seed)
+    lines: List[str] = [
+        "# Experiment report",
+        "",
+        f"Scenario seed: {args.seed}",
+        "",
+    ]
+    for experiment_id in EXPERIMENTS:
+        result = run_experiment(experiment_id, scenario, config)
+        marker = "PASS" if result.passed else "FAIL"
+        lines.append(f"## {experiment_id} — {result.title} [{marker}]")
+        lines.append("")
+        if result.metrics:
+            lines.append("| metric | measured | paper |")
+            lines.append("|---|---|---|")
+            for name, value in sorted(result.metrics.items()):
+                reference = PAPER_REFERENCE.get(experiment_id, {}).get(
+                    name, ""
+                )
+                lines.append(f"| {name} | {value:.3f} | {reference} |")
+            lines.append("")
+        for name, ok in result.checks.items():
+            lines.append(f"- [{'x' if ok else ' '}] {name}")
+        lines.append("")
+    report = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _load_trace(path: str):
+    if path.endswith(".npz"):
+        return flow_io.read_npz(path)
+    return flow_io.read_csv(path)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.flows import ipfix, netflow5
+
+    flows = _load_trace(args.trace)
+    if args.format == "netflow5":
+        chunks = netflow5.encode_packets(flows)
+        lossless = netflow5.round_trip_lossless(flows)
+    else:
+        chunks = ipfix.encode_messages(flows)
+        lossless = True
+    with open(args.output, "wb") as handle:
+        for chunk in chunks:
+            handle.write(len(chunk).to_bytes(4, "big"))
+            handle.write(chunk)
+    total = sum(len(c) for c in chunks)
+    print(
+        f"wrote {len(chunks)} {args.format} packets "
+        f"({total} bytes) for {len(flows)} flows to {args.output}"
+    )
+    if not lossless:
+        print("note: NetFlow v5 cannot carry 32-bit ASNs / 64-bit "
+              "counters; the export is lossy for those fields")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+
+    from repro.core import anomaly
+
+    flows = _load_trace(args.trace)
+    hours = flows.column("hour")
+    start = int(hours.min()) // 24 * 24
+    stop = (int(hours.max()) // 24 + 1) * 24
+    hourly = flows.hourly_bytes(start, stop)
+    daily_totals = hourly.reshape(-1, 24).sum(axis=1)
+    first_day = _dt.date(2020, 1, 1) + _dt.timedelta(days=start // 24)
+    daily = {
+        first_day + _dt.timedelta(days=i): float(v)
+        for i, v in enumerate(daily_totals)
+        if v > 0
+    }
+    if len(daily) < 8:
+        print("trace too short for week-over-week anomaly detection "
+              "(need more than 7 days)")
+        return 1
+    found = anomaly.detect_anomalies(daily, threshold=args.threshold)
+    print(f"{len(found)} anomalous day(s) at |z| >= {args.threshold}:")
+    for item in found:
+        print(
+            f"  {item.day} {item.kind:5s} z={item.z_score:+6.1f} "
+            f"({item.relative_deviation:+.0%} vs. prior week)"
+        )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core import appclass
+    from repro.report.tables import render_table
+
+    if args.trace.endswith(".npz"):
+        flows = flow_io.read_npz(args.trace)
+    else:
+        flows = flow_io.read_csv(args.trace)
+    classes = appclass.standard_classes()
+    total = flows.total_bytes() or 1
+    rows = []
+    for name in sorted(classes):
+        selected = classes[name].select(flows)
+        rows.append(
+            (
+                name,
+                len(selected),
+                f"{selected.total_bytes() / 1e6:.1f}",
+                f"{selected.total_bytes() / total:.1%}",
+            )
+        )
+    print(
+        render_table(
+            ["class", "flows", "MB", "share"], rows,
+            title=f"Application classes in {args.trace} "
+                  f"({len(flows)} flows)",
+        )
+    )
+    return 0
+
+
+def _cmd_vpn_scan(args: argparse.Namespace) -> int:
+    from repro.core import vpn
+
+    scenario = build_scenario(seed=args.seed)
+    strict = vpn.mine_vpn_candidates(scenario.dns_corpus)
+    loose = vpn.mine_vpn_candidates(
+        scenario.dns_corpus, eliminate_www_shared=False
+    )
+    print(f"domains observed:        {len(scenario.dns_corpus)}")
+    print(f"*vpn* candidate domains: {len(strict.candidate_domains)}")
+    print(f"candidate addresses:     {strict.n_candidates}")
+    print(f"www-shared eliminated:   {len(strict.eliminated_shared)}")
+    print(f"without elimination:     {loose.n_candidates} addresses")
+    if args.verbose:
+        for domain in strict.candidate_domains[: args.limit]:
+            addresses = scenario.dns_corpus.resolve(domain)
+            print(f"  {domain} -> {', '.join(str(a) for a in addresses)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    scenario = build_scenario(seed=args.seed)
+    vantage = scenario.vantage(args.vantage)
+    start = _dt.date.fromisoformat(args.start)
+    end = _dt.date.fromisoformat(args.end)
+    flows = vantage.generate_flows(start, end, fidelity=args.fidelity)
+    if args.output.endswith(".npz"):
+        flow_io.write_npz(flows, args.output)
+    else:
+        flow_io.write_csv(flows, args.output)
+    print(f"wrote {len(flows)} flows to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="lockdown-effect",
+        description=(
+            "Reproduction of 'The Lockdown Effect' (IMC 2020): synthetic "
+            "flow traces plus the paper's full analysis pipeline."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="scenario seed (default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (default: all)",
+    )
+    run_parser.add_argument(
+        "--fast", action="store_true", help="lower sampling fidelity"
+    )
+    run_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print figure sketches",
+    )
+    run_parser.add_argument(
+        "--artifacts", metavar="DIR",
+        help="write per-experiment metrics/series artifacts to DIR",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = sub.add_parser(
+        "report", help="emit a Markdown paper-vs-measured report"
+    )
+    report_parser.add_argument("-o", "--output", help="output file")
+    report_parser.add_argument(
+        "--fast", action="store_true", help="lower sampling fidelity"
+    )
+    report_parser.set_defaults(func=_cmd_report)
+
+    classify_parser = sub.add_parser(
+        "classify", help="classify a trace file into application classes"
+    )
+    classify_parser.add_argument(
+        "trace", help="flow trace (.csv or .npz, as written by generate)"
+    )
+    classify_parser.set_defaults(func=_cmd_classify)
+
+    export_parser = sub.add_parser(
+        "export", help="export a trace as NetFlow v5 or IPFIX bytes"
+    )
+    export_parser.add_argument("trace", help="flow trace (.csv or .npz)")
+    export_parser.add_argument(
+        "--format", choices=("netflow5", "ipfix"), default="ipfix"
+    )
+    export_parser.add_argument(
+        "-o", "--output", required=True,
+        help="output file (length-prefixed packet stream)",
+    )
+    export_parser.set_defaults(func=_cmd_export)
+
+    detect_parser = sub.add_parser(
+        "detect", help="flag anomalous days in a trace"
+    )
+    detect_parser.add_argument("trace", help="flow trace (.csv or .npz)")
+    detect_parser.add_argument(
+        "--threshold", type=float, default=4.0,
+        help="robust z-score threshold (default: %(default)s)",
+    )
+    detect_parser.set_defaults(func=_cmd_detect)
+
+    vpn_parser = sub.add_parser(
+        "vpn-scan", help="mine the domain corpus for VPN candidates"
+    )
+    vpn_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print candidate domains and their addresses",
+    )
+    vpn_parser.add_argument(
+        "--limit", type=int, default=20,
+        help="max candidates printed with --verbose",
+    )
+    vpn_parser.set_defaults(func=_cmd_vpn_scan)
+
+    gen_parser = sub.add_parser(
+        "generate", help="write a synthetic flow trace"
+    )
+    gen_parser.add_argument(
+        "--vantage", default="isp-ce",
+        help="vantage point name (default: %(default)s)",
+    )
+    gen_parser.add_argument("--start", default="2020-02-19")
+    gen_parser.add_argument("--end", default="2020-02-25")
+    gen_parser.add_argument("--fidelity", type=float, default=1.0)
+    gen_parser.add_argument(
+        "-o", "--output", required=True, help=".csv or .npz path"
+    )
+    gen_parser.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

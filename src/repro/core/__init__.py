@@ -1,0 +1,21 @@
+"""The paper's analysis pipeline.
+
+One module per figure family:
+
+* :mod:`repro.core.aggregate` — volume normalization and weekly/hourly
+  series (Figs 1, 2a, 3; §3.1 growth numbers),
+* :mod:`repro.core.patterns` — workday/weekend-like day classification
+  (Figs 2b, 2c),
+* :mod:`repro.core.hypergiants` — hypergiant vs. other-AS growth (Fig 4),
+* :mod:`repro.core.linkutil` — link-utilization ECDFs (Fig 5),
+* :mod:`repro.core.remotework` — per-AS residential shift scatter (Fig 6),
+* :mod:`repro.core.ports` — top-port diurnal analysis (Fig 7),
+* :mod:`repro.core.appclass` — application-class filters and heatmaps
+  (Table 1, Figs 8, 9),
+* :mod:`repro.core.vpn` — port- and domain-based VPN classification
+  (Fig 10),
+* :mod:`repro.core.edu` — educational-network analysis (Figs 11, 12).
+
+Every function here is a pure function of flow tables / hourly series;
+none reads generator ground truth.
+"""

@@ -1,0 +1,180 @@
+"""Volume aggregation and normalization (Figs 1, 2a, 3; §3.1).
+
+All inputs are :class:`repro.series.HourlySeries` — either model
+aggregates or per-hour byte sums produced from a flow table with
+:meth:`FlowTable.hourly_bytes`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import timebase
+from repro.series import HourlySeries
+
+
+@dataclass(frozen=True)
+class WeeklySeries:
+    """Average daily traffic per ISO week, normalized to a baseline week.
+
+    The Fig 1 presentation: one point per calendar week, value 1.0 at
+    the baseline (third January week).
+    """
+
+    weeks: Tuple[int, ...]
+    values: Tuple[float, ...]
+    baseline_week: int
+
+    def as_dict(self) -> Dict[int, float]:
+        """``{week number: normalized value}``."""
+        return dict(zip(self.weeks, self.values))
+
+    def value(self, week: int) -> float:
+        """Normalized value of one week."""
+        return self.as_dict()[week]
+
+
+def weekly_normalized(
+    series: HourlySeries,
+    baseline_week: int = timebase.FIG1_BASELINE_WEEK,
+) -> WeeklySeries:
+    """Fig 1 transform: daily traffic averaged per week / baseline week.
+
+    Only weeks fully contained in the series are reported; the baseline
+    week must be among them.
+    """
+    averages: Dict[int, float] = {}
+    for week in timebase.weeks_in_study():
+        days = timebase.iso_week_dates(week)
+        if not days:
+            continue
+        start = timebase.hour_index(days[0], 0)
+        stop = timebase.hour_index(days[-1], 23) + 1
+        if not series.covers(start, stop):
+            continue
+        total = series.slice_hours(start, stop).total()
+        averages[week] = total / len(days)
+    if baseline_week not in averages:
+        raise ValueError(
+            f"baseline week {baseline_week} not covered by the series"
+        )
+    base = averages[baseline_week]
+    if base <= 0:
+        raise ValueError("baseline week has no traffic")
+    weeks = tuple(sorted(averages))
+    values = tuple(averages[w] / base for w in weeks)
+    return WeeklySeries(weeks, values, baseline_week)
+
+
+def day_profiles_normalized(
+    series: HourlySeries, days: Sequence[_dt.date]
+) -> Dict[_dt.date, np.ndarray]:
+    """Fig 2a transform: hourly profiles of selected days, jointly
+    normalized by the maximum hourly value across those days."""
+    if not days:
+        raise ValueError("at least one day is required")
+    profiles = {day: series.day_values(day) for day in days}
+    peak = max(float(v.max()) for v in profiles.values())
+    if peak <= 0:
+        raise ValueError("selected days carry no traffic")
+    return {day: values / peak for day, values in profiles.items()}
+
+
+def week_hourly_normalized(
+    series: HourlySeries, weeks: Mapping[str, timebase.Week]
+) -> Dict[str, HourlySeries]:
+    """Fig 3a transform: per-week hourly series normalized by each
+    week's own minimum hourly volume."""
+    return {
+        label: series.slice_week(week).normalize_by_min()
+        for label, week in weeks.items()
+    }
+
+
+def week_daypattern_normalized(
+    series: HourlySeries,
+    weeks: Mapping[str, timebase.Week],
+    region: timebase.Region,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Fig 3b transform: average 24-hour workday and weekend profiles
+    per week, normalized by the global minimum across all weeks.
+
+    Returns ``{week label: {"workday"|"weekend": 24 values}}``.
+    """
+    profiles: Dict[str, Dict[str, np.ndarray]] = {}
+    all_values: List[float] = []
+    for label, week in weeks.items():
+        buckets: Dict[str, List[np.ndarray]] = {"workday": [], "weekend": []}
+        for day, values in series.slice_week(week).iter_days():
+            kind = (
+                "weekend"
+                if timebase.behaves_like_weekend(day, region)
+                else "workday"
+            )
+            buckets[kind].append(values)
+        profiles[label] = {
+            kind: np.mean(vals, axis=0)
+            for kind, vals in buckets.items()
+            if vals
+        }
+        for arr in profiles[label].values():
+            all_values.extend(arr.tolist())
+    minimum = min(v for v in all_values if v > 0)
+    return {
+        label: {kind: arr / minimum for kind, arr in per_week.items()}
+        for label, per_week in profiles.items()
+    }
+
+
+@dataclass(frozen=True)
+class GrowthSummary:
+    """§3.1 growth numbers for one vantage point."""
+
+    vantage: str
+    stage1_growth: float  # (stage1 - base) / base
+    stage2_growth: float
+    stage3_growth: float
+    peak_growth: float  # growth of the peak hourly volume, stage1 vs base
+    min_growth: float  # growth of the minimum hourly volume
+
+    def as_percentages(self) -> Dict[str, float]:
+        """Growth values in percent, rounded to one decimal."""
+        return {
+            "stage1": round(self.stage1_growth * 100.0, 1),
+            "stage2": round(self.stage2_growth * 100.0, 1),
+            "stage3": round(self.stage3_growth * 100.0, 1),
+            "peak": round(self.peak_growth * 100.0, 1),
+            "min": round(self.min_growth * 100.0, 1),
+        }
+
+
+def growth_summary(
+    vantage: str,
+    series: HourlySeries,
+    weeks: Optional[Mapping[str, timebase.Week]] = None,
+) -> GrowthSummary:
+    """Compute the §3.1 before/after growth percentages.
+
+    ``weeks`` defaults to the paper's macro weeks (base / stage1 /
+    stage2 / stage3).
+    """
+    weeks = dict(weeks or timebase.MACRO_WEEKS)
+    for required in ("base", "stage1", "stage2", "stage3"):
+        if required not in weeks:
+            raise ValueError(f"missing analysis week {required!r}")
+    sliced = {label: series.slice_week(week) for label, week in weeks.items()}
+    base_total = sliced["base"].total()
+    base_peak = float(sliced["base"].values.max())
+    base_min = float(sliced["base"].values.min())
+    return GrowthSummary(
+        vantage=vantage,
+        stage1_growth=sliced["stage1"].total() / base_total - 1.0,
+        stage2_growth=sliced["stage2"].total() / base_total - 1.0,
+        stage3_growth=sliced["stage3"].total() / base_total - 1.0,
+        peak_growth=float(sliced["stage1"].values.max()) / base_peak - 1.0,
+        min_growth=float(sliced["stage1"].values.min()) / base_min - 1.0,
+    )

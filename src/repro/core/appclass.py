@@ -1,0 +1,422 @@
+"""Application-class traffic classification (§5, Table 1, Figs 8, 9).
+
+A class is defined by a list of :class:`ClassFilter`\\ s, each combining
+AS and/or transport-port criteria (Table 1: "filters are based on
+transport ports or ASes, either in combination or separately").  A flow
+matches a class if any of its filters matches; classes may overlap, as
+in the paper (social networks also carry video telephony, etc.).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import timebase
+from repro.flows.record import PROTO_TCP, PROTO_UDP
+from repro.flows.table import FlowTable
+from repro.netbase import ports as portdb
+from repro.series import HourlySeries
+
+
+@dataclass(frozen=True)
+class ClassFilter:
+    """One AS/port filter of an application class.
+
+    ``asns`` empty means "any AS"; ``ports`` empty means "any port".
+    ``protos`` restricts the transport protocol (empty = any).  A filter
+    with both criteria requires both (the Table 1 "in combination"
+    case).
+    """
+
+    asns: FrozenSet[int] = frozenset()
+    ports: FrozenSet[int] = frozenset()
+    protos: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.asns and not self.ports:
+            raise ValueError("a filter needs AS or port criteria")
+
+    def mask(self, flows: FlowTable) -> np.ndarray:
+        """Boolean match mask over ``flows``."""
+        mask = np.ones(len(flows), dtype=bool)
+        if self.asns:
+            wanted = np.asarray(sorted(self.asns), dtype=np.int64)
+            mask &= np.isin(flows.column("src_asn"), wanted) | np.isin(
+                flows.column("dst_asn"), wanted
+            )
+        if self.ports:
+            wanted_ports = np.asarray(sorted(self.ports), dtype=np.int64)
+            mask &= np.isin(flows.service_ports(), wanted_ports)
+        if self.protos:
+            wanted_protos = np.asarray(sorted(self.protos), dtype=np.int64)
+            mask &= np.isin(flows.column("proto"), wanted_protos)
+        return mask
+
+
+@dataclass(frozen=True)
+class AppClass:
+    """An application class: a named union of filters."""
+
+    name: str
+    filters: Tuple[ClassFilter, ...]
+
+    def __post_init__(self) -> None:
+        if not self.filters:
+            raise ValueError(f"class {self.name!r} needs filters")
+
+    def mask(self, flows: FlowTable) -> np.ndarray:
+        """Union of the class's filter masks."""
+        mask = np.zeros(len(flows), dtype=bool)
+        for filt in self.filters:
+            mask |= filt.mask(flows)
+        return mask
+
+    def select(self, flows: FlowTable) -> FlowTable:
+        """The sub-table of flows matching the class."""
+        return flows.filter(self.mask(flows))
+
+    @property
+    def n_filters(self) -> int:
+        """Table 1 column: number of filters."""
+        return len(self.filters)
+
+    @property
+    def distinct_asns(self) -> FrozenSet[int]:
+        """Table 1 column: distinct ASNs across the class's filters."""
+        asns: set = set()
+        for filt in self.filters:
+            asns |= set(filt.asns)
+        return frozenset(asns)
+
+    @property
+    def distinct_ports(self) -> FrozenSet[int]:
+        """Table 1 column: distinct transport ports across filters."""
+        ports: set = set()
+        for filt in self.filters:
+            ports |= set(filt.ports)
+        return frozenset(ports)
+
+
+def _f(
+    asns: Sequence[int] = (),
+    ports: Sequence[int] = (),
+    protos: Sequence[int] = (),
+) -> ClassFilter:
+    return ClassFilter(
+        asns=frozenset(asns), ports=frozenset(ports), protos=frozenset(protos)
+    )
+
+
+def standard_classes() -> Dict[str, AppClass]:
+    """The nine application classes of Table 1.
+
+    Filter / ASN / port counts match the table exactly:
+
+    ==================  =======  =====  =====
+    class               filters  ASNs   ports
+    ==================  =======  =====  =====
+    Web conf                  7      1      6
+    VoD                       5      5      -
+    gaming                    8      5     57
+    social media              4      4      1
+    messaging                 3      -      5
+    email                     1      -     10
+    educational               9      9      -
+    collaborative work        8      2      9
+    CDN                       8      8      -
+    ==================  =======  =====  =====
+    """
+    classes: Dict[str, AppClass] = {}
+
+    def add(name: str, *filters: ClassFilter) -> None:
+        classes[name] = AppClass(name=name, filters=tuple(filters))
+
+    add(
+        "webconf",
+        _f(asns=[8075], ports=[3480], protos=[PROTO_UDP]),
+        _f(asns=[8075], ports=[3478], protos=[PROTO_UDP]),
+        _f(asns=[8075], ports=[3479], protos=[PROTO_UDP]),
+        _f(ports=[5061], protos=[PROTO_TCP]),
+        _f(ports=[8801], protos=[PROTO_UDP]),
+        _f(ports=[8802], protos=[PROTO_UDP]),
+        _f(asns=[8075], ports=[3478, 3479, 3480]),
+    )
+    add(
+        "vod",
+        _f(asns=[2906]),
+        _f(asns=[40027]),
+        _f(asns=[35402]),
+        _f(asns=[29990]),
+        _f(asns=[8403]),
+    )
+    add(
+        "gaming",
+        _f(asns=[32590], ports=portdb.GAMING_PORTS_STEAM),
+        _f(asns=[32590]),
+        _f(asns=[6507], ports=portdb.GAMING_PORTS_RIOT),
+        _f(asns=[57976], ports=portdb.GAMING_PORTS_BLIZZARD),
+        _f(asns=[46555], ports=portdb.GAMING_PORTS_EPIC),
+        _f(asns=[2639], ports=portdb.GAMING_PORTS_NINTENDO),
+        _f(ports=portdb.GAMING_PORTS_XBOX + portdb.GAMING_PORTS_PSN),
+        _f(ports=portdb.GAMING_PORTS, protos=[PROTO_UDP]),
+    )
+    add(
+        "social",
+        _f(asns=[32934]),
+        _f(asns=[13414]),
+        _f(asns=[13767]),
+        _f(asns=[54113], ports=[443]),
+    )
+    add(
+        "messaging",
+        _f(ports=[5222, 5223], protos=[PROTO_TCP]),
+        _f(ports=[1863], protos=[PROTO_TCP]),
+        _f(ports=[4244, 5242]),
+    )
+    add("email", _f(ports=portdb.EMAIL_PORTS, protos=[PROTO_TCP]))
+    add(
+        "educational",
+        *[_f(asns=[asn]) for asn in (680, 766, 1103, 2200, 137, 11537, 668, 559, 786)],
+    )
+    add(
+        "collab",
+        _f(asns=[14061]),
+        _f(asns=[19679]),
+        _f(ports=[17500]),
+        _f(ports=[1352]),
+        _f(ports=[8443, 9443], protos=[PROTO_TCP]),
+        _f(ports=[5005]),
+        _f(ports=[3220, 3221]),
+        _f(ports=[6000, 18080], protos=[PROTO_TCP]),
+    )
+    add(
+        "cdn",
+        *[
+            _f(asns=[asn])
+            for asn in (54994, 60068, 32787, 12989, 3356, 202623, 49544, 136787)
+        ],
+    )
+    return classes
+
+
+def table1_rows(
+    classes: Optional[Mapping[str, AppClass]] = None,
+) -> List[Tuple[str, int, int, int]]:
+    """Table 1: (class, #filters, #distinct ASNs, #distinct ports)."""
+    classes = classes or standard_classes()
+    rows = []
+    for name in sorted(classes):
+        cls = classes[name]
+        rows.append(
+            (name, cls.n_filters, len(cls.distinct_asns), len(cls.distinct_ports))
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig 8: the gaming deep-dive.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassActivity:
+    """Hourly activity of one class over a period, plus daily envelopes.
+
+    ``unique_ips``/``volume`` are normalized to their own minimum over
+    the period (Fig 8's presentation); the envelopes are per-day
+    min/avg/max of the normalized hourly values.
+    """
+
+    start_day: _dt.date
+    unique_ips: HourlySeries
+    volume: HourlySeries
+    daily_min: Dict[_dt.date, Tuple[float, float]]  # (ips, volume)
+    daily_avg: Dict[_dt.date, Tuple[float, float]]
+    daily_max: Dict[_dt.date, Tuple[float, float]]
+
+
+def class_activity(
+    flows: FlowTable,
+    app_class: AppClass,
+    start_day: _dt.date,
+    end_day: _dt.date,
+    ip_side: str = "dst",
+) -> ClassActivity:
+    """Fig 8 metrics for one class: distinct IPs and volume per hour.
+
+    ``ip_side`` selects which endpoint approximates "households"
+    (``dst`` for download-style classes where clients receive).
+    """
+    selected = app_class.select(flows)
+    start = timebase.hour_index(start_day, 0)
+    stop = timebase.hour_index(end_day, 23) + 1
+    ips = selected.unique_ips_per_hour(start, stop, side=ip_side)
+    volume = selected.hourly_bytes(start, stop).astype(np.float64)
+    ip_floor = float(ips[ips > 0].min()) if np.any(ips > 0) else 1.0
+    vol_floor = float(volume[volume > 0].min()) if np.any(volume > 0) else 1.0
+    ips_norm = HourlySeries(start, ips / ip_floor)
+    vol_norm = HourlySeries(start, volume / vol_floor)
+    daily_min: Dict[_dt.date, Tuple[float, float]] = {}
+    daily_avg: Dict[_dt.date, Tuple[float, float]] = {}
+    daily_max: Dict[_dt.date, Tuple[float, float]] = {}
+    for day, ip_vals in ips_norm.iter_days():
+        vol_vals = vol_norm.day_values(day)
+        daily_min[day] = (float(ip_vals.min()), float(vol_vals.min()))
+        daily_avg[day] = (float(ip_vals.mean()), float(vol_vals.mean()))
+        daily_max[day] = (float(ip_vals.max()), float(vol_vals.max()))
+    return ClassActivity(
+        start_day=start_day,
+        unique_ips=ips_norm,
+        volume=vol_norm,
+        daily_min=daily_min,
+        daily_avg=daily_avg,
+        daily_max=daily_max,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 9: application-class heatmaps.
+# ---------------------------------------------------------------------------
+
+#: Hours removed from the heatmaps ("we remove the early morning hours
+#: (2-7 am)"), as a half-open range.
+MORNING_HOURS_REMOVED = (2, 7)
+
+#: Growth clipping bounds in percent ("we cut off any growth above 200%
+#: and decrease below 100%").
+CLIP_PERCENT = (-100.0, 200.0)
+
+
+@dataclass(frozen=True)
+class ClassHeatmap:
+    """One class's Fig 9 row at one vantage point.
+
+    ``base`` holds the base week's normalized hourly volume (0-1);
+    ``diffs`` holds, per stage label, the percent difference to the base
+    week hour-by-hour, clipped to [-100, +200].  All arrays have
+    ``7 * kept_hours`` entries (morning hours removed).
+    """
+
+    class_name: str
+    hours_kept: Tuple[int, ...]
+    base: np.ndarray
+    diffs: Dict[str, np.ndarray]
+
+
+def _kept_hour_indices() -> Tuple[int, ...]:
+    h0, h1 = MORNING_HOURS_REMOVED
+    return tuple(h for h in range(24) if not h0 <= h < h1)
+
+
+def _week_kept_hours(
+    flows: FlowTable, week: timebase.Week, kept: Sequence[int]
+) -> np.ndarray:
+    start, stop = week.hour_range()
+    hourly = flows.hourly_bytes(start, stop).astype(np.float64)
+    days = hourly.reshape(7, 24)
+    return days[:, list(kept)].reshape(-1)
+
+
+def class_heatmaps(
+    flows: FlowTable,
+    weeks: Mapping[str, timebase.Week],
+    classes: Optional[Mapping[str, AppClass]] = None,
+) -> Dict[str, ClassHeatmap]:
+    """Fig 9: per-class base pattern and stage-difference heatmaps.
+
+    ``weeks`` must contain ``base`` plus any number of stage labels.
+    Normalization follows §5: per class, min/max over all three weeks
+    jointly (after removing the early-morning hours); differences are
+    percentages of that normalized scale, clipped to [-100, +200].
+    """
+    if "base" not in weeks:
+        raise ValueError("weeks must include a 'base' entry")
+    classes = classes or standard_classes()
+    kept = _kept_hour_indices()
+    heatmaps: Dict[str, ClassHeatmap] = {}
+    for name in sorted(classes):
+        selected = classes[name].select(flows)
+        raw = {
+            label: _week_kept_hours(selected, week, kept)
+            for label, week in weeks.items()
+        }
+        lo = min(float(v.min()) for v in raw.values())
+        hi = max(float(v.max()) for v in raw.values())
+        span = hi - lo if hi > lo else 1.0
+        norm = {label: (v - lo) / span for label, v in raw.items()}
+        base = norm["base"]
+        diffs = {}
+        for label, values in norm.items():
+            if label == "base":
+                continue
+            diffs[label] = np.clip(
+                (values - base) * 100.0, CLIP_PERCENT[0], CLIP_PERCENT[1]
+            )
+        heatmaps[name] = ClassHeatmap(
+            class_name=name, hours_kept=kept, base=base, diffs=diffs
+        )
+    return heatmaps
+
+
+def weekly_class_growth(
+    flows: FlowTable,
+    app_class: AppClass,
+    base_week: timebase.Week,
+    stage_week: timebase.Week,
+) -> float:
+    """Relative growth of a class's *total weekly* volume.
+
+    The §5 statements about overall class volume (VoD "up to 100%" at
+    the European IXPs but "about 30%" at the ISP, gaming "about 10%" at
+    the ISP, educational "+200%" at the ISP-CE) compare whole weeks,
+    unlike the business-hours statements.
+    """
+    selected = app_class.select(flows)
+    base_start, base_stop = base_week.hour_range()
+    stage_start, stage_stop = stage_week.hour_range()
+    base = float(selected.hourly_bytes(base_start, base_stop).sum())
+    stage = float(selected.hourly_bytes(stage_start, stage_stop).sum())
+    if base <= 0:
+        raise ValueError("base week has no traffic for the class")
+    return stage / base - 1.0
+
+
+def business_hours_growth(
+    flows: FlowTable,
+    app_class: AppClass,
+    base_week: timebase.Week,
+    stage_week: timebase.Week,
+    region: timebase.Region,
+    hours: Tuple[int, int] = (9, 17),
+    weekend: bool = False,
+) -> float:
+    """Relative growth of a class during business hours on workdays
+    (or on weekend days when ``weekend`` is set), stage vs. base.
+
+    This is the quantity behind the §5 statements ("Web conferencing
+    applications show a dramatic increase of more than 200% during
+    business hours").
+    """
+    selected = app_class.select(flows)
+    h0, h1 = hours
+
+    def _mean_business(week: timebase.Week) -> float:
+        start, stop = week.hour_range()
+        hourly = selected.hourly_bytes(start, stop).astype(np.float64)
+        days = hourly.reshape(7, 24)
+        values = []
+        for i, day in enumerate(week.days()):
+            is_weekend = timebase.behaves_like_weekend(day, region)
+            if is_weekend == weekend:
+                values.append(days[i, h0:h1].mean())
+        return float(np.mean(values)) if values else 0.0
+
+    base = _mean_business(base_week)
+    stage = _mean_business(stage_week)
+    if base <= 0:
+        raise ValueError("base week has no traffic for the class")
+    return stage / base - 1.0

@@ -1,0 +1,111 @@
+"""Bootstrap confidence intervals for growth estimates.
+
+The paper reports point growth factors (+20%, +30%, ...).  Our
+synthetic traces carry day-level noise, so a single week-over-week
+ratio has sampling variability; this module quantifies it with a
+day-block bootstrap: resample whole days (the natural dependence unit
+of diurnal traffic) with replacement within each week and recompute the
+growth ratio.
+
+Used by tests to assert that reported growth differences (e.g. ISP
+stage-3 vs IXP-CE stage-3) are larger than the noise, not artifacts of
+one realization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro import timebase
+from repro.series import HourlySeries
+
+
+@dataclass(frozen=True)
+class GrowthCI:
+    """A growth estimate with a bootstrap confidence interval."""
+
+    point: float  # plain stage/base - 1
+    lower: float
+    upper: float
+    level: float  # e.g. 0.95
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.upper - self.lower
+
+    def excludes_zero(self) -> bool:
+        """Whether the growth is distinguishable from 'no change'."""
+        return self.lower > 0.0 or self.upper < 0.0
+
+
+def _daily_totals(series: HourlySeries, week: timebase.Week) -> np.ndarray:
+    sliced = series.slice_week(week)
+    return sliced.values.reshape(7, 24).sum(axis=1)
+
+
+def growth_ci(
+    series: HourlySeries,
+    base_week: timebase.Week,
+    stage_week: timebase.Week,
+    n_resamples: int = 500,
+    level: float = 0.95,
+    seed: int = 0,
+) -> GrowthCI:
+    """Day-block bootstrap CI for the stage/base volume growth.
+
+    Days are resampled with replacement independently within each week;
+    each resample's growth is the ratio of resampled weekly totals.
+    Percentile interval at ``level``.
+    """
+    if n_resamples < 10:
+        raise ValueError("need at least 10 resamples")
+    if not 0.5 < level < 1.0:
+        raise ValueError("level must be in (0.5, 1.0)")
+    base_days = _daily_totals(series, base_week)
+    stage_days = _daily_totals(series, stage_week)
+    if base_days.sum() <= 0:
+        raise ValueError("base week carries no traffic")
+    point = float(stage_days.sum() / base_days.sum() - 1.0)
+    rng = np.random.default_rng(seed)
+    base_samples = base_days[
+        rng.integers(0, 7, size=(n_resamples, 7))
+    ].sum(axis=1)
+    stage_samples = stage_days[
+        rng.integers(0, 7, size=(n_resamples, 7))
+    ].sum(axis=1)
+    ratios = stage_samples / base_samples - 1.0
+    alpha = (1.0 - level) / 2.0
+    lower, upper = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return GrowthCI(
+        point=point, lower=float(lower), upper=float(upper), level=level
+    )
+
+
+def growth_difference_significant(
+    series_a: HourlySeries,
+    series_b: HourlySeries,
+    base_week: timebase.Week,
+    stage_week: timebase.Week,
+    n_resamples: int = 500,
+    level: float = 0.95,
+    seed: int = 0,
+) -> Tuple[bool, GrowthCI, GrowthCI]:
+    """Whether two vantages' growth factors differ beyond the noise.
+
+    Conservative criterion: non-overlapping percentile intervals.
+    Returns (significant, CI of a, CI of b).
+    """
+    ci_a = growth_ci(series_a, base_week, stage_week, n_resamples, level, seed)
+    ci_b = growth_ci(
+        series_b, base_week, stage_week, n_resamples, level, seed + 1
+    )
+    significant = ci_a.upper < ci_b.lower or ci_b.upper < ci_a.lower
+    return significant, ci_a, ci_b

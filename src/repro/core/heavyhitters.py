@@ -1,0 +1,152 @@
+"""Streaming heavy-hitter detection (Space-Saving).
+
+Fig 7 ranks transport ports and §3.2 ranks source ASes by byte volume.
+Over billions of flows the exact per-key tally is cheap for ports
+(bounded key space) but not for addresses or AS pairs; the standard
+answer is the Space-Saving algorithm (Metwally et al.): maintain ``k``
+counters, evict the minimum on overflow, and inherit its count as the
+new key's overestimation bound.
+
+Guarantees: with ``k`` counters over a total weight ``N``, every
+reported count overestimates the true count by at most ``N / k``, and
+any key with true weight above ``N / k`` is guaranteed to be present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.flows.table import FlowTable
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One reported key with its count bounds."""
+
+    key: int
+    count: float  # upper bound on the true weight
+    error: float  # overestimation bound (count - error <= true)
+
+    @property
+    def guaranteed(self) -> float:
+        """Lower bound on the key's true weight."""
+        return self.count - self.error
+
+
+class SpaceSaving:
+    """Fixed-memory top-k weight tracker."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self._k = k
+        self._counts: Dict[int, float] = {}
+        self._errors: Dict[int, float] = {}
+        self._total = 0.0
+
+    @property
+    def capacity(self) -> int:
+        """The number of counters (k)."""
+        return self._k
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight observed so far."""
+        return self._total
+
+    @property
+    def error_bound(self) -> float:
+        """The global overestimation bound N / k."""
+        return self._total / self._k
+
+    def update(self, key: int, weight: float = 1.0) -> None:
+        """Add ``weight`` for ``key``."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        self._total += weight
+        key = int(key)
+        if key in self._counts:
+            self._counts[key] += weight
+            return
+        if len(self._counts) < self._k:
+            self._counts[key] = weight
+            self._errors[key] = 0.0
+            return
+        # Evict the minimum; the newcomer inherits its count as error.
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def update_many(
+        self, keys: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Batch update: pre-aggregates per key, then applies once each.
+
+        Pre-aggregation preserves the algorithm's guarantees (it is
+        equivalent to an adversarial ordering of the stream) and makes
+        numpy-sized batches cheap.
+        """
+        keys = np.asarray(keys)
+        weights = np.asarray(weights, dtype=np.float64)
+        if keys.shape != weights.shape:
+            raise ValueError("keys and weights must align")
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        sums = np.bincount(inverse, weights=weights)
+        for key, weight in zip(uniq, sums):
+            self.update(int(key), float(weight))
+
+    def top(self, n: int) -> List[HeavyHitter]:
+        """The ``n`` largest tracked keys, descending by count."""
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        ranked = sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:n]
+        return [
+            HeavyHitter(key=key, count=count, error=self._errors[key])
+            for key, count in ranked
+        ]
+
+    def guaranteed_hitters(self, threshold_fraction: float) -> List[int]:
+        """Keys *guaranteed* to exceed a fraction of the total weight."""
+        if not 0.0 < threshold_fraction < 1.0:
+            raise ValueError("threshold_fraction must be in (0, 1)")
+        cutoff = self._total * threshold_fraction
+        return sorted(
+            key
+            for key, count in self._counts.items()
+            if count - self._errors[key] > cutoff
+        )
+
+
+def top_ports_streaming(
+    chunks: Iterable[FlowTable], k: int = 64, n: int = 12
+) -> List[HeavyHitter]:
+    """Fig 7's top-port ranking over a chunked stream of flows."""
+    sketch = SpaceSaving(k)
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        sketch.update_many(
+            chunk.service_ports(), chunk.column("n_bytes")
+        )
+    return sketch.top(n)
+
+
+def top_sources_streaming(
+    chunks: Iterable[FlowTable], k: int = 256, n: int = 15
+) -> List[HeavyHitter]:
+    """§3.2's top source-AS ranking over a chunked stream of flows."""
+    sketch = SpaceSaving(k)
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        sketch.update_many(
+            chunk.column("src_asn"), chunk.column("n_bytes")
+        )
+    return sketch.top(n)

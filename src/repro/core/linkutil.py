@@ -1,0 +1,153 @@
+"""Link-utilization ECDFs at the IXP (§3.3, Fig 5).
+
+For every member port, reduce one day's per-minute utilization series
+to its minimum, average, and maximum, then compare the ECDFs of those
+statistics between the base week's workday and a stage-2 workday.  The
+paper's observation: all three stage-2 curves are shifted right —
+*many* members, not just hypergiants, carry more traffic relative to
+their port capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """Empirical CDF over a sample."""
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ECDF":
+        array = np.sort(np.asarray(values, dtype=np.float64))
+        if array.size == 0:
+            raise ValueError("ECDF needs at least one value")
+        return cls(array)
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """F(x): fraction of the sample <= x."""
+        return float(
+            np.searchsorted(self.sorted_values, x, side="right")
+        ) / self.sorted_values.size
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        return float(np.quantile(self.sorted_values, q))
+
+    def evaluate(self, xs: Sequence[float]) -> np.ndarray:
+        """F(x) over a grid (the plotted Fig 5 curve)."""
+        return np.searchsorted(
+            self.sorted_values, np.asarray(xs), side="right"
+        ) / self.sorted_values.size
+
+
+@dataclass(frozen=True)
+class UtilizationStats:
+    """Per-member daily min/avg/max utilization for one day."""
+
+    minimum: Dict[int, float]
+    average: Dict[int, float]
+    maximum: Dict[int, float]
+
+    def ecdfs(self) -> Dict[str, ECDF]:
+        """ECDF per statistic over the member population."""
+        return {
+            "minimum": ECDF.from_values(list(self.minimum.values())),
+            "average": ECDF.from_values(list(self.average.values())),
+            "maximum": ECDF.from_values(list(self.maximum.values())),
+        }
+
+
+def reduce_day(utilizations: Mapping[int, np.ndarray]) -> UtilizationStats:
+    """Reduce per-minute member utilization series to daily statistics."""
+    if not utilizations:
+        raise ValueError("no member utilization series")
+    minimum: Dict[int, float] = {}
+    average: Dict[int, float] = {}
+    maximum: Dict[int, float] = {}
+    for asn, series in utilizations.items():
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(f"bad utilization series for AS {asn}")
+        minimum[asn] = float(arr.min())
+        average[asn] = float(arr.mean())
+        maximum[asn] = float(arr.max())
+    return UtilizationStats(minimum, average, maximum)
+
+
+def right_shift_fraction(
+    base: ECDF, stage: ECDF, grid: Sequence[float] = ()
+) -> float:
+    """Fraction of grid points where the stage ECDF sits at or below the
+    base ECDF (i.e. the stage distribution is shifted right).
+
+    1.0 means first-order stochastic dominance of the stage-2
+    utilizations over the base week's on the grid — Fig 5's "all curves
+    are shifted to the right".
+    """
+    if len(grid) == 0:
+        grid = np.linspace(0.01, 1.0, 100)
+    base_vals = base.evaluate(grid)
+    stage_vals = stage.evaluate(grid)
+    return float(np.mean(stage_vals <= base_vals + 1e-12))
+
+
+def compare_days(
+    base_day: Mapping[int, np.ndarray],
+    stage_day: Mapping[int, np.ndarray],
+) -> Dict[str, Tuple[ECDF, ECDF]]:
+    """Fig 5's six curves: (base, stage-2) ECDF per statistic."""
+    base_stats = reduce_day(base_day).ecdfs()
+    stage_stats = reduce_day(stage_day).ecdfs()
+    return {
+        stat: (base_stats[stat], stage_stats[stat])
+        for stat in ("minimum", "average", "maximum")
+    }
+
+
+def downsample_utilization(
+    series: np.ndarray, minutes: int
+) -> np.ndarray:
+    """Average a per-minute utilization series into coarser bins.
+
+    §3.3 measures per *minute*; billing and capacity tools often
+    average over 5 or 60 minutes, which systematically understates
+    peaks (bursts average away).  ``minutes`` must divide the series
+    length.
+    """
+    array = np.asarray(series, dtype=np.float64)
+    if minutes < 1:
+        raise ValueError("minutes must be positive")
+    if array.ndim != 1 or array.size % minutes != 0:
+        raise ValueError(
+            f"cannot average {array.size} minutes into {minutes}-minute bins"
+        )
+    return array.reshape(-1, minutes).mean(axis=1)
+
+
+def peak_understatement(
+    utilizations: Mapping[int, np.ndarray], minutes: int
+) -> float:
+    """Median ratio of coarse-grained to per-minute peak utilization.
+
+    1.0 means the averaging window does not hide peaks; values below 1
+    quantify how much a ``minutes``-minute view understates the §3.3
+    per-minute maxima.
+    """
+    ratios = []
+    for series in utilizations.values():
+        fine_peak = float(np.asarray(series).max())
+        if fine_peak <= 0:
+            continue
+        coarse_peak = float(downsample_utilization(series, minutes).max())
+        ratios.append(coarse_peak / fine_peak)
+    if not ratios:
+        raise ValueError("no member with positive utilization")
+    return float(np.median(ratios))

@@ -1,0 +1,155 @@
+"""Inter-member traffic matrices at an IXP.
+
+The IXPs in the paper see the full mesh of member-to-member traffic
+(§2); several observations — the diversity of the IXP-CE customer base
+(§3.1), eyeball members acting as sinks, content/hypergiant members as
+sources — are statements about the *structure* of that matrix.  This
+module builds the matrix from flows and exposes the structural
+statistics:
+
+* per-member sent/received volumes and source-sink asymmetry,
+* the top member pairs and how concentrated the matrix is,
+* matrix-level comparisons between analysis weeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows.table import FlowTable
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """A member-to-member byte matrix."""
+
+    asns: Tuple[int, ...]  # row/column labels, ascending
+    volumes: np.ndarray  # [i, j] = bytes from asns[i] to asns[j]
+
+    def __post_init__(self) -> None:
+        n = len(self.asns)
+        if self.volumes.shape != (n, n):
+            raise ValueError("matrix shape does not match the AS labels")
+
+    @property
+    def total(self) -> float:
+        """Total bytes across the matrix."""
+        return float(self.volumes.sum())
+
+    def sent(self, asn: int) -> float:
+        """Bytes sourced by ``asn``."""
+        return float(self.volumes[self._index(asn), :].sum())
+
+    def received(self, asn: int) -> float:
+        """Bytes delivered to ``asn``."""
+        return float(self.volumes[:, self._index(asn)].sum())
+
+    def _index(self, asn: int) -> int:
+        try:
+            return self.asns.index(asn)
+        except ValueError:
+            raise KeyError(f"AS {asn} not in the matrix") from None
+
+    def asymmetry(self, asn: int) -> float:
+        """Source-sink balance in [-1, 1].
+
+        +1 = pure source (only sends), -1 = pure sink (only receives),
+        0 = balanced.  Hypergiants/CDNs sit near +1 at an IXP, eyeball
+        networks near -1.
+        """
+        sent, received = self.sent(asn), self.received(asn)
+        total = sent + received
+        if total <= 0:
+            return 0.0
+        return (sent - received) / total
+
+    def top_pairs(self, n: int) -> List[Tuple[int, int, float]]:
+        """The ``n`` largest (source, destination, bytes) entries."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        flat = self.volumes.ravel()
+        count = min(n, int(np.count_nonzero(flat)))
+        if count == 0:
+            return []
+        order = np.argsort(flat)[::-1][:count]
+        size = len(self.asns)
+        return [
+            (self.asns[i // size], self.asns[i % size], float(flat[i]))
+            for i in order
+        ]
+
+    def concentration(self, top_fraction: float = 0.01) -> float:
+        """Share of bytes carried by the top ``top_fraction`` of pairs.
+
+        IXP matrices are extremely concentrated; a few hypergiant ->
+        eyeball pairs carry most of the platform.
+        """
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError("top_fraction must be in (0, 1]")
+        flat = np.sort(self.volumes.ravel())[::-1]
+        if flat.sum() <= 0:
+            raise ValueError("matrix carries no traffic")
+        k = max(1, int(round(flat.size * top_fraction)))
+        return float(flat[:k].sum() / flat.sum())
+
+
+def build_matrix(
+    flows: FlowTable, members: Optional[Sequence[int]] = None
+) -> TrafficMatrix:
+    """Aggregate flows into a member-to-member byte matrix.
+
+    ``members`` restricts (and orders) the AS universe; by default
+    every AS appearing in the flows becomes a row/column.
+    """
+    src = flows.column("src_asn")
+    dst = flows.column("dst_asn")
+    n_bytes = flows.column("n_bytes").astype(np.float64)
+    if members is None:
+        universe = np.unique(np.concatenate([src, dst]))
+    else:
+        universe = np.asarray(sorted(set(int(a) for a in members)))
+        keep = np.isin(src, universe) & np.isin(dst, universe)
+        src, dst, n_bytes = src[keep], dst[keep], n_bytes[keep]
+    index = {int(asn): i for i, asn in enumerate(universe)}
+    size = universe.size
+    volumes = np.zeros((size, size))
+    if src.size:
+        rows = np.vectorize(index.__getitem__)(src)
+        cols = np.vectorize(index.__getitem__)(dst)
+        np.add.at(volumes, (rows, cols), n_bytes)
+    return TrafficMatrix(tuple(int(a) for a in universe), volumes)
+
+
+def source_sink_split(
+    matrix: TrafficMatrix, threshold: float = 0.5
+) -> Dict[str, List[int]]:
+    """Partition members into sources / sinks / mixed by asymmetry."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    groups: Dict[str, List[int]] = {"sources": [], "sinks": [], "mixed": []}
+    for asn in matrix.asns:
+        value = matrix.asymmetry(asn)
+        if value >= threshold:
+            groups["sources"].append(asn)
+        elif value <= -threshold:
+            groups["sinks"].append(asn)
+        else:
+            groups["mixed"].append(asn)
+    return groups
+
+
+def matrix_growth(
+    base: TrafficMatrix, stage: TrafficMatrix
+) -> Dict[int, float]:
+    """Per-member growth of total (sent + received) platform traffic."""
+    growth = {}
+    common = set(base.asns) & set(stage.asns)
+    for asn in sorted(common):
+        before = base.sent(asn) + base.received(asn)
+        after = stage.sent(asn) + stage.received(asn)
+        if before > 0:
+            growth[asn] = after / before - 1.0
+    return growth

@@ -1,0 +1,97 @@
+"""Fixed-vs-mobile divergence and the roaming mobility proxy.
+
+Fig 1 contrasts fixed-network growth with the mobile operator's flat
+demand and the roaming exchange's collapse; the related work (§8)
+confirms the mobility interpretation against operator studies and
+Google's mobility reports.  This module quantifies those contrasts:
+
+* :func:`divergence_series` — weekly gap between fixed-line and mobile
+  demand (people at home substitute fixed for mobile connectivity),
+* :func:`roaming_mobility_proxy` — normalized roaming volume as a
+  stand-in for international travel,
+* :func:`divergence_onset_week` — when the substitution starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+from repro.core import aggregate
+from repro.series import HourlySeries
+
+
+@dataclass(frozen=True)
+class MobilitySummary:
+    """Headline mobility indicators over the study period."""
+
+    max_divergence: float  # peak (fixed - mobile) normalized gap
+    divergence_onset_week: int
+    roaming_floor: float  # minimum normalized roaming volume
+    roaming_floor_week: int
+
+    @property
+    def substitution_detected(self) -> bool:
+        """Fixed demand pulls away from mobile by ≥ 10 points."""
+        return self.max_divergence >= 0.10
+
+    @property
+    def travel_collapse_detected(self) -> bool:
+        """Roaming falls by at least 40% from its baseline."""
+        return self.roaming_floor <= 0.60
+
+
+def divergence_series(
+    fixed: HourlySeries, mobile: HourlySeries
+) -> Dict[int, float]:
+    """Per-week normalized gap ``fixed - mobile``.
+
+    Both series are normalized to the Fig 1 baseline week first, so a
+    gap of 0.2 means fixed demand sits 20 points above mobile relative
+    to their respective January levels.
+    """
+    fixed_weekly = aggregate.weekly_normalized(fixed).as_dict()
+    mobile_weekly = aggregate.weekly_normalized(mobile).as_dict()
+    common = sorted(set(fixed_weekly) & set(mobile_weekly))
+    if not common:
+        raise ValueError("series share no complete weeks")
+    return {w: fixed_weekly[w] - mobile_weekly[w] for w in common}
+
+
+def divergence_onset_week(
+    divergence: Dict[int, float], threshold: float = 0.05
+) -> int:
+    """First week where the gap exceeds ``threshold`` and stays there.
+
+    Raises if the gap never sustainedly exceeds the threshold.
+    """
+    weeks = sorted(divergence)
+    for i, week in enumerate(weeks):
+        rest = [divergence[w] for w in weeks[i:]]
+        if rest and min(rest[:3]) > threshold:
+            return week
+    raise ValueError("no sustained fixed/mobile divergence found")
+
+
+def roaming_mobility_proxy(roaming: HourlySeries) -> Dict[int, float]:
+    """Weekly normalized roaming volume — the travel proxy."""
+    return aggregate.weekly_normalized(roaming).as_dict()
+
+
+def summarize(
+    fixed: HourlySeries,
+    mobile: HourlySeries,
+    roaming: HourlySeries,
+) -> MobilitySummary:
+    """Compute the headline mobility indicators."""
+    divergence = divergence_series(fixed, mobile)
+    gap_week, gap = max(divergence.items(), key=lambda kv: kv[1])
+    proxy = roaming_mobility_proxy(roaming)
+    floor_week, floor = min(proxy.items(), key=lambda kv: kv[1])
+    return MobilitySummary(
+        max_divergence=gap,
+        divergence_onset_week=divergence_onset_week(divergence),
+        roaming_floor=floor,
+        roaming_floor_week=floor_week,
+    )

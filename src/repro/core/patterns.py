@@ -1,0 +1,195 @@
+"""Workday-like vs. weekend-like day classification (Figs 2b, 2c).
+
+The paper's method (§1): "we call a traffic pattern a workday pattern
+if the traffic spikes in the evening hours and a weekend pattern if its
+main activity gains significant momentum at about 9 to 10 am in the
+morning already.  For our classification, we use baseline data from Feb
+2020 at the aggregation level of 6 hours.  Then we apply this
+classification to all days."
+
+Implementation: build reference 6-hour-bin profiles from February's
+calendar workdays and weekends (each day's profile normalized to sum
+1, so only the *shape* matters), then label every day by
+nearest-centroid distance.  The headline result is that from mid-March
+onward almost all days — including calendar workdays — classify as
+weekend-like.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import timebase
+from repro.series import HourlySeries
+
+#: The paper's aggregation level for the classifier.
+DEFAULT_BIN_HOURS = 6
+
+
+def _day_shape(values: np.ndarray, bin_hours: int) -> np.ndarray:
+    """A day's traffic shape: coarse bins normalized to sum one."""
+    if values.shape[0] != 24:
+        raise ValueError("expected 24 hourly values")
+    if 24 % bin_hours != 0:
+        raise ValueError(f"bin size {bin_hours} does not divide 24")
+    binned = values.reshape(-1, bin_hours).sum(axis=1)
+    total = binned.sum()
+    if total <= 0:
+        raise ValueError("day carries no traffic")
+    return binned / total
+
+
+@dataclass(frozen=True)
+class PatternBaseline:
+    """Reference shapes learned from the February baseline."""
+
+    workday_shape: np.ndarray
+    weekend_shape: np.ndarray
+    bin_hours: int
+
+    def classify_shape(self, shape: np.ndarray) -> str:
+        """``"workday-like"`` or ``"weekend-like"`` by nearest centroid."""
+        d_work = float(np.linalg.norm(shape - self.workday_shape))
+        d_weekend = float(np.linalg.norm(shape - self.weekend_shape))
+        return "workday-like" if d_work < d_weekend else "weekend-like"
+
+
+@dataclass(frozen=True)
+class DayClassification:
+    """Classifier output for one day."""
+
+    day: _dt.date
+    predicted: str  # "workday-like" | "weekend-like"
+    calendar_kind: timebase.DayKind
+
+    @property
+    def matches_calendar(self) -> bool:
+        """Whether the prediction agrees with the calendar.
+
+        Holidays count as weekend days (the paper colors agreement of
+        weekend-like holidays blue).
+        """
+        calendar_weekendish = self.calendar_kind is not timebase.DayKind.WORKDAY
+        return (self.predicted == "weekend-like") == calendar_weekendish
+
+
+def fit_baseline(
+    series: HourlySeries,
+    region: timebase.Region,
+    bin_hours: int = DEFAULT_BIN_HOURS,
+    baseline_start: _dt.date = timebase.PATTERN_BASELINE_START,
+    baseline_end: _dt.date = timebase.PATTERN_BASELINE_END,
+) -> PatternBaseline:
+    """Learn the workday/weekend reference shapes from the baseline month."""
+    workdays: List[np.ndarray] = []
+    weekends: List[np.ndarray] = []
+    for day in timebase.iter_days(baseline_start, baseline_end):
+        shape = _day_shape(series.day_values(day), bin_hours)
+        if timebase.behaves_like_weekend(day, region):
+            weekends.append(shape)
+        else:
+            workdays.append(shape)
+    if not workdays or not weekends:
+        raise ValueError("baseline period lacks workdays or weekend days")
+    return PatternBaseline(
+        workday_shape=np.mean(workdays, axis=0),
+        weekend_shape=np.mean(weekends, axis=0),
+        bin_hours=bin_hours,
+    )
+
+
+def classify_days(
+    series: HourlySeries,
+    region: timebase.Region,
+    baseline: Optional[PatternBaseline] = None,
+    start: Optional[_dt.date] = None,
+    end: Optional[_dt.date] = None,
+    bin_hours: int = DEFAULT_BIN_HOURS,
+) -> List[DayClassification]:
+    """Classify every day of ``series`` (or a date sub-range).
+
+    The default range is the series' own full span; Fig 2 uses
+    Jan 1 - May 11.
+    """
+    baseline = baseline or fit_baseline(series, region, bin_hours)
+    start = start or series.start_date
+    if end is None:
+        last_hour = series.stop_hour - 1
+        end = timebase.hour_index_to_datetime(last_hour).date()
+    results = []
+    for day in timebase.iter_days(start, end):
+        shape = _day_shape(series.day_values(day), baseline.bin_hours)
+        results.append(
+            DayClassification(
+                day=day,
+                predicted=baseline.classify_shape(shape),
+                calendar_kind=timebase.day_kind(day, region),
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class PatternShift:
+    """Summary of the Fig 2b/2c observation."""
+
+    pre_lockdown_agreement: float  # fraction of days matching calendar
+    post_lockdown_weekendlike_workdays: float  # workdays classified weekend-like
+    post_lockdown_agreement_weekends: float
+
+    def shifted(self) -> bool:
+        """The paper's core finding: post-lockdown workdays classify
+        weekend-like while pre-lockdown days track the calendar."""
+        return (
+            self.pre_lockdown_agreement > 0.7
+            and self.post_lockdown_weekendlike_workdays > 0.7
+        )
+
+
+def summarize_shift(
+    classifications: Sequence[DayClassification],
+    lockdown_start: _dt.date,
+    pre_start: Optional[_dt.date] = None,
+) -> PatternShift:
+    """Quantify the shift to weekend-like patterns around the lockdown.
+
+    ``pre_start`` defaults to the end of the New Year holidays, which
+    the paper calls out as the one pre-lockdown stretch that (rightly)
+    misclassifies.
+    """
+    pre_start = pre_start or (
+        timebase.NEW_YEAR_HOLIDAY_END + _dt.timedelta(days=1)
+    )
+    pre = [
+        c
+        for c in classifications
+        if pre_start <= c.day < lockdown_start
+    ]
+    post = [c for c in classifications if c.day >= lockdown_start]
+    post_workdays = [
+        c for c in post if c.calendar_kind is timebase.DayKind.WORKDAY
+    ]
+    post_weekendish = [
+        c for c in post if c.calendar_kind is not timebase.DayKind.WORKDAY
+    ]
+    if not pre or not post_workdays:
+        raise ValueError("classification range does not span the lockdown")
+
+    def _fraction(items: Sequence[DayClassification], predicate) -> float:
+        return sum(1 for c in items if predicate(c)) / len(items)
+
+    return PatternShift(
+        pre_lockdown_agreement=_fraction(pre, lambda c: c.matches_calendar),
+        post_lockdown_weekendlike_workdays=_fraction(
+            post_workdays, lambda c: c.predicted == "weekend-like"
+        ),
+        post_lockdown_agreement_weekends=(
+            _fraction(post_weekendish, lambda c: c.predicted == "weekend-like")
+            if post_weekendish
+            else 1.0
+        ),
+    )

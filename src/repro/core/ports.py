@@ -1,0 +1,170 @@
+"""Raw port-level application analysis (§4, Fig 7).
+
+For three analysis weeks, aggregate traffic per transport key
+(``PROTO/port``, with GRE/ESP as bare protocol names), keep per-hour
+statistics split into one aggregate workday and one aggregate weekend
+pattern, and report the top ports after omitting TCP/443 and TCP/80
+(which dominate but barely change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import timebase
+from repro.flows.table import FlowTable
+
+#: The two dominant web keys omitted from Fig 7 for readability.
+OMITTED_KEYS = ("TCP/443", "TCP/80")
+
+#: Number of ports shown in Fig 7 (the "top 3-12").
+DEFAULT_TOP_N = 10
+
+
+def top_ports(
+    flows: FlowTable,
+    n: int = DEFAULT_TOP_N,
+    omit: Sequence[str] = OMITTED_KEYS,
+) -> List[str]:
+    """The top-``n`` transport keys by byte volume, after omissions."""
+    ranked = flows.top_transport_keys(n + len(omit))
+    keys = [key for key, _ in ranked if key not in omit]
+    return keys[:n]
+
+
+@dataclass(frozen=True)
+class PortWeekPattern:
+    """Hour-of-day traffic for one port in one week.
+
+    ``workday``/``weekend`` are 24-value arrays of the average byte
+    volume in that hour across the week's workdays resp. weekend days.
+    """
+
+    key: str
+    week_label: str
+    workday: np.ndarray
+    weekend: np.ndarray
+
+
+def _hour_of_day_profile(
+    flows: FlowTable,
+    week: timebase.Week,
+    region: timebase.Region,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(workday, weekend) mean per-hour byte profiles for one week."""
+    start, stop = week.hour_range()
+    hourly = flows.hourly_bytes(start, stop).astype(np.float64)
+    workdays: List[np.ndarray] = []
+    weekends: List[np.ndarray] = []
+    for i, day in enumerate(week.days()):
+        day_values = hourly[i * 24 : (i + 1) * 24]
+        if timebase.behaves_like_weekend(day, region):
+            weekends.append(day_values)
+        else:
+            workdays.append(day_values)
+    workday = np.mean(workdays, axis=0) if workdays else np.zeros(24)
+    weekend = np.mean(weekends, axis=0) if weekends else np.zeros(24)
+    return workday, weekend
+
+
+def port_patterns(
+    flows: FlowTable,
+    weeks: Mapping[str, timebase.Week],
+    region: timebase.Region,
+    keys: Optional[Sequence[str]] = None,
+    top_n: int = DEFAULT_TOP_N,
+) -> Dict[str, List[PortWeekPattern]]:
+    """Fig 7: per-port hour-of-day patterns for each analysis week.
+
+    ``keys`` defaults to the top ports over all three weeks combined
+    (the paper plots "the top ports of all three weeks").  Values are
+    normalized jointly per port across weeks, so growth between weeks
+    is directly visible.
+    """
+    if keys is None:
+        keys = top_ports(flows, top_n)
+    labels = flows.transport_keys()
+    patterns: Dict[str, List[PortWeekPattern]] = {}
+    for key in keys:
+        sub = flows.filter(labels == key)
+        per_week: List[PortWeekPattern] = []
+        peak = 0.0
+        raw: List[Tuple[str, np.ndarray, np.ndarray]] = []
+        for label, week in weeks.items():
+            workday, weekend = _hour_of_day_profile(sub, week, region)
+            raw.append((label, workday, weekend))
+            peak = max(peak, float(workday.max()), float(weekend.max()))
+        if peak <= 0:
+            peak = 1.0
+        for label, workday, weekend in raw:
+            per_week.append(
+                PortWeekPattern(
+                    key=key,
+                    week_label=label,
+                    workday=workday / peak,
+                    weekend=weekend / peak,
+                )
+            )
+        patterns[key] = per_week
+    return patterns
+
+
+@dataclass(frozen=True)
+class PortGrowth:
+    """Working-hours growth of one port between two weeks."""
+
+    key: str
+    workday_growth: float  # (later - base) / base over working hours
+    weekend_growth: float
+    base_share: float  # port's share of total base-week bytes
+
+
+def port_growth(
+    flows: FlowTable,
+    base_week: timebase.Week,
+    later_week: timebase.Week,
+    region: timebase.Region,
+    keys: Optional[Sequence[str]] = None,
+    working_hours: Tuple[int, int] = (9, 17),
+) -> Dict[str, PortGrowth]:
+    """Quantified §4 statements (QUIC +30-80%, TCP/993 +60%, ...).
+
+    Growth compares mean per-hour volume inside ``working_hours`` on
+    workdays (and the full day on weekends) between the two weeks.
+    """
+    if keys is None:
+        keys = top_ports(flows)
+    labels = flows.transport_keys()
+    base_start, base_stop = base_week.hour_range()
+    base_total = float(
+        flows.hourly_bytes(base_start, base_stop).sum()
+    )
+    results: Dict[str, PortGrowth] = {}
+    h0, h1 = working_hours
+    for key in keys:
+        sub = flows.filter(labels == key)
+        values = {}
+        for label, week in (("base", base_week), ("later", later_week)):
+            workday, weekend = _hour_of_day_profile(sub, week, region)
+            values[label] = (
+                float(workday[h0:h1].mean()),
+                float(weekend.mean()),
+            )
+        base_wd, base_we = values["base"]
+        later_wd, later_we = values["later"]
+        start, stop = base_week.hour_range()
+        share = (
+            float(sub.hourly_bytes(start, stop).sum()) / base_total
+            if base_total > 0
+            else 0.0
+        )
+        results[key] = PortGrowth(
+            key=key,
+            workday_growth=(later_wd / base_wd - 1.0) if base_wd > 0 else 0.0,
+            weekend_growth=(later_we / base_we - 1.0) if base_we > 0 else 0.0,
+            base_share=share,
+        )
+    return results

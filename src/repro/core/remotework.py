@@ -1,0 +1,209 @@
+"""Remote-work-relevant AS identification (§3.4, Fig 6).
+
+Two analyses over the ISP's per-AS traffic (including transit):
+
+1. Group ASes by their workday/weekend traffic ratio — companies are
+   expected in the workday-dominated group.
+2. Scatter each AS's normalized total volume shift (February base week
+   vs. a March lockdown week) against its normalized *residential*
+   volume shift, where residential traffic is the part exchanged with
+   manually selected eyeball networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro import timebase
+from repro.flows.table import FlowTable
+
+
+def _per_as_bytes(
+    flows: FlowTable, eyeballs: FrozenSet[int]
+) -> Dict[int, Tuple[float, float]]:
+    """Per source AS: (total bytes, bytes exchanged with eyeball ASes)."""
+    src = flows.column("src_asn")
+    dst = flows.column("dst_asn")
+    n_bytes = flows.column("n_bytes").astype(np.float64)
+    eyeball_arr = np.asarray(sorted(eyeballs), dtype=np.int64)
+    to_eyeball = np.isin(dst, eyeball_arr)
+    result: Dict[int, Tuple[float, float]] = {}
+    uniq, inverse = np.unique(src, return_inverse=True)
+    totals = np.bincount(inverse, weights=n_bytes)
+    residential = np.bincount(
+        inverse, weights=n_bytes * to_eyeball, minlength=uniq.size
+    )
+    for asn, total, res in zip(uniq, totals, residential):
+        if int(asn) in eyeballs:
+            continue  # the eyeball networks themselves are not scattered
+        result[int(asn)] = (float(total), float(res))
+    return result
+
+
+def normalized_difference(before: float, after: float) -> float:
+    """Symmetric normalized shift in [-1, 1].
+
+    0 when unchanged, +1 when traffic appears from nothing, -1 when it
+    vanishes; 0 when absent in both weeks.
+    """
+    peak = max(before, after)
+    if peak <= 0:
+        return 0.0
+    return (after - before) / peak
+
+
+@dataclass(frozen=True)
+class ASShift:
+    """One point of the Fig 6 scatter."""
+
+    asn: int
+    total_shift: float  # x-axis: difference of mean volume
+    residential_shift: float  # y-axis: difference of mean eyeball volume
+    base_total: float
+    base_residential: float
+
+    @property
+    def quadrant(self) -> str:
+        """Fig 6 quadrant label."""
+        total_up = self.total_shift >= 0
+        res_up = self.residential_shift >= 0
+        if total_up and res_up:
+            return "total-up/residential-up"
+        if total_up:
+            return "total-up/residential-down"
+        if res_up:
+            return "total-down/residential-up"
+        return "total-down/residential-down"
+
+
+def traffic_shift_scatter(
+    base_flows: FlowTable,
+    lockdown_flows: FlowTable,
+    eyeball_asns: Sequence[int],
+) -> List[ASShift]:
+    """Fig 6: per-AS total vs. residential volume shift."""
+    eyeballs = frozenset(int(a) for a in eyeball_asns)
+    if not eyeballs:
+        raise ValueError("eyeball AS list must be non-empty")
+    before = _per_as_bytes(base_flows, eyeballs)
+    after = _per_as_bytes(lockdown_flows, eyeballs)
+    points = []
+    for asn in sorted(set(before) | set(after)):
+        b_total, b_res = before.get(asn, (0.0, 0.0))
+        a_total, a_res = after.get(asn, (0.0, 0.0))
+        points.append(
+            ASShift(
+                asn=asn,
+                total_shift=normalized_difference(b_total, a_total),
+                residential_shift=normalized_difference(b_res, a_res),
+                base_total=b_total,
+                base_residential=b_res,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ScatterSummary:
+    """Aggregate reading of the Fig 6 scatter."""
+
+    n_ases: int
+    quadrant_counts: Dict[str, int]
+    correlation: float  # Pearson r between the two shifts
+    x_axis_band: int  # ASes with major total shift but ~no residential
+
+    def majority_correlated(self) -> bool:
+        """§3.4: 'for a majority of the ASes, there is a correlation
+        between the increase in traffic involving eyeball networks and
+        the total increase'."""
+        return self.correlation > 0.4
+
+
+def summarize_scatter(
+    points: Sequence[ASShift], residential_epsilon: float = 0.05
+) -> ScatterSummary:
+    """Quadrant counts, correlation, and the x-axis band of Fig 6."""
+    if len(points) < 3:
+        raise ValueError("scatter needs at least three ASes")
+    xs = np.array([p.total_shift for p in points])
+    ys = np.array([p.residential_shift for p in points])
+    quadrants: Dict[str, int] = {}
+    for p in points:
+        quadrants[p.quadrant] = quadrants.get(p.quadrant, 0) + 1
+    # Guard against degenerate variance before calling corrcoef.
+    if xs.std() == 0 or ys.std() == 0:
+        correlation = 0.0
+    else:
+        correlation = float(np.corrcoef(xs, ys)[0, 1])
+    x_axis_band = sum(
+        1
+        for p in points
+        if abs(p.residential_shift) <= residential_epsilon
+        and abs(p.total_shift) > residential_epsilon
+    )
+    return ScatterSummary(
+        n_ases=len(points),
+        quadrant_counts=quadrants,
+        correlation=correlation,
+        x_axis_band=x_axis_band,
+    )
+
+
+def group_by_workday_ratio(
+    flows: FlowTable,
+    region: timebase.Region,
+    workday_threshold: float = 1.4,
+    weekend_threshold: float = 0.9,
+) -> Dict[str, List[int]]:
+    """§3.4 grouping: workday-dominated / balanced / weekend-dominated.
+
+    The ratio compares each AS's *average daily* traffic on workdays
+    against weekend days.  Companies are expected in the
+    workday-dominated group.
+    """
+    src = flows.column("src_asn")
+    hours = flows.column("hour")
+    n_bytes = flows.column("n_bytes").astype(np.float64)
+    day_indices = hours // 24
+    weekend_days = set()
+    workday_count: Dict[int, int] = {"workday": 0, "weekend": 0}  # type: ignore[assignment]
+    n_workdays = 0
+    n_weekends = 0
+    for day_index in np.unique(day_indices):
+        date = timebase.day_index_to_date(int(day_index))
+        if timebase.behaves_like_weekend(date, region):
+            weekend_days.add(int(day_index))
+            n_weekends += 1
+        else:
+            n_workdays += 1
+    if n_workdays == 0 or n_weekends == 0:
+        raise ValueError("flows must span both workdays and weekend days")
+    is_weekend = np.isin(day_indices, np.asarray(sorted(weekend_days)))
+    uniq, inverse = np.unique(src, return_inverse=True)
+    weekend_bytes = np.bincount(
+        inverse, weights=n_bytes * is_weekend, minlength=uniq.size
+    )
+    workday_bytes = np.bincount(
+        inverse, weights=n_bytes * ~is_weekend, minlength=uniq.size
+    )
+    groups: Dict[str, List[int]] = {
+        "workday-dominated": [],
+        "balanced": [],
+        "weekend-dominated": [],
+    }
+    for asn, wd, we in zip(uniq, workday_bytes, weekend_bytes):
+        wd_daily = wd / n_workdays
+        we_daily = we / n_weekends
+        if we_daily <= 0 and wd_daily <= 0:
+            continue
+        ratio = wd_daily / we_daily if we_daily > 0 else np.inf
+        if ratio >= workday_threshold:
+            groups["workday-dominated"].append(int(asn))
+        elif ratio <= weekend_threshold:
+            groups["weekend-dominated"].append(int(asn))
+        else:
+            groups["balanced"].append(int(asn))
+    return groups

@@ -1,0 +1,99 @@
+"""Statistical significance tests for the paper's comparisons.
+
+Thin, intention-revealing wrappers over :mod:`scipy.stats` for the two
+comparison shapes the reproduction makes repeatedly:
+
+* **distribution shifts** — Fig 5 compares the member-utilization
+  distribution before vs during the lockdown; a two-sample
+  Kolmogorov-Smirnov test quantifies whether the observed right shift
+  exceeds sampling noise,
+* **level shifts** — day-level volume samples before vs after an event
+  (lockdown, relaxation); the Mann-Whitney U test makes no normality
+  assumption, matching the heavy-tailed day totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ShiftTest:
+    """Outcome of a two-sample shift test."""
+
+    statistic: float
+    p_value: float
+    direction: str  # "right" (stage larger), "left", or "none"
+
+    def significant(self, alpha: float = 0.01) -> bool:
+        """Whether the shift is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _direction(base: np.ndarray, stage: np.ndarray) -> str:
+    base_median = float(np.median(base))
+    stage_median = float(np.median(stage))
+    if stage_median > base_median:
+        return "right"
+    if stage_median < base_median:
+        return "left"
+    return "none"
+
+
+def ks_shift(
+    base: Sequence[float], stage: Sequence[float]
+) -> ShiftTest:
+    """Two-sample KS test for a distribution shift (Fig 5's ECDFs)."""
+    base_arr = np.asarray(base, dtype=np.float64)
+    stage_arr = np.asarray(stage, dtype=np.float64)
+    if base_arr.size < 3 or stage_arr.size < 3:
+        raise ValueError("both samples need at least three values")
+    result = _scipy_stats.ks_2samp(base_arr, stage_arr)
+    return ShiftTest(
+        statistic=float(result.statistic),
+        p_value=float(result.pvalue),
+        direction=_direction(base_arr, stage_arr),
+    )
+
+
+def mannwhitney_shift(
+    base: Sequence[float], stage: Sequence[float]
+) -> ShiftTest:
+    """Mann-Whitney U test for a level shift between two samples."""
+    base_arr = np.asarray(base, dtype=np.float64)
+    stage_arr = np.asarray(stage, dtype=np.float64)
+    if base_arr.size < 3 or stage_arr.size < 3:
+        raise ValueError("both samples need at least three values")
+    result = _scipy_stats.mannwhitneyu(
+        base_arr, stage_arr, alternative="two-sided"
+    )
+    return ShiftTest(
+        statistic=float(result.statistic),
+        p_value=float(result.pvalue),
+        direction=_direction(base_arr, stage_arr),
+    )
+
+
+def spearman_trend(values: Sequence[float]) -> ShiftTest:
+    """Spearman rank correlation against time (monotone-trend test).
+
+    Used to confirm, e.g., that the IXP-US growth is genuinely delayed
+    and rising through April rather than noise.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size < 4:
+        raise ValueError("trend test needs at least four values")
+    result = _scipy_stats.spearmanr(np.arange(array.size), array)
+    direction = (
+        "right" if result.statistic > 0
+        else "left" if result.statistic < 0 else "none"
+    )
+    return ShiftTest(
+        statistic=float(result.statistic),
+        p_value=float(result.pvalue),
+        direction=direction,
+    )

@@ -1,0 +1,163 @@
+"""IXP peering-graph analysis (networkx).
+
+The traffic matrix of :mod:`repro.core.matrix` induces a weighted
+directed peering graph over the IXP's members.  Its structure carries
+several of the paper's observations:
+
+* the platform is near-bipartite in *bytes* — content/hypergiant
+  members send, eyeball members receive (§3.2),
+* a small set of hub members dominates (the §3.1 "diverse customer
+  base" still concentrates volume),
+* rerouting decisions appear as edge churn: §5 attributes the IXP-US
+  VoD decline to "a traffic engineering decision of the large AS, e.g.,
+  establishing a private network interconnect instead of peering" —
+  i.e. a heavy edge leaving the public platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.matrix import TrafficMatrix
+
+
+def build_peering_graph(matrix: TrafficMatrix,
+                        min_bytes: float = 0.0) -> nx.DiGraph:
+    """The weighted directed peering graph of a traffic matrix.
+
+    Nodes are member ASNs; an edge (a, b) carries ``weight`` bytes sent
+    from a to b.  ``min_bytes`` drops negligible edges.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(matrix.asns)
+    rows, cols = np.nonzero(matrix.volumes > min_bytes)
+    for i, j in zip(rows, cols):
+        graph.add_edge(
+            matrix.asns[i], matrix.asns[j],
+            weight=float(matrix.volumes[i, j]),
+        )
+    return graph
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Structural statistics of a peering graph."""
+
+    n_members: int
+    n_edges: int
+    density: float
+    top_hubs: Tuple[Tuple[int, float], ...]  # (asn, weighted degree)
+    bipartite_byte_fraction: float  # bytes on source->sink edges
+    total_weighted_degree: float
+
+    @property
+    def hub_share(self) -> float:
+        """Share of total weighted degree carried by the listed hubs."""
+        if self.total_weighted_degree <= 0:
+            return 0.0
+        return sum(w for _, w in self.top_hubs) / self.total_weighted_degree
+
+
+def summarize_graph(
+    graph: nx.DiGraph,
+    sources: Sequence[int],
+    sinks: Sequence[int],
+    n_hubs: int = 10,
+) -> GraphSummary:
+    """Compute the structural statistics of a peering graph.
+
+    ``sources``/``sinks`` label the member roles (from
+    :func:`repro.core.matrix.source_sink_split` or the registry).
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph has no members")
+    weighted_degree = {
+        node: sum(d["weight"] for _, _, d in graph.edges(node, data=True))
+        + sum(d["weight"] for _, _, d in graph.in_edges(node, data=True))
+        for node in graph.nodes
+    }
+    hubs = tuple(
+        sorted(weighted_degree.items(), key=lambda kv: -kv[1])[:n_hubs]
+    )
+    total_bytes = sum(d["weight"] for _, _, d in graph.edges(data=True))
+    source_set, sink_set = set(sources), set(sinks)
+    bipartite_bytes = sum(
+        d["weight"]
+        for a, b, d in graph.edges(data=True)
+        if a in source_set and b in sink_set
+    )
+    return GraphSummary(
+        n_members=graph.number_of_nodes(),
+        n_edges=graph.number_of_edges(),
+        density=float(nx.density(graph)),
+        top_hubs=hubs,
+        bipartite_byte_fraction=(
+            bipartite_bytes / total_bytes if total_bytes > 0 else 0.0
+        ),
+        total_weighted_degree=float(sum(weighted_degree.values())),
+    )
+
+
+@dataclass(frozen=True)
+class EdgeChurn:
+    """Edge-level change between two peering graphs."""
+
+    appeared: Tuple[Tuple[int, int], ...]
+    disappeared: Tuple[Tuple[int, int], ...]
+    heaviest_lost_weight: float  # weight of the largest vanished edge
+
+    @property
+    def n_appeared(self) -> int:
+        """Count of new edges."""
+        return len(self.appeared)
+
+    @property
+    def n_disappeared(self) -> int:
+        """Count of vanished edges."""
+        return len(self.disappeared)
+
+
+def edge_churn(
+    base: nx.DiGraph, stage: nx.DiGraph, min_bytes: float = 0.0
+) -> EdgeChurn:
+    """Edges that appeared/disappeared between two weeks.
+
+    ``min_bytes`` filters noise edges on both sides, so churn reflects
+    real (dis)connections — e.g. a member moving a heavy flow to a
+    private interconnect.
+    """
+    def significant(graph):
+        return {
+            (a, b)
+            for a, b, d in graph.edges(data=True)
+            if d["weight"] > min_bytes
+        }
+
+    base_edges = significant(base)
+    stage_edges = significant(stage)
+    disappeared = tuple(sorted(base_edges - stage_edges))
+    appeared = tuple(sorted(stage_edges - base_edges))
+    heaviest = 0.0
+    for a, b in disappeared:
+        heaviest = max(heaviest, float(base[a][b]["weight"]))
+    return EdgeChurn(
+        appeared=appeared,
+        disappeared=disappeared,
+        heaviest_lost_weight=heaviest,
+    )
+
+
+def largest_connected_share(graph: nx.DiGraph) -> float:
+    """Fraction of members inside the largest weakly connected component.
+
+    An IXP platform should be one fabric; values below 1.0 indicate
+    isolated members (possible at low sampling fidelity).
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph has no members")
+    largest = max(nx.weakly_connected_components(graph), key=len)
+    return len(largest) / graph.number_of_nodes()

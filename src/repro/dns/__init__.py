@@ -1,0 +1,29 @@
+"""DNS/domain substrate for the domain-based VPN identification (§6).
+
+The paper mines 2.7 B domains from CT logs, 1.9 B from Rapid7 forward
+DNS, and 8 M from the Cisco Umbrella toplist for labels matching
+``*vpn*`` left of the public suffix.  We synthesize an equivalent
+corpus (:mod:`repro.dns.corpus`) over the scenario's enterprise ASes
+and provide the name-handling primitives (:mod:`repro.dns.names`) the
+classifier needs.
+"""
+
+from repro.dns.names import (
+    has_vpn_label,
+    labels_left_of_public_suffix,
+    public_suffix,
+    registrable_domain,
+    www_variant,
+)
+from repro.dns.corpus import DNSCorpus, DomainRecord, build_vpn_corpus
+
+__all__ = [
+    "public_suffix",
+    "registrable_domain",
+    "labels_left_of_public_suffix",
+    "has_vpn_label",
+    "www_variant",
+    "DNSCorpus",
+    "DomainRecord",
+    "build_vpn_corpus",
+]

@@ -1,0 +1,172 @@
+"""Synthetic domain corpus and resolution table.
+
+Stands in for the paper's CT-log / Rapid7-FDNS / Umbrella datasets.
+The corpus is generated over the scenario's enterprise and educational
+ASes: every organization gets a zone with ``www``/apex/utility hosts; a
+configurable fraction additionally operates VPN gateways under
+``*vpn*`` names.  A sub-fraction of those gateways shares the address
+of the organization's ``www`` host — the case §6's elimination step
+exists for (and deliberately undercounts, making the estimate
+conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.netbase.asdb import ASCategory, ASRegistry
+from repro.netbase.prefixes import PrefixMap, deterministic_addresses_in
+
+#: Dataset labels mirroring §6's three domain sources.
+SOURCES = ("ct-logs", "fdns", "umbrella")
+
+
+@dataclass(frozen=True)
+class DomainRecord:
+    """One domain observation from one source dataset."""
+
+    domain: str
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValueError(f"unknown domain source: {self.source!r}")
+
+
+class DNSCorpus:
+    """Domain observations plus an A-record resolution table."""
+
+    def __init__(
+        self,
+        records: Sequence[DomainRecord],
+        resolutions: Dict[str, Tuple[int, ...]],
+    ):
+        self._records = list(records)
+        self._resolutions = dict(resolutions)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[DomainRecord]:
+        """All domain observations."""
+        return list(self._records)
+
+    def all_domains(self) -> List[str]:
+        """Distinct observed domains, sorted."""
+        return sorted({r.domain for r in self._records})
+
+    def domains_from(self, source: str) -> List[str]:
+        """Distinct domains observed by one source dataset."""
+        if source not in SOURCES:
+            raise ValueError(f"unknown domain source: {source!r}")
+        return sorted({r.domain for r in self._records if r.source == source})
+
+    def resolve(self, domain: str) -> Tuple[int, ...]:
+        """A-record addresses for ``domain`` (empty if unresolvable).
+
+        Resolution is attempted for *any* name, matching how §6 resolves
+        both candidates and their ``www`` siblings, whether or not the
+        sibling was itself observed in a source dataset.
+        """
+        return self._resolutions.get(domain.lower().rstrip("."), ())
+
+    def merged_with(self, other: "DNSCorpus") -> "DNSCorpus":
+        """Union of two corpora; later resolutions win on conflict."""
+        resolutions = dict(self._resolutions)
+        resolutions.update(other._resolutions)
+        return DNSCorpus(self._records + other._records, resolutions)
+
+
+@dataclass(frozen=True)
+class VPNGroundTruth:
+    """Generator-side ground truth (never read by the analysis).
+
+    ``dedicated_gateway_ips`` are VPN gateways on their own addresses —
+    the ones the domain-based classifier can find.  ``shared_gateway_ips``
+    sit on the organization's www address and are deliberately lost by
+    the elimination step.
+    """
+
+    dedicated_gateway_ips: FrozenSet[int]
+    shared_gateway_ips: FrozenSet[int]
+
+    @property
+    def all_gateway_ips(self) -> FrozenSet[int]:
+        """Every address that actually terminates VPN traffic."""
+        return self.dedicated_gateway_ips | self.shared_gateway_ips
+
+
+_GATEWAY_NAME_PATTERNS = (
+    "vpn.{zone}",
+    "vpn2.{zone}",
+    "companyvpn{k}.{zone}",
+    "remote-vpn.{zone}",
+    "sslvpn.gw.{zone}",
+)
+
+_NOISE_HOSTS = ("mail", "cdn7", "shop", "api", "portal")
+
+_ZONE_TLDS = ("com", "de", "es", "net", "eu", "co.uk")
+
+
+def build_vpn_corpus(
+    registry: ASRegistry,
+    prefix_map: PrefixMap,
+    seed: int,
+    vpn_operator_fraction: float = 0.6,
+    shared_ip_fraction: float = 0.15,
+) -> Tuple[DNSCorpus, VPNGroundTruth]:
+    """Generate the domain corpus over enterprise/educational ASes.
+
+    Returns the corpus (analysis input) and the ground truth (generator
+    input for the ``vpn-tls`` traffic profile).
+    """
+    if not 0.0 <= vpn_operator_fraction <= 1.0:
+        raise ValueError("vpn_operator_fraction must be within [0, 1]")
+    if not 0.0 <= shared_ip_fraction <= 1.0:
+        raise ValueError("shared_ip_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    records: List[DomainRecord] = []
+    resolutions: Dict[str, Tuple[int, ...]] = {}
+    dedicated: Set[int] = set()
+    shared: Set[int] = set()
+
+    orgs = registry.by_category(ASCategory.ENTERPRISE)
+    orgs += registry.by_category(ASCategory.EDUCATIONAL)
+    for idx, info in enumerate(orgs):
+        prefixes = prefix_map.prefixes_of(info.asn)
+        if not prefixes:
+            continue
+        pool = deterministic_addresses_in(prefixes, 8, salt=info.asn)
+        zone = f"ent-{info.asn}.{_ZONE_TLDS[idx % len(_ZONE_TLDS)]}"
+        www_ip = int(pool[0])
+        source_cycle = SOURCES[idx % len(SOURCES)]
+        records.append(DomainRecord(f"www.{zone}", source_cycle))
+        records.append(DomainRecord(zone, source_cycle))
+        resolutions[f"www.{zone}"] = (www_ip,)
+        resolutions[zone] = (www_ip,)
+        for host_idx, host in enumerate(_NOISE_HOSTS[: 2 + idx % 3]):
+            name = f"{host}.{zone}"
+            records.append(DomainRecord(name, SOURCES[(idx + host_idx) % 3]))
+            resolutions[name] = (int(pool[3 + host_idx % 4]),)
+        if rng.random() >= vpn_operator_fraction:
+            continue
+        pattern = _GATEWAY_NAME_PATTERNS[idx % len(_GATEWAY_NAME_PATTERNS)]
+        gateway_name = pattern.format(zone=zone, k=1 + idx % 7)
+        is_shared = rng.random() < shared_ip_fraction
+        gateway_ip = www_ip if is_shared else int(pool[1])
+        records.append(
+            DomainRecord(gateway_name, SOURCES[(idx + 1) % 3])
+        )
+        resolutions[gateway_name] = (gateway_ip,)
+        if is_shared:
+            shared.add(gateway_ip)
+        else:
+            dedicated.add(gateway_ip)
+    corpus = DNSCorpus(records, resolutions)
+    truth = VPNGroundTruth(frozenset(dedicated), frozenset(shared))
+    return corpus, truth

@@ -1,0 +1,107 @@
+"""Domain-name handling: public suffixes, labels, the ``*vpn*`` test.
+
+Implements the name-level primitives of the paper's §6 methodology:
+identify potential VPN domains "by searching for ``*vpn*`` in any
+domain label left of the public suffix (e.g.
+``companyvpn3.example.com``)", and derive the ``www`` sibling used by
+the shared-address elimination step.
+
+The public-suffix list here is a small static subset sufficient for the
+synthetic corpus; the lookup semantics (longest matching suffix wins,
+multi-label suffixes supported) follow the real list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Static public-suffix subset used by the synthetic corpus.  Multi-
+#: label suffixes must be listed explicitly (longest match wins).
+PUBLIC_SUFFIXES = frozenset(
+    {
+        "com", "net", "org", "edu", "gov", "io", "info", "biz",
+        "de", "es", "eu", "us", "fr", "it", "nl", "ch", "at", "uk",
+        "co.uk", "ac.uk", "com.es", "org.es", "edu.es",
+    }
+)
+
+_MAX_SUFFIX_LABELS = max(s.count(".") + 1 for s in PUBLIC_SUFFIXES)
+
+
+def _normalize(domain: str) -> str:
+    domain = domain.strip().rstrip(".").lower()
+    if not domain or ".." in domain:
+        raise ValueError(f"malformed domain: {domain!r}")
+    return domain
+
+
+def public_suffix(domain: str) -> str:
+    """The public suffix of ``domain`` (longest match).
+
+    Raises ``ValueError`` when no registered suffix matches — the
+    corpus never emits such names, and the classifier treats them as
+    non-candidates upstream.
+    """
+    labels = _normalize(domain).split(".")
+    for take in range(min(_MAX_SUFFIX_LABELS, len(labels)), 0, -1):
+        candidate = ".".join(labels[-take:])
+        if candidate in PUBLIC_SUFFIXES:
+            return candidate
+    raise ValueError(f"no known public suffix in {domain!r}")
+
+
+def registrable_domain(domain: str) -> str:
+    """Public suffix plus one label (``example.com`` for any subdomain).
+
+    Raises ``ValueError`` if the domain *is* a bare public suffix.
+    """
+    domain = _normalize(domain)
+    suffix = public_suffix(domain)
+    remainder = domain[: -(len(suffix) + 1)] if domain != suffix else ""
+    if not remainder:
+        raise ValueError(f"{domain!r} has no registrable label")
+    return f"{remainder.split('.')[-1]}.{suffix}"
+
+
+def labels_left_of_public_suffix(domain: str) -> List[str]:
+    """All labels of ``domain`` left of its public suffix, left to right."""
+    domain = _normalize(domain)
+    suffix = public_suffix(domain)
+    if domain == suffix:
+        return []
+    remainder = domain[: -(len(suffix) + 1)]
+    return remainder.split(".")
+
+
+def has_vpn_label(domain: str) -> bool:
+    """The paper's candidate test: ``*vpn*`` left of the public suffix.
+
+    A label equal to or containing ``vpn`` anywhere left of the public
+    suffix qualifies; a bare ``www`` host never does (``www.`` names are
+    the elimination side of the methodology, not candidates).
+    """
+    labels = labels_left_of_public_suffix(domain)
+    if not labels:
+        return False
+    if labels == ["www"]:
+        return False
+    return any("vpn" in label for label in labels)
+
+
+def www_variant(domain: str) -> str:
+    """The ``www`` sibling under the same registrable domain.
+
+    §6 resolves ``www.<registrable domain>`` and discards candidates
+    whose addresses match it, limiting misclassification of shared-IP
+    web servers.
+    """
+    return f"www.{registrable_domain(domain)}"
+
+
+def split_host_and_zone(domain: str) -> Tuple[str, str]:
+    """Split into (host labels, registrable domain)."""
+    reg = registrable_domain(domain)
+    domain = _normalize(domain)
+    if domain == reg:
+        return "", reg
+    return domain[: -(len(reg) + 1)], reg

@@ -1,0 +1,159 @@
+"""Scalar flow record and IP protocol constants.
+
+A :class:`FlowRecord` is one NetFlow/IPFIX-style flow summary: the
+five-tuple (addresses, ports, protocol), the byte and packet counters,
+the AS numbers of the two endpoints as seen by the exporting router,
+and the hourly time bin the flow was accounted in.
+
+Analyses operate on the columnar :class:`repro.flows.table.FlowTable`;
+``FlowRecord`` exists for construction, for tests, and for readable
+iteration over small tables.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+#: IANA protocol numbers used in the paper's analyses.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_GRE = 47
+PROTO_ESP = 50
+
+_PROTO_NAMES = {
+    PROTO_ICMP: "ICMP",
+    PROTO_TCP: "TCP",
+    PROTO_UDP: "UDP",
+    PROTO_GRE: "GRE",
+    PROTO_ESP: "ESP",
+}
+
+_PROTO_NUMBERS = {name: number for number, name in _PROTO_NAMES.items()}
+
+
+def proto_name(proto: int) -> str:
+    """Human-readable name for an IP protocol number."""
+    return _PROTO_NAMES.get(proto, str(proto))
+
+
+def proto_number(name: str) -> int:
+    """IP protocol number for a protocol name (case-insensitive)."""
+    try:
+        return _PROTO_NUMBERS[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown protocol name: {name!r}") from None
+
+
+def ip_to_int(address: str) -> int:
+    """Parse a dotted-quad IPv4 address into its 32-bit integer form."""
+    return int(ipaddress.IPv4Address(address))
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address."""
+    return str(ipaddress.IPv4Address(value))
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One flow summary as exported by a border router.
+
+    Attributes:
+        hour: hourly time bin, hours since 2020-01-01 00:00
+            (see :func:`repro.timebase.hour_index`).
+        src_ip: source IPv4 address as a 32-bit integer.
+        dst_ip: destination IPv4 address as a 32-bit integer.
+        src_asn: origin AS of the source address.
+        dst_asn: origin AS of the destination address.
+        proto: IP protocol number (6 = TCP, 17 = UDP, 47 = GRE, ...).
+        src_port: transport source port (0 for port-less protocols).
+        dst_port: transport destination port (0 for port-less protocols).
+        n_bytes: bytes accounted to the flow in this bin.
+        n_packets: packets accounted to the flow in this bin.
+        connections: new connections this flow summary represents
+            (NetFlow aggregates; used by the EDU connection analysis).
+    """
+
+    hour: int
+    src_ip: int
+    dst_ip: int
+    src_asn: int
+    dst_asn: int
+    proto: int
+    src_port: int
+    dst_port: int
+    n_bytes: int
+    n_packets: int
+    connections: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hour < 0:
+            raise ValueError(f"hour must be non-negative, got {self.hour}")
+        for field_name in ("src_port", "dst_port"):
+            port = getattr(self, field_name)
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"{field_name} out of range: {port}")
+        for field_name in ("src_ip", "dst_ip"):
+            addr = getattr(self, field_name)
+            if not 0 <= addr <= 0xFFFFFFFF:
+                raise ValueError(f"{field_name} out of range: {addr}")
+        if self.n_bytes < 0 or self.n_packets < 0:
+            raise ValueError("byte and packet counters must be non-negative")
+        if self.connections < 0:
+            raise ValueError("connection counter must be non-negative")
+
+    @property
+    def src_ip_str(self) -> str:
+        """Source address in dotted-quad form."""
+        return int_to_ip(self.src_ip)
+
+    @property
+    def dst_ip_str(self) -> str:
+        """Destination address in dotted-quad form."""
+        return int_to_ip(self.dst_ip)
+
+    @property
+    def proto_name(self) -> str:
+        """Protocol name (``"TCP"``, ``"UDP"``, ...)."""
+        return proto_name(self.proto)
+
+    def service_port(self) -> int:
+        """The well-known (server-side) port of the flow.
+
+        The service sits on whichever side carries a non-ephemeral port
+        (below 49152); ties fall back to the destination port.
+        Port-less protocols report zero.
+        """
+        if self.proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
+            return 0
+        if self.src_port < 49152 <= self.dst_port:
+            return self.src_port
+        return self.dst_port
+
+    def transport_key(self) -> str:
+        """The ``PROTO/port`` label used throughout the paper.
+
+        Port-less protocols (GRE, ESP) render as their bare protocol
+        name, matching Fig 7's legend.
+        """
+        if self.proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
+            return self.proto_name
+        return f"{self.proto_name}/{self.service_port()}"
+
+    def reversed(self) -> "FlowRecord":
+        """The same flow seen in the opposite direction."""
+        return FlowRecord(
+            hour=self.hour,
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_asn=self.dst_asn,
+            dst_asn=self.src_asn,
+            proto=self.proto,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            n_bytes=self.n_bytes,
+            n_packets=self.n_packets,
+            connections=self.connections,
+        )

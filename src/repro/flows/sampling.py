@@ -1,0 +1,94 @@
+"""Sampled-NetFlow emulation and inversion.
+
+Production routers export *sampled* NetFlow: only one in N packets is
+inspected (§2's ISP operates at such scale).  Sampling changes what a
+collector sees — small flows vanish entirely, counters shrink — and
+analyses must invert it.  This module provides:
+
+* :func:`packet_sample` — emulate deterministic-rate packet sampling
+  over a flow table (binomial thinning of packet counts, proportional
+  byte attribution, zero-packet flows dropped),
+* :func:`scale_up` — the standard inversion: multiply counters by the
+  sampling rate (unbiased for byte/packet *totals*, biased low for flow
+  counts),
+* :func:`effective_flow_fraction` — the fraction of flows that survive
+  sampling, quantifying the flow-count bias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.flows.table import COLUMNS, FlowTable
+
+
+def packet_sample(table: FlowTable, rate: int, seed: int = 0) -> FlowTable:
+    """Emulate 1-in-``rate`` packet sampling.
+
+    Each flow's sampled packet count is drawn Binomial(packets, 1/rate);
+    bytes are attributed proportionally (at least one byte per sampled
+    packet); flows with no sampled packet are not exported, exactly as
+    a sampling router behaves.  ``rate=1`` returns the table unchanged.
+    """
+    if rate < 1:
+        raise ValueError(f"sampling rate must be >= 1, got {rate}")
+    if rate == 1 or len(table) == 0:
+        return table
+    rng = np.random.default_rng(seed)
+    packets = table.column("n_packets")
+    n_bytes = table.column("n_bytes")
+    sampled_packets = rng.binomial(packets, 1.0 / rate)
+    survives = sampled_packets > 0
+    bytes_per_packet = n_bytes / np.maximum(packets, 1)
+    sampled_bytes = np.maximum(
+        np.round(bytes_per_packet * sampled_packets), sampled_packets
+    ).astype(np.int64)
+    columns: Dict[str, np.ndarray] = {
+        name: table.column(name)[survives].copy() for name in COLUMNS
+    }
+    columns["n_packets"] = sampled_packets[survives].astype(np.int64)
+    columns["n_bytes"] = sampled_bytes[survives]
+    return FlowTable(columns)
+
+
+def scale_up(table: FlowTable, rate: int) -> FlowTable:
+    """Invert packet sampling by scaling the counters by ``rate``.
+
+    Unbiased for byte and packet totals; flow counts (and therefore
+    connection counts and distinct-IP counts) remain biased low — the
+    §6/§7 caveat any sampled-NetFlow analysis carries.
+    """
+    if rate < 1:
+        raise ValueError(f"sampling rate must be >= 1, got {rate}")
+    if rate == 1:
+        return table
+    columns: Dict[str, np.ndarray] = {
+        name: table.column(name).copy() for name in COLUMNS
+    }
+    columns["n_packets"] = columns["n_packets"] * rate
+    columns["n_bytes"] = columns["n_bytes"] * rate
+    return FlowTable(columns)
+
+
+def effective_flow_fraction(
+    original: FlowTable, sampled: FlowTable
+) -> float:
+    """Fraction of original flows still visible after sampling."""
+    if len(original) == 0:
+        raise ValueError("original table is empty")
+    return len(sampled) / len(original)
+
+
+def expected_survival_probability(
+    table: FlowTable, rate: int
+) -> float:
+    """Analytic expected fraction of flows surviving 1-in-``rate``
+    sampling: mean over flows of ``1 - (1 - 1/rate)^packets``."""
+    if rate < 1:
+        raise ValueError(f"sampling rate must be >= 1, got {rate}")
+    if len(table) == 0:
+        raise ValueError("table is empty")
+    packets = table.column("n_packets").astype(np.float64)
+    return float(np.mean(1.0 - np.power(1.0 - 1.0 / rate, packets)))

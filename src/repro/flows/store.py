@@ -1,0 +1,181 @@
+"""Partitioned on-disk flow store.
+
+Vantage-point captures span months (the EDU capture alone is 71 days);
+analyses usually touch a handful of named weeks.  ``FlowStore`` keeps a
+directory of per-day NPZ partitions plus a JSON manifest, so date-range
+queries load only the partitions they need:
+
+    store/
+      manifest.json          {"2020-03-25": {"flows": N, "bytes": B}, ...}
+      2020-03-25.npz         one day's flows
+      ...
+
+Writes are append-only at day granularity; re-writing a day replaces
+its partition atomically (write to a temp name, then rename).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+import numpy as np
+
+from repro import timebase
+from repro.flows.io import read_npz, write_npz
+from repro.flows.table import FlowTable
+
+PathLike = Union[str, Path]
+
+_MANIFEST = "manifest.json"
+
+
+class FlowStore:
+    """A date-partitioned flow archive under one directory."""
+
+    def __init__(self, root: PathLike):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._manifest: Dict[str, Dict[str, int]] = {}
+        manifest_path = self._root / _MANIFEST
+        if manifest_path.exists():
+            with manifest_path.open() as handle:
+                self._manifest = json.load(handle)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The store's directory."""
+        return self._root
+
+    def _partition_path(self, day: _dt.date) -> Path:
+        return self._root / f"{day.isoformat()}.npz"
+
+    def _save_manifest(self) -> None:
+        temp = self._root / (_MANIFEST + ".tmp")
+        with temp.open("w") as handle:
+            json.dump(self._manifest, handle, indent=2, sort_keys=True)
+        os.replace(temp, self._root / _MANIFEST)
+
+    # -- inventory ------------------------------------------------------------
+
+    def days(self) -> List[_dt.date]:
+        """Days with a stored partition, ascending."""
+        return sorted(_dt.date.fromisoformat(k) for k in self._manifest)
+
+    def __contains__(self, day: _dt.date) -> bool:
+        return day.isoformat() in self._manifest
+
+    def __len__(self) -> int:
+        return len(self._manifest)
+
+    def total_flows(self) -> int:
+        """Flow records across all partitions (from the manifest)."""
+        return sum(entry["flows"] for entry in self._manifest.values())
+
+    def total_bytes(self) -> int:
+        """Traffic bytes across all partitions (from the manifest)."""
+        return sum(entry["bytes"] for entry in self._manifest.values())
+
+    # -- writes -----------------------------------------------------------------
+
+    def write_day(self, day: _dt.date, flows: FlowTable) -> None:
+        """Store one day's flows, replacing any existing partition.
+
+        Every flow must fall inside ``day``'s 24 hourly bins; mixing
+        days in one partition would silently corrupt range queries.
+        """
+        start = timebase.hour_index(day, 0)
+        hours = flows.column("hour")
+        if len(flows) and (
+            int(hours.min()) < start or int(hours.max()) >= start + 24
+        ):
+            raise ValueError(
+                f"flows outside {day} cannot go into its partition"
+            )
+        final = self._partition_path(day)
+        # The temp name must end in .npz or numpy appends the suffix.
+        temp = final.with_suffix(".tmp.npz")
+        write_npz(flows, temp)
+        os.replace(temp, final)
+        self._manifest[day.isoformat()] = {
+            "flows": len(flows),
+            "bytes": flows.total_bytes(),
+        }
+        self._save_manifest()
+
+    def write_range(
+        self, flows: FlowTable, start_day: _dt.date, end_day: _dt.date
+    ) -> int:
+        """Partition a multi-day table into daily partitions.
+
+        Returns the number of partitions written.  Days inside the
+        range with no flows get an empty partition, making subsequent
+        coverage checks unambiguous.
+        """
+        if end_day < start_day:
+            raise ValueError("end_day precedes start_day")
+        hours = flows.column("hour")
+        written = 0
+        for day in timebase.iter_days(start_day, end_day):
+            day_start = timebase.hour_index(day, 0)
+            mask = (hours >= day_start) & (hours < day_start + 24)
+            self.write_day(day, flows.filter(mask))
+            written += 1
+        return written
+
+    def delete_day(self, day: _dt.date) -> None:
+        """Remove a day's partition; missing days are a no-op."""
+        key = day.isoformat()
+        if key not in self._manifest:
+            return
+        path = self._partition_path(day)
+        if path.exists():
+            path.unlink()
+        del self._manifest[key]
+        self._save_manifest()
+
+    # -- reads ---------------------------------------------------------------------
+
+    def read_day(self, day: _dt.date) -> FlowTable:
+        """Load one day's partition; raises KeyError if absent."""
+        if day not in self:
+            raise KeyError(f"no partition for {day}")
+        return read_npz(self._partition_path(day))
+
+    def read_range(
+        self, start_day: _dt.date, end_day: _dt.date,
+        require_complete: bool = False,
+    ) -> FlowTable:
+        """Load all partitions in a date range (inclusive).
+
+        Missing days are skipped unless ``require_complete`` is set.
+        """
+        if end_day < start_day:
+            raise ValueError("end_day precedes start_day")
+        tables = []
+        for day in timebase.iter_days(start_day, end_day):
+            if day in self:
+                tables.append(self.read_day(day))
+            elif require_complete:
+                raise KeyError(f"missing partition for {day}")
+        return FlowTable.concat(tables)
+
+    def read_week(self, week: timebase.Week,
+                  require_complete: bool = True) -> FlowTable:
+        """Load one named analysis week."""
+        return self.read_range(week.start, week.end, require_complete)
+
+    def iter_days(self) -> Iterator[tuple]:
+        """Yield (day, flows) over all partitions in date order.
+
+        Streams one partition at a time — pair with
+        :class:`repro.core.streaming.StreamingAggregator` for traces
+        larger than memory.
+        """
+        for day in self.days():
+            yield day, self.read_day(day)

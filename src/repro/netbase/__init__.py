@@ -1,0 +1,41 @@
+"""Network metadata substrate.
+
+Static knowledge the paper's analyses rely on:
+
+* :mod:`repro.netbase.asdb` — an AS registry with organization names and
+  categories, including the paper's Table 2 hypergiant list verbatim and
+  synthetic populations of eyeball / enterprise / hosting ASes,
+* :mod:`repro.netbase.prefixes` — deterministic IPv4 prefix allocation
+  per AS with fast address-to-AS lookup,
+* :mod:`repro.netbase.ports` — an IANA-like port/service registry
+  covering every port discussed in the paper,
+* :mod:`repro.netbase.members` — an IXP member database (PeeringDB-like)
+  with per-member port capacities.
+"""
+
+from repro.netbase.asdb import (
+    ASCategory,
+    ASInfo,
+    ASRegistry,
+    HYPERGIANTS,
+    build_default_registry,
+)
+from repro.netbase.prefixes import PrefixAllocator, PrefixMap
+from repro.netbase.ports import PortService, PortRegistry, default_port_registry
+from repro.netbase.members import IXPMember, IXPMemberDB, build_member_db
+
+__all__ = [
+    "ASCategory",
+    "ASInfo",
+    "ASRegistry",
+    "HYPERGIANTS",
+    "build_default_registry",
+    "PrefixAllocator",
+    "PrefixMap",
+    "PortService",
+    "PortRegistry",
+    "default_port_registry",
+    "IXPMember",
+    "IXPMemberDB",
+    "build_member_db",
+]

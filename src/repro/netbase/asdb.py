@@ -1,0 +1,300 @@
+"""AS registry: organizations, categories, and the hypergiant list.
+
+The paper leverages the hypergiant classification of Böttger et al.
+(Table 2, reproduced verbatim in :data:`HYPERGIANTS`), manually curated
+eyeball-AS lists (§3.4), and per-application AS filters (Table 1).
+This module provides the registry those analyses query, plus synthetic
+populations of enterprise / hosting / eyeball ASes standing in for the
+long tail of the real routing table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.timebase import Region
+
+
+class ASCategory(enum.Enum):
+    """Coarse functional category of an AS."""
+
+    HYPERGIANT = "hypergiant"
+    EYEBALL = "eyeball"
+    MOBILE = "mobile"
+    ENTERPRISE = "enterprise"
+    CLOUD = "cloud"
+    CDN = "cdn"
+    HOSTING = "hosting"
+    EDUCATIONAL = "educational"
+    GAMING = "gaming"
+    VOD = "vod"
+    SOCIAL = "social"
+    WEBCONF = "webconf"
+    COLLAB = "collab"
+    TV_STREAMING = "tv-streaming"
+    TRANSIT = "transit"
+    IXP_SERVICES = "ixp-services"
+
+
+@dataclass(frozen=True)
+class ASInfo:
+    """One autonomous system in the registry."""
+
+    asn: int
+    name: str
+    category: ASCategory
+    region: Region = Region.CENTRAL_EUROPE
+    #: Relative traffic weight within its category; the synthetic
+    #: generators use this to skew volume toward large players.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+#: The 15 hypergiant organizations of the paper's Table 2 (Appendix A),
+#: from the classification of Böttger et al.
+HYPERGIANTS: Sequence[ASInfo] = (
+    ASInfo(714, "Apple Inc", ASCategory.HYPERGIANT, weight=4.0),
+    ASInfo(16509, "Amazon.com", ASCategory.HYPERGIANT, weight=6.0),
+    ASInfo(32934, "Facebook", ASCategory.HYPERGIANT, weight=8.0),
+    ASInfo(15169, "Google Inc.", ASCategory.HYPERGIANT, weight=10.0),
+    ASInfo(20940, "Akamai Technologies", ASCategory.HYPERGIANT, weight=7.0),
+    ASInfo(10310, "Yahoo!", ASCategory.HYPERGIANT, weight=1.0),
+    ASInfo(2906, "Netflix", ASCategory.HYPERGIANT, weight=9.0),
+    ASInfo(6939, "Hurricane Electric", ASCategory.HYPERGIANT, weight=2.0),
+    ASInfo(16276, "OVH", ASCategory.HYPERGIANT, weight=2.0),
+    ASInfo(22822, "Limelight Networks Global", ASCategory.HYPERGIANT, weight=2.5),
+    ASInfo(8075, "Microsoft", ASCategory.HYPERGIANT, weight=5.0),
+    ASInfo(13414, "Twitter, Inc.", ASCategory.HYPERGIANT, weight=1.5),
+    ASInfo(46489, "Twitch", ASCategory.HYPERGIANT, weight=2.0),
+    ASInfo(13335, "Cloudflare", ASCategory.HYPERGIANT, weight=3.0),
+    ASInfo(15133, "Verizon Digital Media Services", ASCategory.HYPERGIANT, weight=2.0),
+)
+
+#: ASNs of the Table 2 hypergiants, in table order.
+HYPERGIANT_ASNS: FrozenSet[int] = frozenset(a.asn for a in HYPERGIANTS)
+
+# Well-known non-hypergiant organizations referenced by the paper's
+# application filters (§4, §5, Appendix B).
+_NAMED_ASES: Sequence[ASInfo] = (
+    # Web conferencing (Table 1: one distinct ASN — Microsoft, already a
+    # hypergiant — so a dedicated conferencing AS is Zoom).
+    ASInfo(30103, "Zoom Video Communications", ASCategory.WEBCONF, weight=3.0),
+    # Video on demand beyond Netflix.
+    ASInfo(40027, "Hulu/Disney Streaming", ASCategory.VOD, Region.US_EAST, 3.0),
+    ASInfo(35402, "EU VoD Platform", ASCategory.VOD, Region.CENTRAL_EUROPE, 2.0),
+    ASInfo(29990, "SE VoD Platform", ASCategory.VOD, Region.SOUTHERN_EUROPE, 1.5),
+    # Gaming providers (Table 1: five ASes).
+    ASInfo(32590, "Valve Corporation", ASCategory.GAMING, weight=4.0),
+    ASInfo(6507, "Riot Games", ASCategory.GAMING, weight=3.0),
+    ASInfo(57976, "Blizzard Entertainment", ASCategory.GAMING, weight=2.5),
+    ASInfo(46555, "Epic Games", ASCategory.GAMING, weight=3.0),
+    ASInfo(2639, "Nintendo/Online Gaming", ASCategory.GAMING, weight=1.5),
+    # Social media (Table 1: four ASes; Facebook/Twitter are
+    # hypergiants, so two more here).
+    ASInfo(13767, "Pinterest-like Social", ASCategory.SOCIAL, weight=1.0),
+    ASInfo(54113, "Snap-like Social", ASCategory.SOCIAL, weight=1.5),
+    # Collaborative working (Table 1: two ASes).
+    ASInfo(14061, "Collab Cloud Docs", ASCategory.COLLAB, weight=2.0),
+    ASInfo(19679, "Dropbox-like Sync", ASCategory.COLLAB, weight=2.0),
+    # CDNs beyond the hypergiant ones (Table 1: eight ASes).
+    ASInfo(54994, "CDN QuantumDelivery", ASCategory.CDN, weight=2.0),
+    ASInfo(60068, "CDN Datacamp", ASCategory.CDN, weight=1.5),
+    ASInfo(32787, "CDN Prolexic", ASCategory.CDN, weight=1.0),
+    ASInfo(12989, "CDN HighWinds", ASCategory.CDN, weight=1.0),
+    ASInfo(3356, "CDN-Lumen Edge", ASCategory.CDN, weight=2.0),
+    ASInfo(202623, "CDN EU Regional", ASCategory.CDN, Region.CENTRAL_EUROPE, 1.0),
+    ASInfo(49544, "CDN i3D", ASCategory.CDN, weight=1.0),
+    ASInfo(136787, "CDN APAC Gateway", ASCategory.CDN, weight=0.5),
+    # TV streaming over TCP/8200 (Fig 7b: Russian TV channel streaming).
+    ASInfo(199995, "International TV Streaming", ASCategory.TV_STREAMING, weight=1.5),
+    # Educational / research networks (Table 1: nine ASes).
+    ASInfo(680, "DFN German Research Network", ASCategory.EDUCATIONAL, Region.CENTRAL_EUROPE, 3.0),
+    ASInfo(766, "RedIRIS Spain", ASCategory.EDUCATIONAL, Region.SOUTHERN_EUROPE, 2.5),
+    ASInfo(1103, "SURFnet", ASCategory.EDUCATIONAL, Region.CENTRAL_EUROPE, 2.0),
+    ASInfo(2200, "Renater France", ASCategory.EDUCATIONAL, Region.CENTRAL_EUROPE, 2.0),
+    ASInfo(137, "GARR Italy", ASCategory.EDUCATIONAL, Region.SOUTHERN_EUROPE, 2.0),
+    ASInfo(11537, "Internet2", ASCategory.EDUCATIONAL, Region.US_EAST, 3.0),
+    ASInfo(668, "US DoD Education", ASCategory.EDUCATIONAL, Region.US_EAST, 1.0),
+    ASInfo(559, "SWITCH", ASCategory.EDUCATIONAL, Region.CENTRAL_EUROPE, 1.5),
+    ASInfo(786, "JANET UK", ASCategory.EDUCATIONAL, Region.CENTRAL_EUROPE, 2.0),
+    # Music streaming (Appendix B: Spotify, AS 8403).
+    ASInfo(8403, "Spotify", ASCategory.VOD, Region.CENTRAL_EUROPE, 2.0),
+)
+
+#: The EDU metropolitan network itself (16 institutions behind one AS,
+#: modeled on REDIMadrid).
+EDU_NETWORK_ASN = 25119
+
+#: The ISP-CE's own AS (residential broadband, >15M lines).
+ISP_CE_ASN = 3320
+
+#: The mobile operator's AS (>40M customers).
+MOBILE_CE_ASN = 64521
+
+
+@dataclass
+class ASRegistry:
+    """Queryable collection of :class:`ASInfo` entries."""
+
+    entries: Dict[int, ASInfo] = field(default_factory=dict)
+
+    def add(self, info: ASInfo) -> None:
+        """Register ``info``; rejects duplicate ASNs."""
+        if info.asn in self.entries:
+            raise ValueError(f"duplicate ASN {info.asn}")
+        self.entries[info.asn] = info
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.entries
+
+    def get(self, asn: int) -> Optional[ASInfo]:
+        """The entry for ``asn``, or None if unregistered."""
+        return self.entries.get(asn)
+
+    def name(self, asn: int) -> str:
+        """Organization name, or ``AS<asn>`` for unregistered ASes."""
+        info = self.entries.get(asn)
+        return info.name if info else f"AS{asn}"
+
+    def category(self, asn: int) -> Optional[ASCategory]:
+        """Category of ``asn``, or None if unregistered."""
+        info = self.entries.get(asn)
+        return info.category if info else None
+
+    def is_hypergiant(self, asn: int) -> bool:
+        """Whether ``asn`` is one of the Table 2 hypergiants."""
+        return asn in HYPERGIANT_ASNS
+
+    def by_category(self, category: ASCategory) -> List[ASInfo]:
+        """All entries of ``category``, ordered by descending weight."""
+        found = [a for a in self.entries.values() if a.category is category]
+        return sorted(found, key=lambda a: (-a.weight, a.asn))
+
+    def asns_by_category(self, category: ASCategory) -> List[int]:
+        """ASNs of :meth:`by_category`, same order."""
+        return [a.asn for a in self.by_category(category)]
+
+    def all_asns(self) -> List[int]:
+        """All registered ASNs, ascending."""
+        return sorted(self.entries)
+
+    def eyeball_asns(self, region: Optional[Region] = None) -> List[int]:
+        """ASNs of eyeball (residential broadband) networks.
+
+        These are the "manually selected eyeball networks" of §3.4; the
+        synthetic registry makes the selection explicit.
+        """
+        found = [
+            a
+            for a in self.entries.values()
+            if a.category in (ASCategory.EYEBALL, ASCategory.MOBILE)
+            and (region is None or a.region is region)
+        ]
+        return sorted(a.asn for a in found)
+
+
+def _synthetic_population(
+    base_asn: int,
+    count: int,
+    prefix: str,
+    category: ASCategory,
+    regions: Sequence[Region],
+    weights: Sequence[float],
+) -> List[ASInfo]:
+    """Deterministic synthetic AS population for the long tail."""
+    population = []
+    for i in range(count):
+        population.append(
+            ASInfo(
+                asn=base_asn + i,
+                name=f"{prefix}-{i:03d}",
+                category=category,
+                region=regions[i % len(regions)],
+                weight=weights[i % len(weights)],
+            )
+        )
+    return population
+
+
+def build_default_registry(
+    n_enterprise: int = 240,
+    n_hosting: int = 60,
+    n_eyeball_per_region: int = 8,
+    n_cloud: int = 12,
+) -> ASRegistry:
+    """Build the registry used by the synthetic vantage points.
+
+    Contains the Table 2 hypergiants, the named application/CDN/
+    educational ASes, the vantage-point ASes, and deterministic
+    synthetic populations for enterprises, hosters, eyeballs, and
+    clouds.  Sizes default to values that give the Fig 6 scatter and
+    the Fig 5 ECDF realistic population sizes while keeping generation
+    fast.
+    """
+    registry = ASRegistry()
+    for info in HYPERGIANTS:
+        registry.add(info)
+    for info in _NAMED_ASES:
+        registry.add(info)
+    registry.add(
+        ASInfo(ISP_CE_ASN, "ISP-CE Broadband", ASCategory.EYEBALL,
+               Region.CENTRAL_EUROPE, 10.0)
+    )
+    registry.add(
+        ASInfo(MOBILE_CE_ASN, "Mobile-CE Operator", ASCategory.MOBILE,
+               Region.CENTRAL_EUROPE, 6.0)
+    )
+    registry.add(
+        ASInfo(EDU_NETWORK_ASN, "EDU Metropolitan Network",
+               ASCategory.EDUCATIONAL, Region.SOUTHERN_EUROPE, 2.0)
+    )
+    regions = (Region.CENTRAL_EUROPE, Region.SOUTHERN_EUROPE, Region.US_EAST)
+    # Enterprises: mostly small, a few large (weight cycle is skewed).
+    for info in _synthetic_population(
+        base_asn=210000,
+        count=n_enterprise,
+        prefix="Enterprise",
+        category=ASCategory.ENTERPRISE,
+        regions=regions,
+        weights=(0.2, 0.5, 1.0, 0.3, 2.0, 0.4, 0.8, 0.25),
+    ):
+        registry.add(info)
+    for info in _synthetic_population(
+        base_asn=220000,
+        count=n_hosting,
+        prefix="Hosting",
+        category=ASCategory.HOSTING,
+        regions=regions,
+        weights=(1.0, 0.5, 2.0, 0.75),
+    ):
+        registry.add(info)
+    for region_idx, region in enumerate(regions):
+        for info in _synthetic_population(
+            base_asn=230000 + 100 * region_idx,
+            count=n_eyeball_per_region,
+            prefix=f"Eyeball-{region.value}",
+            category=ASCategory.EYEBALL,
+            regions=(region,),
+            weights=(4.0, 2.0, 1.0, 0.5),
+        ):
+            registry.add(info)
+    for info in _synthetic_population(
+        base_asn=240000,
+        count=n_cloud,
+        prefix="Cloud",
+        category=ASCategory.CLOUD,
+        regions=regions,
+        weights=(3.0, 1.5, 1.0),
+    ):
+        registry.add(info)
+    return registry

@@ -1,0 +1,196 @@
+"""IANA-like transport port and service registry.
+
+Covers every port the paper analyzes: the §4 top-port discussion
+(QUIC, NAT-traversal/IPsec/OpenVPN, alternative HTTP, TV streaming,
+Cloudflare load balancing, video conferencing, email, and the unknown
+TCP/25461), the §6 VPN ports, the Appendix B educational-network
+classes, and the 57 gaming ports behind Table 1's gaming filters.
+
+A port may legitimately be claimed by several applications (the paper
+acknowledges this); the registry stores the *primary* service per
+(protocol, port) pair and exposes category sets for the classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.flows.record import PROTO_TCP, PROTO_UDP, proto_name
+
+
+@dataclass(frozen=True)
+class PortService:
+    """One registered transport service."""
+
+    proto: int
+    port: int
+    service: str
+    category: str
+    description: str = ""
+
+    @property
+    def key(self) -> str:
+        """``PROTO/port`` label, e.g. ``"UDP/443"``."""
+        return f"{proto_name(self.proto)}/{self.port}"
+
+
+def _tcp(port: int, service: str, category: str, desc: str = "") -> PortService:
+    return PortService(PROTO_TCP, port, service, category, desc)
+
+
+def _udp(port: int, service: str, category: str, desc: str = "") -> PortService:
+    return PortService(PROTO_UDP, port, service, category, desc)
+
+
+#: Steam game traffic and related Valve services.
+GAMING_PORTS_STEAM: Tuple[int, ...] = tuple(range(27015, 27031)) + (27036, 27037, 4380)
+#: Xbox Live.
+GAMING_PORTS_XBOX: Tuple[int, ...] = (3074,)
+#: PlayStation Network remote play / party.
+GAMING_PORTS_PSN: Tuple[int, ...] = tuple(range(9295, 9305))
+#: Riot Games (League of Legends) game and chat traffic.
+GAMING_PORTS_RIOT: Tuple[int, ...] = tuple(range(5000, 5010)) + tuple(range(8393, 8401))
+#: Blizzard (Battle.net) services.
+GAMING_PORTS_BLIZZARD: Tuple[int, ...] = (1119, 3724, 6113)
+#: Epic Games (Fortnite) services.
+GAMING_PORTS_EPIC: Tuple[int, ...] = (9000, 9001, 9002, 9003)
+#: Nintendo online services.
+GAMING_PORTS_NINTENDO: Tuple[int, ...] = (45000, 45001)
+
+#: All 57 gaming ports used by the Table 1 gaming filters.
+GAMING_PORTS: Tuple[int, ...] = (
+    GAMING_PORTS_STEAM
+    + GAMING_PORTS_XBOX
+    + GAMING_PORTS_PSN
+    + GAMING_PORTS_RIOT
+    + GAMING_PORTS_BLIZZARD
+    + GAMING_PORTS_EPIC
+    + GAMING_PORTS_NINTENDO
+)
+
+#: Email service ports (ten distinct, Table 1).
+EMAIL_PORTS: Tuple[int, ...] = (25, 106, 110, 143, 465, 587, 993, 995, 2525, 4190)
+
+#: Messaging service ports (five distinct, Table 1).
+MESSAGING_PORTS: Tuple[int, ...] = (1863, 4244, 5222, 5223, 5242)
+
+#: Web conferencing ports (six distinct, Table 1).
+WEBCONF_PORTS: Tuple[int, ...] = (3478, 3479, 3480, 5061, 8801, 8802)
+
+#: Collaborative working ports (nine distinct, Table 1).
+COLLAB_PORTS: Tuple[int, ...] = (1352, 3220, 3221, 5005, 6000, 8443, 9443, 17500, 18080)
+
+#: Well-known VPN ports (§6 port-based classification).
+VPN_PORTS: Tuple[int, ...] = (500, 1194, 1701, 1723, 4500)
+
+
+def default_port_registry() -> "PortRegistry":
+    """The registry used by the generators and analyses."""
+    services: List[PortService] = [
+        # Web.
+        _tcp(80, "http", "web", "plain HTTP"),
+        _tcp(443, "https", "web", "HTTP over TLS"),
+        _udp(443, "quic", "quic", "QUIC (streaming by Google, Akamai, ...)"),
+        _tcp(8000, "http-alt-8000", "web", "alternative HTTP"),
+        _tcp(8080, "http-alt", "web", "alternative HTTP / proxies"),
+        # VPN / tunneling (both transports where applicable).
+        _udp(500, "isakmp", "vpn", "IPsec IKE"),
+        _udp(4500, "ipsec-nat-t", "vpn", "IPsec NAT traversal"),
+        _tcp(1194, "openvpn", "vpn", "OpenVPN default"),
+        _udp(1194, "openvpn", "vpn", "OpenVPN default"),
+        _tcp(1701, "l2tp", "vpn", "L2TP"),
+        _udp(1701, "l2tp", "vpn", "L2TP"),
+        _tcp(1723, "pptp", "vpn", "PPTP"),
+        _udp(1723, "pptp", "vpn", "PPTP"),
+        # TV streaming (Fig 7b).
+        _tcp(8200, "tv-streaming", "tv-streaming",
+             "online streaming of international TV channels"),
+        # Cloudflare load balancer (Fig 7).
+        _udp(2408, "cloudflare-lb", "cdn-lb", "Cloudflare load balancing"),
+        # Video conferencing.
+        _udp(3478, "stun", "webconf", "STUN"),
+        _udp(3479, "stun-alt", "webconf", "STUN (alternate)"),
+        _udp(3480, "skype-teams-stun", "webconf", "Skype / Microsoft Teams STUN"),
+        _tcp(5061, "sip-tls", "webconf", "SIP over TLS"),
+        _udp(8801, "zoom-connector", "webconf", "Zoom on-premise connector"),
+        _udp(8802, "zoom-connector-alt", "webconf", "Zoom connector (alternate)"),
+        # Push notifications and mobile services (Appendix B).
+        _tcp(5223, "apns", "push", "Apple push notifications"),
+        _tcp(5228, "gcm", "push", "Google play / push services"),
+        # Remote desktop (Appendix B).
+        _tcp(1494, "citrix-ica", "remote-desktop", "Citrix remote desktop"),
+        _udp(1494, "citrix-ica", "remote-desktop", "Citrix remote desktop"),
+        _tcp(3389, "rdp", "remote-desktop", "Windows remote desktop"),
+        _tcp(5938, "teamviewer", "remote-desktop", "TeamViewer"),
+        _udp(5938, "teamviewer", "remote-desktop", "TeamViewer"),
+        # SSH (Appendix B).
+        _tcp(22, "ssh", "ssh", "secure shell"),
+        # Music streaming (Appendix B: Spotify).
+        _tcp(4070, "spotify", "music", "Spotify desktop streaming"),
+        # The unknown high port of Fig 7 (mostly hosting prefixes).
+        _tcp(25461, "unknown-25461", "unknown",
+             "unmapped service on hosting prefixes"),
+    ]
+    # Category blocks below may overlap the explicit registrations above
+    # (TCP/5223 is Apple push *and* a common messaging port — the paper
+    # acknowledges ports serve multiple applications); the explicit,
+    # more specific registration wins.
+    taken = {(s.proto, s.port) for s in services}
+
+    def add_unless_taken(service: PortService) -> None:
+        if (service.proto, service.port) not in taken:
+            taken.add((service.proto, service.port))
+            services.append(service)
+
+    for port in EMAIL_PORTS:
+        add_unless_taken(_tcp(port, f"email-{port}", "email"))
+    for port in MESSAGING_PORTS:
+        add_unless_taken(_tcp(port, f"messaging-{port}", "messaging"))
+    for port in COLLAB_PORTS:
+        add_unless_taken(_tcp(port, f"collab-{port}", "collab"))
+    for port in GAMING_PORTS:
+        add_unless_taken(_udp(port, f"gaming-{port}", "gaming"))
+    return PortRegistry(services)
+
+
+class PortRegistry:
+    """Lookup of :class:`PortService` entries by (protocol, port)."""
+
+    def __init__(self, services: Sequence[PortService]):
+        self._by_key: Dict[Tuple[int, int], PortService] = {}
+        for service in services:
+            key = (service.proto, service.port)
+            if key in self._by_key:
+                raise ValueError(
+                    f"duplicate service registration for {service.key}"
+                )
+            self._by_key[key] = service
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def get(self, proto: int, port: int) -> Optional[PortService]:
+        """The service registered for (``proto``, ``port``), if any."""
+        return self._by_key.get((proto, port))
+
+    def service_name(self, proto: int, port: int) -> str:
+        """Service name, or the bare ``PROTO/port`` label if unknown."""
+        service = self.get(proto, port)
+        if service:
+            return service.service
+        return f"{proto_name(proto)}/{port}"
+
+    def category(self, proto: int, port: int) -> Optional[str]:
+        """Category of (``proto``, ``port``), or None if unregistered."""
+        service = self.get(proto, port)
+        return service.category if service else None
+
+    def ports_in_category(self, category: str) -> List[PortService]:
+        """All services tagged with ``category``, sorted by key."""
+        found = [s for s in self._by_key.values() if s.category == category]
+        return sorted(found, key=lambda s: (s.proto, s.port))
+
+    def distinct_ports_in_category(self, category: str) -> FrozenSet[int]:
+        """Distinct port numbers tagged with ``category``."""
+        return frozenset(s.port for s in self.ports_in_category(category))

@@ -1,0 +1,12 @@
+"""Result rendering: text tables and figure summaries.
+
+The paper's figures are reproduced as *data* by :mod:`repro.core`; this
+subpackage renders them for terminals and for EXPERIMENTS.md —
+:mod:`repro.report.tables` for tabular results (Tables 1-2, growth
+summaries) and :mod:`repro.report.figures` for series/heatmap sketches.
+"""
+
+from repro.report.tables import render_table
+from repro.report.figures import sparkline, render_series_table
+
+__all__ = ["render_table", "sparkline", "render_series_table"]

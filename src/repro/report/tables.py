@@ -1,0 +1,64 @@
+"""Plain-text table rendering.
+
+Produces aligned, pipe-delimited tables suitable for terminals and for
+inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.netbase.asdb import HYPERGIANTS
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table2() -> str:
+    """The paper's Table 2: the hypergiant AS list."""
+    return render_table(
+        ["Org. Name", "ASN"],
+        [(info.name, info.asn) for info in HYPERGIANTS],
+        title="Table 2: List of Hypergiant ASes",
+    )
+
+
+def render_table1(rows: Sequence[Sequence[object]]) -> str:
+    """The paper's Table 1 from :func:`repro.core.appclass.table1_rows`."""
+    display = [
+        (name, n_filters, n_asns or "-", n_ports or "-")
+        for name, n_filters, n_asns, n_ports in rows
+    ]
+    return render_table(
+        ["application class", "# filters", "# ASNs", "# ports"],
+        display,
+        title="Table 1: Overview of filters for the application classification",
+    )

@@ -1,0 +1,171 @@
+"""Hourly traffic time series.
+
+The common currency between the synthetic generators and the analysis
+pipeline: a vector of per-hour values anchored at an hourly index
+(hours since 2020-01-01 00:00, see :mod:`repro.timebase`).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro import timebase
+
+
+@dataclass(frozen=True)
+class HourlySeries:
+    """Per-hour values over a contiguous range of hourly bins."""
+
+    start_hour: int
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError("series values must be one-dimensional")
+        if self.start_hour < 0:
+            raise ValueError("start_hour must be non-negative")
+        object.__setattr__(self, "values", values)
+
+    # -- bounds --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def stop_hour(self) -> int:
+        """One past the last hourly bin."""
+        return self.start_hour + len(self)
+
+    @property
+    def start_date(self) -> _dt.date:
+        """Calendar date of the first bin."""
+        return timebase.hour_index_to_datetime(self.start_hour).date()
+
+    def covers(self, start: int, stop: int) -> bool:
+        """Whether the half-open hour range is inside the series."""
+        return self.start_hour <= start and stop <= self.stop_hour
+
+    # -- slicing ---------------------------------------------------------------
+
+    def slice_hours(self, start: int, stop: int) -> "HourlySeries":
+        """Sub-series over the half-open hourly range ``[start, stop)``."""
+        if not self.covers(start, stop):
+            raise ValueError(
+                f"range [{start}, {stop}) outside series "
+                f"[{self.start_hour}, {self.stop_hour})"
+            )
+        offset = start - self.start_hour
+        return HourlySeries(start, self.values[offset : offset + (stop - start)])
+
+    def slice_week(self, week: timebase.Week) -> "HourlySeries":
+        """Sub-series covering a seven-day analysis week."""
+        start, stop = week.hour_range()
+        return self.slice_hours(start, stop)
+
+    def slice_day(self, day: _dt.date) -> "HourlySeries":
+        """Sub-series covering one calendar day (24 bins)."""
+        start = timebase.hour_index(day, 0)
+        return self.slice_hours(start, start + 24)
+
+    def day_values(self, day: _dt.date) -> np.ndarray:
+        """The 24 hourly values of ``day``."""
+        return self.slice_day(day).values
+
+    # -- aggregation -------------------------------------------------------------
+
+    def total(self) -> float:
+        """Sum over all bins."""
+        return float(self.values.sum())
+
+    def daily_totals(self) -> Tuple[_dt.date, np.ndarray]:
+        """Per-day sums; returns (first full day, totals).
+
+        Requires the series to start at hour 0 of a day and to span
+        whole days.
+        """
+        if self.start_hour % 24 != 0 or len(self) % 24 != 0:
+            raise ValueError("series must be aligned to whole days")
+        totals = self.values.reshape(-1, 24).sum(axis=1)
+        return self.start_date, totals
+
+    def rebin(self, hours_per_bin: int) -> np.ndarray:
+        """Sum into coarser bins of ``hours_per_bin`` (must divide evenly)."""
+        if hours_per_bin <= 0 or len(self) % hours_per_bin != 0:
+            raise ValueError(
+                f"cannot rebin {len(self)} hours into bins of {hours_per_bin}"
+            )
+        return self.values.reshape(-1, hours_per_bin).sum(axis=1)
+
+    def iter_days(self) -> Iterator[Tuple[_dt.date, np.ndarray]]:
+        """Iterate (date, 24 hourly values) over whole days."""
+        if self.start_hour % 24 != 0 or len(self) % 24 != 0:
+            raise ValueError("series must be aligned to whole days")
+        day = self.start_date
+        for i in range(len(self) // 24):
+            yield day, self.values[i * 24 : (i + 1) * 24]
+            day += _dt.timedelta(days=1)
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def normalize_by(self, denominator: float) -> "HourlySeries":
+        """Series divided by a positive scalar."""
+        if denominator <= 0:
+            raise ValueError("normalization denominator must be positive")
+        return HourlySeries(self.start_hour, self.values / denominator)
+
+    def normalize_by_min(self) -> "HourlySeries":
+        """Series normalized by its own minimum (Fig 3 convention).
+
+        Raises when the minimum is not positive — the paper's vantage
+        points never see a zero-traffic hour.
+        """
+        minimum = float(self.values.min())
+        return self.normalize_by(minimum)
+
+    def normalize_by_max(self) -> "HourlySeries":
+        """Series normalized by its own maximum (Fig 2 convention)."""
+        return self.normalize_by(float(self.values.max()))
+
+    def __add__(self, other: "HourlySeries") -> "HourlySeries":
+        if not isinstance(other, HourlySeries):
+            return NotImplemented
+        if other.start_hour != self.start_hour or len(other) != len(self):
+            raise ValueError("series are not aligned")
+        return HourlySeries(self.start_hour, self.values + other.values)
+
+    def scale(self, factor: float) -> "HourlySeries":
+        """Series multiplied by a scalar."""
+        return HourlySeries(self.start_hour, self.values * factor)
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "HourlySeries":
+        """Apply an elementwise transform to the values."""
+        mapped = np.asarray(fn(self.values), dtype=np.float64)
+        if mapped.shape != self.values.shape:
+            raise ValueError("transform must preserve series length")
+        return HourlySeries(self.start_hour, mapped)
+
+
+def sum_series(series: List[HourlySeries]) -> HourlySeries:
+    """Sum aligned series; raises on empty input."""
+    if not series:
+        raise ValueError("cannot sum zero series")
+    result = series[0]
+    for other in series[1:]:
+        result = result + other
+    return result
+
+
+def full_study_series(values: np.ndarray) -> HourlySeries:
+    """Wrap values spanning the whole study period (hour 0 onward)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] != timebase.STUDY_HOURS:
+        raise ValueError(
+            f"expected {timebase.STUDY_HOURS} hourly values, "
+            f"got {values.shape[0]}"
+        )
+    return HourlySeries(0, values)

@@ -1,0 +1,24 @@
+"""Synthetic trace generation.
+
+The paper's datasets are proprietary flow traces; this subpackage
+synthesizes their closest equivalents from an explicit behavioral
+model (DESIGN.md §2):
+
+* :mod:`repro.synth.diurnal` — parametric 24-hour load shapes,
+* :mod:`repro.synth.profiles` — per-application traffic profiles with
+  lockdown responses,
+* :mod:`repro.synth.vantage` — vantage-point generators (ISP-CE,
+  IXP-CE/SE/US, EDU, mobile operator, roaming IPX),
+* :mod:`repro.synth.flowgen` — samples flow tables consistent with the
+  hourly intensity model,
+* :mod:`repro.synth.linkutil` — per-member link-utilization series,
+* :mod:`repro.synth.scenario` — one-stop construction of a coherent
+  world (AS registry, prefixes, ports, DNS corpus, members, vantages).
+
+The analysis code never reads these models' parameters; it sees only
+flows and hourly aggregates, and must re-derive the planted shifts.
+"""
+
+from repro.synth.scenario import Scenario, build_scenario
+
+__all__ = ["Scenario", "build_scenario"]

@@ -1,0 +1,198 @@
+"""Parametric 24-hour diurnal load shapes.
+
+Each shape is a vector of 24 non-negative weights with mean 1.0, so
+multiplying a daily volume by a shape yields per-hour volumes that sum
+back to the daily volume.  The shapes encode the qualitative patterns
+the paper describes:
+
+* **workday**: overnight trough, small morning commute bump, moderate
+  daytime plateau, pronounced evening peak (Fig 2a, Feb 19),
+* **weekend**: activity "gains significant momentum at about 9 to 10 am
+  already" and stays high all day (Fig 2a, Feb 22),
+* **lockdown workday**: weekend-like morning rise, a small dip at
+  lunchtime, traffic growing again toward the evening and spiking late
+  (Fig 2a, Mar 25; §3.1),
+* **business hours**: concentrated 9:00-17:00 with a lunch dip — the
+  signature of remote-work applications (VPN, conferencing, email),
+* **evening entertainment**: strongly evening-centric (pre-lockdown
+  VoD / TV streaming),
+* **flat**: near-constant background (infrastructure, CDN fill).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+HOURS = np.arange(24)
+
+
+def _from_anchors(anchors: Sequence[Tuple[float, float]]) -> np.ndarray:
+    """Build a mean-1.0 shape by periodic interpolation of anchor points.
+
+    ``anchors`` is a sequence of (hour, relative level) pairs; levels
+    between anchors are linearly interpolated on the 24-hour circle and
+    lightly smoothed so shapes look like real hourly aggregates instead
+    of piecewise-linear ramps.
+    """
+    hours = np.array([a[0] for a in anchors], dtype=np.float64)
+    levels = np.array([a[1] for a in anchors], dtype=np.float64)
+    if np.any(levels < 0):
+        raise ValueError("anchor levels must be non-negative")
+    # Periodic extension so interpolation wraps midnight correctly.
+    ext_hours = np.concatenate([hours - 24, hours, hours + 24])
+    ext_levels = np.tile(levels, 3)
+    order = np.argsort(ext_hours)
+    raw = np.interp(HOURS, ext_hours[order], ext_levels[order])
+    # Circular 3-tap smoothing.
+    smooth = (np.roll(raw, 1) + raw * 2.0 + np.roll(raw, -1)) / 4.0
+    mean = smooth.mean()
+    if mean <= 0:
+        raise ValueError("shape must have positive mass")
+    return smooth / mean
+
+
+def workday_shape() -> np.ndarray:
+    """Classic pre-pandemic workday: evening-peaked."""
+    return _from_anchors(
+        [
+            (0, 0.55),
+            (3, 0.30),
+            (5, 0.28),
+            (7, 0.45),
+            (9, 0.75),
+            (12, 0.85),
+            (14, 0.85),
+            (17, 1.05),
+            (19, 1.55),
+            (21, 1.85),
+            (22, 1.70),
+            (23, 1.10),
+        ]
+    )
+
+
+def weekend_shape() -> np.ndarray:
+    """Weekend: momentum from 9-10 am, sustained high day and evening."""
+    return _from_anchors(
+        [
+            (0, 0.65),
+            (3, 0.32),
+            (6, 0.30),
+            (8, 0.55),
+            (10, 1.10),
+            (12, 1.25),
+            (15, 1.30),
+            (18, 1.40),
+            (21, 1.75),
+            (23, 1.15),
+        ]
+    )
+
+
+def lockdown_workday_shape() -> np.ndarray:
+    """Lockdown workday: weekend-like rise, lunch dip, late-evening spike."""
+    return _from_anchors(
+        [
+            (0, 0.62),
+            (3, 0.32),
+            (6, 0.32),
+            (8, 0.70),
+            (10, 1.20),
+            (12, 1.10),
+            (13, 1.05),
+            (15, 1.25),
+            (18, 1.35),
+            (21, 1.80),
+            (22, 1.85),
+            (23, 1.15),
+        ]
+    )
+
+
+def business_hours_shape() -> np.ndarray:
+    """Office-hours concentration with a lunch dip; quiet evenings."""
+    return _from_anchors(
+        [
+            (0, 0.10),
+            (6, 0.12),
+            (8, 0.80),
+            (9, 1.90),
+            (11, 2.20),
+            (12, 1.60),
+            (13, 1.55),
+            (14, 2.10),
+            (16, 2.00),
+            (17, 1.30),
+            (19, 0.55),
+            (22, 0.20),
+        ]
+    )
+
+
+def evening_entertainment_shape() -> np.ndarray:
+    """Strongly evening-centric consumption (pre-lockdown VoD)."""
+    return _from_anchors(
+        [
+            (0, 0.55),
+            (4, 0.15),
+            (8, 0.25),
+            (12, 0.55),
+            (16, 0.90),
+            (19, 1.80),
+            (21, 2.40),
+            (22, 2.10),
+            (23, 1.10),
+        ]
+    )
+
+
+def flat_shape() -> np.ndarray:
+    """Near-constant background with a mild overnight dip."""
+    return _from_anchors([(0, 0.95), (4, 0.80), (12, 1.05), (20, 1.10)])
+
+
+def shifted(shape: np.ndarray, hours: int) -> np.ndarray:
+    """Shape rolled forward by ``hours`` (time-zone displacement).
+
+    A user community ``hours`` time zones west of the vantage point
+    produces load that appears shifted *later* in vantage-local time.
+    """
+    if shape.shape != (24,):
+        raise ValueError("shape must have 24 entries")
+    return np.roll(shape, hours % 24)
+
+
+def blend(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
+    """Convex combination ``(1-t)*a + t*b``; ``t`` clipped to [0, 1]."""
+    t = min(1.0, max(0.0, t))
+    return (1.0 - t) * a + t * b
+
+
+#: Registry of named shapes for profile definitions.
+SHAPES: Dict[str, np.ndarray] = {}
+
+
+def get_shape(name: str) -> np.ndarray:
+    """Look up a named shape (computed once, cached)."""
+    if not SHAPES:
+        SHAPES.update(
+            {
+                "workday": workday_shape(),
+                "weekend": weekend_shape(),
+                "lockdown-workday": lockdown_workday_shape(),
+                "business": business_hours_shape(),
+                "evening": evening_entertainment_shape(),
+                "flat": flat_shape(),
+                # Overseas communities (Latin America / North America as
+                # seen from Southern Europe) appear shifted 6-7 hours
+                # later in vantage-local time (§7).
+                "business-late": shifted(business_hours_shape(), 7),
+                "evening-late": shifted(evening_entertainment_shape(), 7),
+            }
+        )
+    try:
+        return SHAPES[name]
+    except KeyError:
+        raise ValueError(f"unknown diurnal shape: {name!r}") from None

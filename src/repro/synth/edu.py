@@ -1,0 +1,341 @@
+"""EDU vantage point: the academic metropolitan network of §7.
+
+Models the REDImadrid-like network connecting 16 institutions and
+~290,000 users.  Pre-pandemic, the network is dominated by *ingress*
+volume — on-campus users downloading from hypergiants and CDNs — with
+an in/out byte ratio of roughly 15:1 on workdays.  The lockdown
+(educational system closed from March 11; national state of emergency
+from March 14) empties the campuses, so:
+
+* ingress volume collapses (up to −55% total on workdays),
+* egress volume grows (users access campus-hosted services remotely),
+* incoming connections to remote-work services multiply (web 1.7x,
+  email 1.8x, VPN 4.8x, remote desktop 5.9x, SSH 9.1x — Fig 12),
+* outgoing connections (push notifications, Spotify, QUIC, hypergiant
+  web) collapse as devices leave the campus,
+* overseas students connect at local night hours (shifted diurnals).
+
+Connection directionality is *not* stored in the flows: the analysis
+(:mod:`repro.core.edu`) re-derives it from AS endpoints and port pairs,
+exactly as the paper does; P2P-like traffic with ephemeral ports on
+both sides stays undeterminable (~39% of flows in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.flows.record import PROTO_TCP, PROTO_UDP
+from repro.netbase.asdb import ASCategory
+from repro.synth.flowgen import EPHEMERAL_PORT
+from repro.synth.profiles import (
+    AppProfile,
+    FlowTemplate,
+    LockdownResponse,
+    POOL_EDU_CLIENTS,
+    POOL_EDU_INTERNAL,
+    POOL_EYEBALL_LOCAL,
+)
+from repro.synth.vantage import ProfileUse
+
+#: Quiet-weekend multiplier for campus-driven traffic: weekend volume on
+#: an academic network is a fraction of workday volume even before the
+#: pandemic.
+_QUIET_WEEKEND = 0.30
+
+
+def _campus_response(
+    workday_mults: Dict[str, float],
+    weekend_mults: Dict[str, float],
+    base_workday: str = "business",
+) -> LockdownResponse:
+    weekend = {"pre": _QUIET_WEEKEND}
+    weekend.update(weekend_mults)
+    return LockdownResponse(
+        workday_mult=workday_mults,
+        weekend_mult=weekend,
+        base_workday_shape=base_workday,
+        base_weekend_shape="flat",
+    )
+
+
+def edu_mix() -> Dict[str, ProfileUse]:
+    """The EDU vantage's profile mix.
+
+    Shares are calibrated so the pre-lockdown workday in/out byte ratio
+    is ~15:1 and the §7 growth targets are planted class by class.
+    """
+    mix: Dict[str, ProfileUse] = {}
+
+    def use(name: str, profile: AppProfile, share: float) -> None:
+        mix[name] = ProfileUse(profile, share)
+
+    # -- ingress volume: on-campus consumption (collapses) -------------------
+    use(
+        "edu-campus-ingress",
+        AppProfile(
+            name="edu-campus-ingress",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((443, 0.75), (80, 0.25)),
+                    ASCategory.HYPERGIANT, POOL_EDU_CLIENTS,
+                    weight=0.7, mean_flow_kbytes=1500.0,
+                ),
+                FlowTemplate(
+                    PROTO_TCP, ((443, 1.0),),
+                    ASCategory.CDN, POOL_EDU_CLIENTS,
+                    weight=0.3, mean_flow_kbytes=1300.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 0.85, "lockdown": 0.42, "relaxation": 0.38},
+                {"lockdown": 0.33, "relaxation": 0.30},
+            ),
+            annual_growth=0.05,
+        ),
+        0.70,
+    )
+    use(
+        "edu-quic-ingress",
+        AppProfile(
+            name="edu-quic-ingress",
+            templates=(
+                FlowTemplate(
+                    PROTO_UDP, ((443, 1.0),),
+                    (15169, 20940), POOL_EDU_CLIENTS,
+                    mean_flow_kbytes=1200.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 0.85, "lockdown": 0.40, "relaxation": 0.35},
+                {"lockdown": 0.33},
+            ),
+            annual_growth=0.05,
+        ),
+        0.06,
+    )
+    use(
+        "edu-campus-egress",
+        AppProfile(
+            name="edu-campus-egress",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((443, 0.8), (80, 0.2)),
+                    POOL_EDU_CLIENTS, ASCategory.HYPERGIANT,
+                    mean_flow_kbytes=300.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 0.85, "lockdown": 0.45, "relaxation": 0.42},
+                {"lockdown": 0.40},
+            ),
+            annual_growth=0.05,
+        ),
+        0.012,
+    )
+
+    # -- remote access: incoming connections to campus services --------------
+    use(
+        "edu-web-served",
+        AppProfile(
+            name="edu-web-served",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP,
+                    ((443, 0.7), (80, 0.15), (8080, 0.1), (8000, 0.05)),
+                    POOL_EDU_INTERNAL, POOL_EYEBALL_LOCAL,
+                    mean_flow_kbytes=50.0,
+                ),
+            ),
+            response=_campus_response(
+                # National users access teaching material during
+                # (extended) working hours: 10 am - 9 pm with a lunch
+                # valley (§7).
+                {"response": 1.1, "lockdown": 1.7, "relaxation": 2.3},
+                {"lockdown": 0.55, "relaxation": 0.60},
+                base_workday="business",
+            ),
+            annual_growth=0.05,
+        ),
+        0.015,
+    )
+    use(
+        "edu-overseas-web-served",
+        AppProfile(
+            name="edu-overseas-web-served",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((443, 0.85), (80, 0.15)),
+                    POOL_EDU_INTERNAL, ASCategory.EYEBALL,
+                    mean_flow_kbytes=100.0,
+                ),
+            ),
+            response=LockdownResponse(
+                workday_mult={"response": 1.2, "lockdown": 1.9,
+                              "relaxation": 2.8},
+                weekend_mult={"pre": 0.5, "lockdown": 1.2,
+                              "relaxation": 1.6},
+                # Overseas (Latin American / North American) students
+                # connect in their local evenings: vantage-local peaks
+                # land after midnight (§7: "peak from midnight until
+                # 7 am").
+                base_workday_shape="evening-late",
+                base_weekend_shape="evening-late",
+            ),
+            annual_growth=0.05,
+        ),
+        0.004,
+    )
+    use(
+        "edu-email-in",
+        AppProfile(
+            name="edu-email-in",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP,
+                    ((993, 0.4), (25, 0.2), (587, 0.15), (465, 0.1),
+                     (995, 0.05), (143, 0.05), (110, 0.05)),
+                    POOL_EYEBALL_LOCAL, POOL_EDU_INTERNAL,
+                    mean_flow_kbytes=20.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 1.1, "lockdown": 1.8, "relaxation": 1.8},
+                {"lockdown": 0.60},
+            ),
+            annual_growth=0.05,
+        ),
+        0.006,
+    )
+    use(
+        "edu-vpn-served",
+        AppProfile(
+            name="edu-vpn-served",
+            templates=(
+                FlowTemplate(
+                    PROTO_UDP, ((4500, 0.5), (500, 0.2), (1194, 0.3)),
+                    POOL_EDU_INTERNAL, POOL_EYEBALL_LOCAL,
+                    weight=0.8, mean_flow_kbytes=200.0,
+                ),
+                FlowTemplate(
+                    PROTO_TCP, ((1194, 1.0),),
+                    POOL_EDU_INTERNAL, POOL_EYEBALL_LOCAL,
+                    weight=0.2, mean_flow_kbytes=200.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 1.6, "lockdown": 4.8, "relaxation": 4.8},
+                {"lockdown": 2.0, "relaxation": 2.0},
+            ),
+            annual_growth=0.05,
+        ),
+        0.006,
+    )
+    use(
+        "edu-rdp-served",
+        AppProfile(
+            name="edu-rdp-served",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((3389, 0.6), (1494, 0.2), (5938, 0.2)),
+                    POOL_EDU_INTERNAL, POOL_EYEBALL_LOCAL,
+                    mean_flow_kbytes=150.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 1.8, "lockdown": 5.9, "relaxation": 5.9},
+                {"lockdown": 2.5},
+            ),
+            annual_growth=0.05,
+        ),
+        0.005,
+    )
+    use(
+        "edu-ssh-served",
+        AppProfile(
+            name="edu-ssh-served",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((22, 1.0),),
+                    POOL_EDU_INTERNAL, POOL_EYEBALL_LOCAL,
+                    mean_flow_kbytes=100.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 2.0, "lockdown": 9.1, "relaxation": 9.1},
+                {"lockdown": 4.0},
+                base_workday="flat",
+            ),
+            annual_growth=0.05,
+        ),
+        0.003,
+    )
+
+    # -- outgoing connections that collapse with empty campuses --------------
+    use(
+        "edu-push-egress",
+        AppProfile(
+            name="edu-push-egress",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((5223, 0.5), (5228, 0.5)),
+                    POOL_EDU_CLIENTS, (714, 15169),
+                    mean_flow_kbytes=12.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 0.8, "lockdown": 0.35, "relaxation": 0.35},
+                {"lockdown": 0.40},
+                base_workday="flat",
+            ),
+            annual_growth=0.05,
+        ),
+        0.002,
+    )
+    use(
+        "edu-spotify-egress",
+        AppProfile(
+            name="edu-spotify-egress",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((4070, 1.0),),
+                    POOL_EDU_CLIENTS, (8403,),
+                    mean_flow_kbytes=60.0,
+                ),
+            ),
+            response=_campus_response(
+                {"response": 0.7, "lockdown": 0.17, "relaxation": 0.17},
+                {"lockdown": 0.25},
+            ),
+            annual_growth=0.05,
+        ),
+        0.002,
+    )
+
+    # -- P2P-like traffic with no well-known port on either side -------------
+    use(
+        "edu-p2p-unknown",
+        AppProfile(
+            name="edu-p2p-unknown",
+            templates=(
+                FlowTemplate(
+                    PROTO_TCP, ((EPHEMERAL_PORT, 1.0),),
+                    POOL_EDU_CLIENTS, ASCategory.HOSTING,
+                    weight=0.5, mean_flow_kbytes=25.0,
+                ),
+                FlowTemplate(
+                    PROTO_UDP, ((EPHEMERAL_PORT, 1.0),),
+                    ASCategory.HOSTING, POOL_EDU_CLIENTS,
+                    weight=0.5, mean_flow_kbytes=25.0,
+                ),
+            ),
+            response=_campus_response(
+                {"lockdown": 1.0},
+                {},
+                base_workday="flat",
+            ),
+            annual_growth=0.05,
+        ),
+        0.022,
+    )
+    return mix

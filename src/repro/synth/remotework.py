@@ -1,0 +1,192 @@
+"""Per-AS enterprise traffic at the ISP, including transit (Fig 6).
+
+§3.4 uses the ISP-CE dataset *including transit* to compute, per AS,
+the received/transmitted volume and the share exchanged with manually
+selected eyeball networks.  Fig 6 then scatters each AS's normalized
+volume shift (February vs. March) against its residential-volume shift.
+
+Each enterprise AS gets a persistent behavior type:
+
+* ``remote-work`` — companies that enabled working from home: traffic
+  to/from eyeball networks grows, total grows (the diagonal cloud),
+* ``transit`` — ASes with (almost) no residential traffic: total shifts
+  either way, residential stays ~0 (the x-axis band),
+* ``declining-remote`` — businesses whose overall demand falls while
+  their residential traffic grows (the paper's top-left quadrant:
+  services less popular during lockdown, or no Internet-"internal"
+  traffic),
+* ``declining`` — businesses that simply wound down.
+
+Flows are emitted as per-(AS, hour, peer-kind) summaries — one record
+per aggregation bucket, which is what NetFlow effectively provides once
+aggregated for this analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro import timebase
+from repro.flows.record import PROTO_TCP
+from repro.flows.table import FlowTable
+from repro.netbase.asdb import ASCategory, ASRegistry
+from repro.netbase.prefixes import PrefixMap, deterministic_addresses_in
+from repro.synth import diurnal
+from repro.synth.flowgen import BYTES_PER_UNIT, EPHEMERAL_START
+
+#: Behavior type shares (must sum to 1).
+BEHAVIOR_SHARES: Tuple[Tuple[str, float], ...] = (
+    ("remote-work", 0.55),
+    ("transit", 0.15),
+    ("declining-remote", 0.12),
+    ("declining", 0.18),
+)
+
+
+@dataclass(frozen=True)
+class EnterpriseBehavior:
+    """Persistent traffic behavior of one enterprise AS."""
+
+    asn: int
+    kind: str
+    base_total: float  # pre-pandemic daily volume, model units
+    residential_share: float  # share exchanged with eyeball networks
+    lockdown_res_mult: float  # lockdown multiplier on residential part
+    lockdown_other_mult: float  # lockdown multiplier on the rest
+
+
+def _rng_for(seed: int, asn: int) -> np.random.Generator:
+    digest = hashlib.blake2b(
+        f"remotework|{seed}|{asn}".encode(), digest_size=8
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest, "big"))
+
+
+def assign_behaviors(
+    registry: ASRegistry, seed: int
+) -> Dict[int, EnterpriseBehavior]:
+    """Deterministically assign a behavior to every enterprise AS."""
+    behaviors: Dict[int, EnterpriseBehavior] = {}
+    kinds = [k for k, _ in BEHAVIOR_SHARES]
+    probs = np.array([s for _, s in BEHAVIOR_SHARES])
+    for info in registry.by_category(ASCategory.ENTERPRISE):
+        rng = _rng_for(seed, info.asn)
+        kind = kinds[int(rng.choice(len(kinds), p=probs))]
+        base_total = float(rng.lognormal(0.0, 0.8)) * info.weight
+        if kind == "remote-work":
+            res_share = float(rng.uniform(0.3, 0.8))
+            res_mult = float(rng.uniform(1.3, 2.3))
+            other_mult = float(rng.uniform(1.0, 1.35))
+        elif kind == "transit":
+            res_share = float(rng.uniform(0.0, 0.03))
+            res_mult = 1.0
+            other_mult = float(rng.uniform(0.65, 1.40))
+        elif kind == "declining-remote":
+            res_share = float(rng.uniform(0.15, 0.45))
+            res_mult = float(rng.uniform(1.15, 1.7))
+            other_mult = float(rng.uniform(0.35, 0.65))
+        else:  # declining
+            res_share = float(rng.uniform(0.1, 0.5))
+            res_mult = float(rng.uniform(0.5, 0.85))
+            other_mult = float(rng.uniform(0.45, 0.8))
+        behaviors[info.asn] = EnterpriseBehavior(
+            asn=info.asn,
+            kind=kind,
+            base_total=base_total,
+            residential_share=res_share,
+            lockdown_res_mult=res_mult,
+            lockdown_other_mult=other_mult,
+        )
+    return behaviors
+
+
+def generate_enterprise_flows(
+    registry: ASRegistry,
+    prefix_map: PrefixMap,
+    behaviors: Dict[int, EnterpriseBehavior],
+    eyeball_asns: Sequence[int],
+    week: timebase.Week,
+    lockdown_active: bool,
+    seed: int,
+) -> FlowTable:
+    """Per-AS aggregated flow summaries for one analysis week.
+
+    Emits, for every enterprise AS and hour, one record toward the
+    eyeball group (residential) and one toward a non-eyeball peer
+    (transit/other), with the behavior's multipliers applied when
+    ``lockdown_active``.
+    """
+    if not eyeball_asns:
+        raise ValueError("eyeball AS list must be non-empty")
+    shape = diurnal.get_shape("business")
+    weekend_shape = diurnal.get_shape("flat")
+    hosting = registry.asns_by_category(ASCategory.HOSTING)
+    asns = sorted(behaviors)
+    rows: Dict[str, List[int]] = {
+        name: []
+        for name in (
+            "hour", "src_ip", "dst_ip", "src_asn", "dst_asn",
+            "proto", "src_port", "dst_port", "n_bytes", "n_packets",
+            "connections",
+        )
+    }
+    for asn in asns:
+        behavior = behaviors[asn]
+        rng = _rng_for(seed + 1, asn)
+        own_ip = int(
+            deterministic_addresses_in(
+                prefix_map.prefixes_of(asn), 1, salt=asn
+            )[0]
+        )
+        eyeball = int(eyeball_asns[asn % len(eyeball_asns)])
+        eyeball_ip = int(
+            deterministic_addresses_in(
+                prefix_map.prefixes_of(eyeball), 1, salt=asn
+            )[0]
+        )
+        peer = int(hosting[asn % len(hosting)]) if hosting else eyeball
+        peer_ip = int(
+            deterministic_addresses_in(
+                prefix_map.prefixes_of(peer), 1, salt=asn
+            )[0]
+        )
+        res_mult = behavior.lockdown_res_mult if lockdown_active else 1.0
+        other_mult = behavior.lockdown_other_mult if lockdown_active else 1.0
+        res_daily = behavior.base_total * behavior.residential_share * res_mult
+        other_daily = (
+            behavior.base_total * (1.0 - behavior.residential_share) * other_mult
+        )
+        for day in week.days():
+            weekend = timebase.is_weekend(day)
+            day_shape = weekend_shape if weekend else shape
+            weekend_factor = 0.45 if weekend else 1.0
+            day_noise = float(rng.lognormal(0.0, 0.08))
+            base_hour = timebase.hour_index(day, 0)
+            for hour in range(24):
+                level = day_shape[hour] / 24.0 * weekend_factor * day_noise
+                for daily, peer_asn, peer_addr in (
+                    (res_daily, eyeball, eyeball_ip),
+                    (other_daily, peer, peer_ip),
+                ):
+                    volume = daily * level
+                    n_bytes = int(round(volume * BYTES_PER_UNIT))
+                    if n_bytes <= 0:
+                        continue
+                    rows["hour"].append(base_hour + hour)
+                    rows["src_ip"].append(own_ip)
+                    rows["dst_ip"].append(peer_addr)
+                    rows["src_asn"].append(asn)
+                    rows["dst_asn"].append(peer_asn)
+                    rows["proto"].append(PROTO_TCP)
+                    rows["src_port"].append(443)
+                    rows["dst_port"].append(EPHEMERAL_START)
+                    rows["n_bytes"].append(n_bytes)
+                    rows["n_packets"].append(max(1, n_bytes // 900))
+                    rows["connections"].append(1)
+    return FlowTable.from_arrays(
+        **{name: np.asarray(col) for name, col in rows.items()}
+    )

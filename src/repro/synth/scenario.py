@@ -1,0 +1,263 @@
+"""One-stop construction of a coherent synthetic world.
+
+A :class:`Scenario` bundles everything the analyses need: the AS
+registry, prefix allocations, port registry, DNS corpus, IXP member
+rosters, and the seven vantage points of the paper.  All randomness is
+derived from one integer seed, so a scenario is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import timebase
+from repro.dns.corpus import DNSCorpus, VPNGroundTruth, build_vpn_corpus
+from repro.netbase.asdb import (
+    ASCategory,
+    ASRegistry,
+    EDU_NETWORK_ASN,
+    ISP_CE_ASN,
+    MOBILE_CE_ASN,
+    build_default_registry,
+)
+from repro.netbase.members import IXPMemberDB, build_member_db
+from repro.netbase.ports import PortRegistry, default_port_registry
+from repro.netbase.prefixes import PrefixAllocator, PrefixMap
+from repro.synth import edu as edu_mixes
+from repro.synth import mixes
+from repro.synth import remotework
+from repro.synth.vantage import VantagePoint
+
+#: Default scenario seed (the study's lockdown month).
+DEFAULT_SEED = 20200316
+
+
+@dataclass
+class Scenario:
+    """A fully constructed synthetic world."""
+
+    seed: int
+    registry: ASRegistry
+    prefix_map: PrefixMap
+    ports: PortRegistry
+    dns_corpus: DNSCorpus
+    vpn_truth: VPNGroundTruth
+    members: Dict[str, IXPMemberDB]
+    vantages: Dict[str, VantagePoint]
+    enterprise_behaviors: Dict[int, remotework.EnterpriseBehavior]
+
+    def vantage(self, name: str) -> VantagePoint:
+        """Look up a vantage point by name (``isp-ce``, ``ixp-ce``, ...)."""
+        try:
+            return self.vantages[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown vantage {name!r}; have {sorted(self.vantages)}"
+            ) from None
+
+    @property
+    def isp_ce(self) -> VantagePoint:
+        """The Central European ISP."""
+        return self.vantages["isp-ce"]
+
+    @property
+    def ixp_ce(self) -> VantagePoint:
+        """The Central European IXP."""
+        return self.vantages["ixp-ce"]
+
+    @property
+    def ixp_se(self) -> VantagePoint:
+        """The Southern European IXP."""
+        return self.vantages["ixp-se"]
+
+    @property
+    def ixp_us(self) -> VantagePoint:
+        """The US East Coast IXP."""
+        return self.vantages["ixp-us"]
+
+    @property
+    def edu(self) -> VantagePoint:
+        """The educational metropolitan network."""
+        return self.vantages["edu"]
+
+    def self_check(self) -> List[str]:
+        """Validate the scenario's internal consistency.
+
+        Returns a list of problem descriptions (empty = healthy):
+
+        * every registered AS holds prefixes, and sampled flows carry
+          addresses inside their AS's prefixes,
+        * every VPN gateway address is owned by a registered AS,
+        * every vantage produces positive traffic on a probe day,
+        * IXP member rosters only reference registered ASes.
+        """
+        problems: List[str] = []
+        for asn in self.registry.all_asns():
+            if not self.prefix_map.prefixes_of(asn):
+                problems.append(f"AS {asn} has no allocated prefixes")
+        for address in sorted(self.vpn_truth.all_gateway_ips)[:50]:
+            if self.prefix_map.asn_for(address) <= 0:
+                problems.append(
+                    f"VPN gateway {address} outside allocated space"
+                )
+        probe_day = _dt.date(2020, 2, 19)
+        for name, vantage in self.vantages.items():
+            series = vantage.hourly_traffic(probe_day, probe_day)
+            if series.total() <= 0:
+                problems.append(f"vantage {name} generates no traffic")
+        import numpy as _np
+
+        flows = self.isp_ce.generate_flows(probe_day, probe_day, 0.2)
+        src_owner = self.prefix_map.asn_for_many(flows.column("src_ip"))
+        if not _np.array_equal(src_owner, flows.column("src_asn")):
+            problems.append("ISP flow source addresses violate prefix map")
+        for ixp_name, members in self.members.items():
+            unknown = [a for a in members.asns if a not in self.registry]
+            if unknown:
+                problems.append(
+                    f"{ixp_name} has unregistered members: {unknown[:3]}"
+                )
+        return problems
+
+    def generate_remote_work_flows(
+        self, week: timebase.Week, lockdown_active: bool
+    ):
+        """ISP flows (incl. transit) for the Fig 6 per-AS analysis."""
+        eyeballs = self.registry.eyeball_asns(timebase.Region.CENTRAL_EUROPE)
+        return remotework.generate_enterprise_flows(
+            self.registry,
+            self.prefix_map,
+            self.enterprise_behaviors,
+            eyeballs,
+            week,
+            lockdown_active,
+            seed=self.seed + 77,
+        )
+
+
+def _region_eyeballs(registry: ASRegistry, region: timebase.Region) -> List[int]:
+    return [
+        info.asn
+        for info in registry.by_category(ASCategory.EYEBALL)
+        if info.region is region
+    ]
+
+
+def build_scenario(
+    seed: int = DEFAULT_SEED,
+    n_enterprise: int = 240,
+    n_hosting: int = 60,
+) -> Scenario:
+    """Construct the default scenario.
+
+    ``n_enterprise``/``n_hosting`` shrink the synthetic AS populations
+    for fast tests; defaults give the Fig 5/6 analyses realistic
+    population sizes.
+    """
+    registry = build_default_registry(
+        n_enterprise=n_enterprise, n_hosting=n_hosting
+    )
+    prefix_map = PrefixAllocator(registry).allocate()
+    ports = default_port_registry()
+    dns_corpus, vpn_truth = build_vpn_corpus(
+        registry, prefix_map, seed=seed + 1
+    )
+    gateway_ips = sorted(vpn_truth.all_gateway_ips)
+
+    all_asns = registry.all_asns()
+    upgrade_window = (_dt.date(2020, 3, 12), _dt.date(2020, 4, 20))
+    members = {
+        "ixp-ce": build_member_db(
+            "ixp-ce", all_asns, seed=seed + 11,
+            lockdown_upgrade_gbps=1500, upgrade_window=upgrade_window,
+        ),
+        "ixp-se": build_member_db(
+            "ixp-se", all_asns[: max(20, len(all_asns) // 2)], seed=seed + 12,
+            lockdown_upgrade_gbps=700, upgrade_window=upgrade_window,
+        ),
+        "ixp-us": build_member_db(
+            "ixp-us", all_asns[: max(30, 2 * len(all_asns) // 3)],
+            seed=seed + 13,
+            lockdown_upgrade_gbps=600, upgrade_window=upgrade_window,
+        ),
+    }
+
+    ce_eyeballs = [ISP_CE_ASN] + _region_eyeballs(
+        registry, timebase.Region.CENTRAL_EUROPE
+    )
+    se_eyeballs = _region_eyeballs(registry, timebase.Region.SOUTHERN_EUROPE)
+    us_eyeballs = _region_eyeballs(registry, timebase.Region.US_EAST)
+
+    vantages = {
+        "isp-ce": VantagePoint(
+            name="isp-ce", kind="isp",
+            region=timebase.Region.CENTRAL_EUROPE,
+            mix=mixes.isp_ce_mix(), base_daily_volume=1000.0,
+            registry=registry, prefix_map=prefix_map,
+            local_eyeball_asns=[ISP_CE_ASN],
+            seed=seed + 21, vpn_gateway_ips=gateway_ips,
+        ),
+        "ixp-ce": VantagePoint(
+            name="ixp-ce", kind="ixp",
+            region=timebase.Region.CENTRAL_EUROPE,
+            mix=mixes.ixp_ce_mix(), base_daily_volume=3000.0,
+            registry=registry, prefix_map=prefix_map,
+            local_eyeball_asns=ce_eyeballs,
+            seed=seed + 22, vpn_gateway_ips=gateway_ips,
+        ),
+        "ixp-se": VantagePoint(
+            name="ixp-se", kind="ixp",
+            region=timebase.Region.SOUTHERN_EUROPE,
+            mix=mixes.ixp_se_mix(), base_daily_volume=200.0,
+            registry=registry, prefix_map=prefix_map,
+            local_eyeball_asns=se_eyeballs,
+            seed=seed + 23, vpn_gateway_ips=gateway_ips,
+        ),
+        "ixp-us": VantagePoint(
+            name="ixp-us", kind="ixp",
+            region=timebase.Region.US_EAST,
+            mix=mixes.ixp_us_mix(), base_daily_volume=250.0,
+            registry=registry, prefix_map=prefix_map,
+            local_eyeball_asns=us_eyeballs,
+            seed=seed + 24, vpn_gateway_ips=gateway_ips,
+        ),
+        "edu": VantagePoint(
+            name="edu", kind="edu",
+            region=timebase.Region.SOUTHERN_EUROPE,
+            mix=edu_mixes.edu_mix(), base_daily_volume=400.0,
+            registry=registry, prefix_map=prefix_map,
+            local_eyeball_asns=se_eyeballs,
+            seed=seed + 25,
+            edu_internal_asns=[EDU_NETWORK_ASN],
+        ),
+        "mobile-ce": VantagePoint(
+            name="mobile-ce", kind="mobile",
+            region=timebase.Region.CENTRAL_EUROPE,
+            mix=mixes.mobile_ce_mix(), base_daily_volume=400.0,
+            registry=registry, prefix_map=prefix_map,
+            local_eyeball_asns=[MOBILE_CE_ASN],
+            seed=seed + 26,
+        ),
+        "ipx": VantagePoint(
+            name="ipx", kind="ipx",
+            region=timebase.Region.CENTRAL_EUROPE,
+            mix=mixes.ipx_mix(), base_daily_volume=30.0,
+            registry=registry, prefix_map=prefix_map,
+            local_eyeball_asns=[MOBILE_CE_ASN],
+            seed=seed + 27,
+        ),
+    }
+    behaviors = remotework.assign_behaviors(registry, seed=seed + 31)
+    return Scenario(
+        seed=seed,
+        registry=registry,
+        prefix_map=prefix_map,
+        ports=ports,
+        dns_corpus=dns_corpus,
+        vpn_truth=vpn_truth,
+        members=members,
+        vantages=vantages,
+        enterprise_behaviors=behaviors,
+    )

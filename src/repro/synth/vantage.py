@@ -1,0 +1,231 @@
+"""Vantage-point traffic model.
+
+A :class:`VantagePoint` combines an application-profile mix with a
+region timeline and a flow sampler.  It exposes the two data products
+the analyses consume:
+
+* **hourly aggregates** (:meth:`VantagePoint.hourly_traffic`) — the
+  intensity model evaluated over a date range, used by the volume
+  figures (Figs 1-4), and
+* **flow tables** (:meth:`VantagePoint.generate_flows`) — samples
+  consistent with those aggregates, used by everything flow-level
+  (Figs 5-12).
+
+Determinism: aggregates are exact functions of (seed, mix, timeline);
+flow sampling is seeded per (vantage, date range) so repeated calls
+with the same arguments return identical tables.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro import timebase
+from repro.flows.table import FlowTable
+from repro.netbase.asdb import ASRegistry
+from repro.netbase.prefixes import PrefixMap
+from repro.series import HourlySeries
+from repro.synth import diurnal
+from repro.synth.flowgen import FlowSampler
+from repro.synth.profiles import AppProfile
+
+
+@dataclass(frozen=True)
+class ProfileUse:
+    """One profile's weight inside a vantage point's traffic mix."""
+
+    profile: AppProfile
+    share: float
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ValueError(
+                f"profile share must be positive ({self.profile.name})"
+            )
+
+
+def _stable_hash(*parts: object) -> int:
+    digest = hashlib.blake2b(
+        "|".join(str(p) for p in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class VantagePoint:
+    """A traffic vantage point (ISP, IXP, mobile operator, EDU, ...)."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        region: timebase.Region,
+        mix: Mapping[str, ProfileUse],
+        base_daily_volume: float,
+        registry: ASRegistry,
+        prefix_map: PrefixMap,
+        local_eyeball_asns: Sequence[int],
+        seed: int,
+        vpn_gateway_ips: Sequence[int] = (),
+        edu_internal_asns: Sequence[int] = (),
+        hour_noise_sigma: float = 0.02,
+        day_noise_sigma: float = 0.025,
+    ):
+        if kind not in ("isp", "ixp", "edu", "mobile", "ipx"):
+            raise ValueError(f"unknown vantage kind: {kind!r}")
+        if base_daily_volume <= 0:
+            raise ValueError("base_daily_volume must be positive")
+        if not mix:
+            raise ValueError("vantage needs a non-empty profile mix")
+        self.name = name
+        self.kind = kind
+        self.region = region
+        self.timeline = timebase.timeline_for(region)
+        self.mix = dict(mix)
+        self.base_daily_volume = base_daily_volume
+        self.seed = seed
+        self._registry = registry
+        self._prefix_map = prefix_map
+        self._local_eyeballs = tuple(local_eyeball_asns)
+        self._vpn_gateway_ips = tuple(vpn_gateway_ips)
+        self._edu_internal = tuple(edu_internal_asns)
+        self._hour_noise_sigma = hour_noise_sigma
+        self._day_noise_sigma = day_noise_sigma
+        self._noise_cache: Dict[str, np.ndarray] = {}
+
+    # -- intensity model -------------------------------------------------------
+
+    def profile_names(self) -> List[str]:
+        """Names of the profiles in this vantage's mix, sorted."""
+        return sorted(self.mix)
+
+    def _noise_for(self, profile_name: str) -> np.ndarray:
+        """Multiplicative noise over the full study period (cached).
+
+        Combines hour-level jitter with slower day-level jitter so the
+        same calendar hour gets the same noise regardless of the query
+        range.
+        """
+        noise = self._noise_cache.get(profile_name)
+        if noise is None:
+            rng = np.random.default_rng(
+                _stable_hash(self.seed, self.name, profile_name)
+            )
+            hour_noise = rng.lognormal(
+                0.0, self._hour_noise_sigma, timebase.STUDY_HOURS
+            )
+            day_noise = rng.lognormal(
+                0.0, self._day_noise_sigma, timebase.STUDY_DAYS
+            )
+            noise = hour_noise * np.repeat(day_noise, 24)
+            self._noise_cache[profile_name] = noise
+        return noise
+
+    def profile_volumes(
+        self,
+        profile_name: str,
+        start_day: _dt.date,
+        end_day: _dt.date,
+    ) -> HourlySeries:
+        """Hourly volume (model units) of one profile over a date range.
+
+        ``end_day`` is inclusive.  One model unit corresponds to
+        :data:`repro.synth.flowgen.BYTES_PER_UNIT` bytes in sampled
+        flows.
+        """
+        use = self.mix.get(profile_name)
+        if use is None:
+            raise KeyError(
+                f"profile {profile_name!r} not in vantage {self.name}"
+            )
+        if end_day < start_day:
+            raise ValueError("end_day precedes start_day")
+        profile = use.profile
+        n_days = (end_day - start_day).days + 1
+        values = np.empty(n_days * 24, dtype=np.float64)
+        day = start_day
+        for i in range(n_days):
+            weekend = timebase.behaves_like_weekend(day, self.region)
+            mult = profile.daily_multiplier(day, self.timeline, weekend)
+            shape = diurnal.get_shape(
+                profile.shape_name(day, self.timeline, weekend)
+            )
+            daily = self.base_daily_volume * use.share * mult
+            values[i * 24 : (i + 1) * 24] = daily / 24.0 * shape
+            day += _dt.timedelta(days=1)
+        start_hour = timebase.hour_index(start_day, 0)
+        noise = self._noise_for(profile_name)[
+            start_hour : start_hour + n_days * 24
+        ]
+        return HourlySeries(start_hour, values * noise)
+
+    def hourly_traffic(
+        self,
+        start_day: _dt.date,
+        end_day: _dt.date,
+        profiles: Optional[Iterable[str]] = None,
+    ) -> HourlySeries:
+        """Total hourly volume over a date range (inclusive).
+
+        ``profiles`` restricts to a subset of the mix (default: all).
+        """
+        names = sorted(profiles) if profiles is not None else self.profile_names()
+        if not names:
+            raise ValueError("profiles selection is empty")
+        total: Optional[HourlySeries] = None
+        for name in names:
+            series = self.profile_volumes(name, start_day, end_day)
+            total = series if total is None else total + series
+        assert total is not None
+        return total
+
+    # -- flow sampling -----------------------------------------------------------
+
+    def _sampler(self, stream: int) -> FlowSampler:
+        return FlowSampler(
+            registry=self._registry,
+            prefix_map=self._prefix_map,
+            local_eyeball_asns=self._local_eyeballs,
+            seed=_stable_hash(self.seed, self.name, "flows", stream),
+            vpn_gateway_ips=self._vpn_gateway_ips,
+            edu_internal_asns=self._edu_internal,
+        )
+
+    def generate_flows(
+        self,
+        start_day: _dt.date,
+        end_day: _dt.date,
+        fidelity: float = 1.0,
+        profiles: Optional[Iterable[str]] = None,
+    ) -> FlowTable:
+        """Sample a flow table over a date range (inclusive).
+
+        Per-hour byte totals match :meth:`hourly_traffic` up to
+        integer rounding.  Repeated calls with identical arguments
+        return identical tables.
+        """
+        names = sorted(profiles) if profiles is not None else self.profile_names()
+        stream = _stable_hash(
+            start_day.toordinal(), end_day.toordinal(), fidelity, *names
+        )
+        sampler = self._sampler(stream)
+        tables = []
+        for name in names:
+            volumes = self.profile_volumes(name, start_day, end_day)
+            tables.append(
+                sampler.sample_profile(self.mix[name].profile, volumes, fidelity)
+            )
+        return FlowTable.concat(tables).sort_by_hour()
+
+    def generate_week_flows(
+        self,
+        week: timebase.Week,
+        fidelity: float = 1.0,
+        profiles: Optional[Iterable[str]] = None,
+    ) -> FlowTable:
+        """Flows for one named analysis week."""
+        return self.generate_flows(week.start, week.end, fidelity, profiles)

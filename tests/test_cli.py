@@ -1,0 +1,175 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.flows.io import read_csv, read_npz
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_default_seed(self):
+        args = cli.build_parser().parse_args(["list"])
+        assert args.seed == 20200316
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig01", "fig12", "table1", "table2"):
+            assert experiment_id in out
+
+
+class TestRun:
+    def test_run_table_experiments(self, capsys):
+        assert cli.main(["run", "table1", "table2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "Hypergiant" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert cli.main(["run", "fig99"]) == 2
+
+    def test_verbose_prints_rendering(self, capsys):
+        cli.main(["run", "table2", "--fast", "-v"])
+        out = capsys.readouterr().out
+        assert "Netflix" in out
+
+
+class TestGenerate:
+    def test_generate_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        code = cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-02-19", "--end", "2020-02-19",
+                "--fidelity", "0.2", "-o", str(out_path),
+            ]
+        )
+        assert code == 0
+        table = read_csv(out_path)
+        assert len(table) > 0
+
+    def test_generate_npz(self, tmp_path):
+        out_path = tmp_path / "trace.npz"
+        cli.main(
+            [
+                "generate", "--vantage", "mobile-ce",
+                "--start", "2020-02-19", "--end", "2020-02-19",
+                "--fidelity", "0.2", "-o", str(out_path),
+            ]
+        )
+        assert len(read_npz(out_path)) > 0
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        # Restrict cost: report runs everything, so use the fast path.
+        out_path = tmp_path / "report.md"
+        code = cli.main(["report", "--fast", "-o", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert "# Experiment report" in text
+        assert "fig11" in text
+        assert "paper" in text
+
+
+class TestClassify:
+    def test_classify_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-03-18", "--end", "2020-03-18",
+                "--fidelity", "0.3", "-o", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert cli.main(["classify", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "gaming" in out
+        assert "share" in out
+
+
+class TestVPNScan:
+    def test_scan_summary(self, capsys):
+        assert cli.main(["vpn-scan"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate addresses" in out
+        assert "www-shared eliminated" in out
+
+    def test_scan_verbose_lists_domains(self, capsys):
+        cli.main(["vpn-scan", "-v", "--limit", "3"])
+        out = capsys.readouterr().out
+        assert "vpn" in out
+
+
+class TestExportDetect:
+    @pytest.fixture
+    def trace(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-03-09", "--end", "2020-03-20",
+                "--fidelity", "0.2", "-o", str(path),
+            ]
+        )
+        return path
+
+    def test_export_ipfix_round_trips(self, trace, tmp_path, capsys):
+        out = tmp_path / "trace.ipfix"
+        assert cli.main(["export", str(trace), "-o", str(out)]) == 0
+        # Re-read the length-prefixed stream and decode it.
+        from repro.flows import ipfix
+        from repro.flows.io import read_npz
+
+        messages = []
+        data = out.read_bytes()
+        offset = 0
+        while offset < len(data):
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            offset += 4
+            messages.append(data[offset : offset + length])
+            offset += length
+        decoded = ipfix.decode_messages(messages)
+        assert decoded == read_npz(trace)
+
+    def test_export_netflow5_warns_lossy(self, trace, tmp_path, capsys):
+        out = tmp_path / "trace.nf5"
+        cli.main(
+            ["export", str(trace), "--format", "netflow5", "-o", str(out)]
+        )
+        stdout = capsys.readouterr().out
+        assert "lossy" in stdout
+
+    def test_detect_runs(self, trace, capsys):
+        assert cli.main(["detect", str(trace), "--threshold", "3"]) == 0
+        assert "anomalous day(s)" in capsys.readouterr().out
+
+    def test_detect_short_trace_rejected(self, tmp_path, capsys):
+        path = tmp_path / "short.csv"
+        cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-03-09", "--end", "2020-03-10",
+                "--fidelity", "0.2", "-o", str(path),
+            ]
+        )
+        assert cli.main(["detect", str(path)]) == 1
+
+
+class TestArtifacts:
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = cli.main(
+            ["run", "table1", "table2", "--fast",
+             "--artifacts", str(out_dir)]
+        )
+        assert code == 0
+        assert (out_dir / "summary.json").exists()
+        assert (out_dir / "table2" / "metrics.json").exists()

@@ -1,0 +1,130 @@
+"""Unit tests for volume aggregation and normalization."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core import aggregate
+from repro.series import HourlySeries
+
+
+@pytest.fixture(scope="module")
+def isp_series(scenario):
+    return scenario.isp_ce.hourly_traffic(
+        timebase.STUDY_START, timebase.STUDY_END
+    )
+
+
+class TestWeeklyNormalized:
+    def test_baseline_week_is_one(self, isp_series):
+        weekly = aggregate.weekly_normalized(isp_series)
+        assert weekly.value(timebase.FIG1_BASELINE_WEEK) == pytest.approx(1.0)
+
+    def test_values_positive(self, isp_series):
+        weekly = aggregate.weekly_normalized(isp_series)
+        assert all(v > 0 for v in weekly.values)
+
+    def test_lockdown_weeks_elevated(self, isp_series):
+        weekly = aggregate.weekly_normalized(isp_series)
+        assert weekly.value(13) > 1.1
+
+    def test_truncated_weeks_averaged_per_day(self, isp_series):
+        # Week 1 has only 5 days in the study; the per-day average keeps
+        # it comparable (Christmas effect aside).
+        weekly = aggregate.weekly_normalized(isp_series)
+        assert 0.5 < weekly.value(1) < 1.3
+
+    def test_missing_baseline_raises(self, scenario):
+        series = scenario.isp_ce.hourly_traffic(
+            dt.date(2020, 3, 1), dt.date(2020, 3, 31)
+        )
+        with pytest.raises(ValueError):
+            aggregate.weekly_normalized(series)
+
+    def test_as_dict_round_trip(self, isp_series):
+        weekly = aggregate.weekly_normalized(isp_series)
+        assert weekly.as_dict()[weekly.weeks[0]] == weekly.values[0]
+
+
+class TestDayProfiles:
+    def test_joint_normalization(self, isp_series):
+        days = [dt.date(2020, 2, 19), dt.date(2020, 3, 25)]
+        profiles = aggregate.day_profiles_normalized(isp_series, days)
+        peak = max(v.max() for v in profiles.values())
+        assert peak == pytest.approx(1.0)
+
+    def test_requires_days(self, isp_series):
+        with pytest.raises(ValueError):
+            aggregate.day_profiles_normalized(isp_series, [])
+
+    def test_profiles_have_24_hours(self, isp_series):
+        profiles = aggregate.day_profiles_normalized(
+            isp_series, [dt.date(2020, 2, 19)]
+        )
+        assert profiles[dt.date(2020, 2, 19)].shape == (24,)
+
+
+class TestWeekHourlyNormalized:
+    def test_minimum_is_one(self, isp_series):
+        normalized = aggregate.week_hourly_normalized(
+            isp_series, timebase.MACRO_WEEKS
+        )
+        for series in normalized.values():
+            assert series.values.min() == pytest.approx(1.0)
+
+    def test_all_weeks_present(self, isp_series):
+        normalized = aggregate.week_hourly_normalized(
+            isp_series, timebase.MACRO_WEEKS
+        )
+        assert set(normalized) == set(timebase.MACRO_WEEKS)
+
+
+class TestWeekDaypattern:
+    def test_structure(self, isp_series):
+        patterns = aggregate.week_daypattern_normalized(
+            isp_series, timebase.MACRO_WEEKS,
+            timebase.Region.CENTRAL_EUROPE,
+        )
+        for label, pattern in patterns.items():
+            assert set(pattern) == {"workday", "weekend"}
+            assert pattern["workday"].shape == (24,)
+
+    def test_stage_weeks_above_base(self, isp_series):
+        patterns = aggregate.week_daypattern_normalized(
+            isp_series, timebase.MACRO_WEEKS,
+            timebase.Region.CENTRAL_EUROPE,
+        )
+        assert (
+            patterns["stage1"]["workday"].mean()
+            > patterns["base"]["workday"].mean()
+        )
+
+
+class TestGrowthSummary:
+    def test_growths_computed(self, isp_series):
+        summary = aggregate.growth_summary("isp-ce", isp_series)
+        assert 0.15 < summary.stage1_growth < 0.40
+        assert summary.stage3_growth < summary.stage1_growth
+
+    def test_missing_week_raises(self, isp_series):
+        with pytest.raises(ValueError):
+            aggregate.growth_summary(
+                "isp-ce", isp_series,
+                weeks={"base": timebase.MACRO_WEEKS["base"]},
+            )
+
+    def test_percentages_rounded(self, isp_series):
+        summary = aggregate.growth_summary("isp-ce", isp_series)
+        pct = summary.as_percentages()
+        assert set(pct) == {"stage1", "stage2", "stage3", "peak", "min"}
+        assert pct["stage1"] == pytest.approx(
+            summary.stage1_growth * 100, abs=0.06
+        )
+
+    def test_peak_growth_smaller_than_valley_fill(self, isp_series):
+        # §9: the pandemic "fills the valleys"; the peak increase is
+        # more moderate than the total growth suggests.
+        summary = aggregate.growth_summary("isp-ce", isp_series)
+        assert summary.peak_growth < summary.stage1_growth + 0.15

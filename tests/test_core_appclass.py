@@ -1,0 +1,221 @@
+"""Unit tests for the application-class filters and heatmaps."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core import appclass
+from repro.flows.record import PROTO_TCP, PROTO_UDP, FlowRecord
+from repro.flows.table import FlowTable
+
+
+def flow(src_asn=1, dst_asn=2, proto=PROTO_TCP, service_port=443,
+         hour=0, n_bytes=100):
+    return FlowRecord(
+        hour=hour, src_ip=1, dst_ip=2, src_asn=src_asn, dst_asn=dst_asn,
+        proto=proto, src_port=service_port, dst_port=55000,
+        n_bytes=n_bytes, n_packets=1,
+    )
+
+
+class TestClassFilter:
+    def test_requires_criteria(self):
+        with pytest.raises(ValueError):
+            appclass.ClassFilter()
+
+    def test_as_only_matches_either_side(self):
+        filt = appclass.ClassFilter(asns=frozenset({2906}))
+        table = FlowTable.from_records(
+            [flow(src_asn=2906), flow(dst_asn=2906), flow(src_asn=1)]
+        )
+        assert filt.mask(table).tolist() == [True, True, False]
+
+    def test_port_only(self):
+        filt = appclass.ClassFilter(ports=frozenset({22}))
+        table = FlowTable.from_records(
+            [flow(service_port=22), flow(service_port=443)]
+        )
+        assert filt.mask(table).tolist() == [True, False]
+
+    def test_combined_as_and_port(self):
+        filt = appclass.ClassFilter(
+            asns=frozenset({8075}), ports=frozenset({3480})
+        )
+        table = FlowTable.from_records(
+            [
+                flow(src_asn=8075, service_port=3480),
+                flow(src_asn=8075, service_port=443),
+                flow(src_asn=1, service_port=3480),
+            ]
+        )
+        assert filt.mask(table).tolist() == [True, False, False]
+
+    def test_protocol_restriction(self):
+        filt = appclass.ClassFilter(
+            ports=frozenset({443}), protos=frozenset({PROTO_UDP})
+        )
+        table = FlowTable.from_records(
+            [flow(proto=PROTO_UDP), flow(proto=PROTO_TCP)]
+        )
+        assert filt.mask(table).tolist() == [True, False]
+
+
+class TestStandardClasses:
+    @pytest.fixture(scope="class")
+    def classes(self):
+        return appclass.standard_classes()
+
+    def test_nine_classes(self, classes):
+        assert len(classes) == 9
+
+    def test_table1_counts_exact(self):
+        rows = {
+            name: (f, a, p) for name, f, a, p in appclass.table1_rows()
+        }
+        assert rows["webconf"] == (7, 1, 6)
+        assert rows["vod"] == (5, 5, 0)
+        assert rows["gaming"] == (8, 5, 57)
+        assert rows["social"] == (4, 4, 1)
+        assert rows["messaging"] == (3, 0, 5)
+        assert rows["email"] == (1, 0, 10)
+        assert rows["educational"] == (9, 9, 0)
+        assert rows["collab"] == (8, 2, 9)
+        assert rows["cdn"] == (8, 8, 0)
+
+    def test_total_filters_above_50(self):
+        total = sum(f for _, f, _, _ in appclass.table1_rows())
+        assert total > 50
+
+    def test_gaming_selects_gaming_flow(self, classes):
+        table = FlowTable.from_records(
+            [flow(src_asn=32590, proto=PROTO_UDP, service_port=27015)]
+        )
+        assert classes["gaming"].mask(table).all()
+
+    def test_vod_selects_netflix_by_as(self, classes):
+        table = FlowTable.from_records([flow(src_asn=2906)])
+        assert classes["vod"].mask(table).all()
+
+    def test_webconf_zoom_port_matches_without_as(self, classes):
+        table = FlowTable.from_records(
+            [flow(src_asn=12345, proto=PROTO_UDP, service_port=8801)]
+        )
+        assert classes["webconf"].mask(table).all()
+
+    def test_classes_can_overlap(self, classes):
+        # Facebook on TCP/5222 hits both social (AS) and messaging
+        # (port) — the paper allows overlapping class semantics.
+        table = FlowTable.from_records(
+            [flow(src_asn=32934, service_port=5222)]
+        )
+        assert classes["social"].mask(table).all()
+        assert classes["messaging"].mask(table).all()
+
+    def test_plain_web_matches_nothing(self, classes):
+        table = FlowTable.from_records(
+            [flow(src_asn=210000, service_port=8080)]
+        )
+        for name in ("vod", "gaming", "email", "webconf"):
+            assert not classes[name].mask(table).any()
+
+
+class TestClassActivity:
+    def test_activity_metrics(self, scenario):
+        start, end = dt.date(2020, 3, 2), dt.date(2020, 3, 8)
+        flows = scenario.ixp_se.generate_flows(
+            start, end, fidelity=0.6, profiles=["gaming"]
+        )
+        gaming = appclass.standard_classes()["gaming"]
+        activity = appclass.class_activity(flows, gaming, start, end)
+        assert len(activity.daily_avg) == 7
+        assert activity.unique_ips.values.min() >= 0
+        # Normalized to the minimum positive value.
+        positive = activity.volume.values[activity.volume.values > 0]
+        assert positive.min() == pytest.approx(1.0)
+
+    def test_ip_side_validation(self, scenario):
+        start = dt.date(2020, 3, 2)
+        flows = scenario.ixp_se.generate_flows(
+            start, start, fidelity=0.5, profiles=["gaming"]
+        )
+        gaming = appclass.standard_classes()["gaming"]
+        with pytest.raises(ValueError):
+            appclass.class_activity(
+                flows, gaming, start, start, ip_side="middle"
+            )
+
+
+class TestHeatmaps:
+    @pytest.fixture(scope="class")
+    def heatmaps(self, scenario):
+        weeks = timebase.APPCLASS_WEEKS_IXP
+        flows = FlowTable.concat(
+            [
+                scenario.ixp_ce.generate_week_flows(week, fidelity=0.4)
+                for week in weeks.values()
+            ]
+        )
+        return appclass.class_heatmaps(flows, weeks)
+
+    def test_every_class_has_heatmap(self, heatmaps):
+        assert set(heatmaps) == set(appclass.standard_classes())
+
+    def test_morning_hours_removed(self, heatmaps):
+        hm = heatmaps["webconf"]
+        h0, h1 = appclass.MORNING_HOURS_REMOVED
+        assert not any(h0 <= h < h1 for h in hm.hours_kept)
+        assert len(hm.base) == 7 * len(hm.hours_kept)
+
+    def test_diffs_clipped(self, heatmaps):
+        lo, hi = appclass.CLIP_PERCENT
+        for hm in heatmaps.values():
+            for diff in hm.diffs.values():
+                assert diff.min() >= lo
+                assert diff.max() <= hi
+
+    def test_base_normalized_01(self, heatmaps):
+        for hm in heatmaps.values():
+            assert hm.base.min() >= 0.0
+            assert hm.base.max() <= 1.0
+
+    def test_webconf_increases(self, heatmaps):
+        diff = heatmaps["webconf"].diffs["stage2"]
+        assert diff.mean() > 10.0  # percent points
+
+    def test_requires_base_week(self, scenario):
+        flows = scenario.ixp_ce.generate_week_flows(
+            timebase.APPCLASS_WEEKS_IXP["base"], fidelity=0.2
+        )
+        with pytest.raises(ValueError):
+            appclass.class_heatmaps(
+                flows, {"stage1": timebase.APPCLASS_WEEKS_IXP["stage1"]}
+            )
+
+
+class TestGrowthHelpers:
+    def test_weekly_growth_requires_base_traffic(self):
+        empty = FlowTable.empty()
+        cls = appclass.standard_classes()["email"]
+        with pytest.raises(ValueError):
+            appclass.weekly_class_growth(
+                empty, cls,
+                timebase.APPCLASS_WEEKS_IXP["base"],
+                timebase.APPCLASS_WEEKS_IXP["stage1"],
+            )
+
+    def test_business_hours_growth_positive_for_webconf(self, scenario):
+        weeks = timebase.APPCLASS_WEEKS_ISP
+        flows = FlowTable.concat(
+            [
+                scenario.isp_ce.generate_week_flows(week, fidelity=0.4)
+                for week in weeks.values()
+            ]
+        )
+        cls = appclass.standard_classes()["webconf"]
+        growth = appclass.business_hours_growth(
+            flows, cls, weeks["base"], weeks["stage2"],
+            timebase.Region.CENTRAL_EUROPE,
+        )
+        assert growth > 1.0

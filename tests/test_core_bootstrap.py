@@ -1,0 +1,105 @@
+"""Unit tests for bootstrap growth confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core import bootstrap
+from repro.series import HourlySeries
+
+
+@pytest.fixture(scope="module")
+def isp_series(scenario):
+    return scenario.isp_ce.hourly_traffic(
+        timebase.MACRO_WEEKS["base"].start,
+        timebase.MACRO_WEEKS["stage3"].end,
+    )
+
+
+class TestGrowthCI:
+    def test_point_matches_plain_ratio(self, isp_series):
+        ci = bootstrap.growth_ci(
+            isp_series, timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        base = isp_series.slice_week(timebase.MACRO_WEEKS["base"]).total()
+        stage = isp_series.slice_week(timebase.MACRO_WEEKS["stage1"]).total()
+        assert ci.point == pytest.approx(stage / base - 1.0)
+
+    def test_interval_contains_point(self, isp_series):
+        ci = bootstrap.growth_ci(
+            isp_series, timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        assert ci.lower <= ci.point <= ci.upper
+
+    def test_lockdown_growth_excludes_zero(self, isp_series):
+        ci = bootstrap.growth_ci(
+            isp_series, timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        assert ci.excludes_zero()
+        assert ci.lower > 0.05
+
+    def test_same_week_centered_on_zero(self, isp_series):
+        week = timebase.MACRO_WEEKS["base"]
+        ci = bootstrap.growth_ci(isp_series, week, week)
+        assert ci.contains(0.0)
+
+    def test_deterministic_given_seed(self, isp_series):
+        args = (
+            isp_series, timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        assert bootstrap.growth_ci(*args, seed=5) == bootstrap.growth_ci(
+            *args, seed=5
+        )
+
+    def test_more_resamples_narrower_or_similar(self, isp_series):
+        args = (
+            isp_series, timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        wide = bootstrap.growth_ci(*args, n_resamples=50, seed=1)
+        tight = bootstrap.growth_ci(*args, n_resamples=2000, seed=1)
+        # Widths converge; they must at least be on the same scale.
+        assert tight.width < wide.width * 2
+
+    def test_validation(self, isp_series):
+        week = timebase.MACRO_WEEKS["base"]
+        with pytest.raises(ValueError):
+            bootstrap.growth_ci(isp_series, week, week, n_resamples=5)
+        with pytest.raises(ValueError):
+            bootstrap.growth_ci(isp_series, week, week, level=0.3)
+
+
+class TestGrowthDifference:
+    def test_isp_vs_ixp_stage3_significant(self, scenario):
+        # The paper's ISP-decays-vs-IXP-persists contrast must exceed
+        # the day-level noise.
+        isp = scenario.isp_ce.hourly_traffic(
+            timebase.MACRO_WEEKS["base"].start,
+            timebase.MACRO_WEEKS["stage3"].end,
+        )
+        ixp = scenario.ixp_ce.hourly_traffic(
+            timebase.MACRO_WEEKS["base"].start,
+            timebase.MACRO_WEEKS["stage3"].end,
+        )
+        significant, ci_isp, ci_ixp = bootstrap.growth_difference_significant(
+            isp, ixp, timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage3"],
+        )
+        assert significant
+        assert ci_isp.point < ci_ixp.point
+
+    def test_identical_series_not_significant(self, isp_series):
+        significant, _, _ = bootstrap.growth_difference_significant(
+            isp_series, isp_series, timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        assert not significant
+
+
+class TestScenarioSelfCheck:
+    def test_default_scenario_healthy(self, scenario):
+        assert scenario.self_check() == []

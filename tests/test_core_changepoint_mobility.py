@@ -1,0 +1,122 @@
+"""Unit tests for change-point detection and the mobility analysis."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core import changepoint, mobility
+from repro.series import HourlySeries
+
+
+@pytest.fixture(scope="module")
+def full_series(scenario):
+    return {
+        name: scenario.vantage(name).hourly_traffic(
+            timebase.STUDY_START, timebase.STUDY_END
+        )
+        for name in ("isp-ce", "ixp-ce", "ixp-us", "mobile-ce", "ipx", "edu")
+    }
+
+
+class TestDetectChangeWeek:
+    def test_isp_detects_lockdown_week(self, full_series):
+        detected = changepoint.detect_change_week(full_series["isp-ce"])
+        distance = changepoint.timeline_consistency(
+            detected, timebase.TIMELINE_CE
+        )
+        assert abs(distance) <= 1
+        assert detected.magnitude > 0.05
+
+    def test_ixp_ce_detects_lockdown_week(self, full_series):
+        detected = changepoint.detect_change_week(full_series["ixp-ce"])
+        assert abs(
+            changepoint.timeline_consistency(detected, timebase.TIMELINE_CE)
+        ) <= 1
+
+    def test_us_shift_later_than_europe(self, full_series):
+        us = changepoint.detect_change_week(full_series["ixp-us"])
+        ce = changepoint.detect_change_week(full_series["ixp-ce"])
+        assert us.week > ce.week
+
+    def test_roaming_collapse_detected_as_decrease(self, full_series):
+        detected = changepoint.detect_change_week(
+            full_series["ipx"], direction="decrease"
+        )
+        assert abs(
+            changepoint.timeline_consistency(detected, timebase.TIMELINE_CE)
+        ) <= 1
+        assert detected.magnitude < -0.15
+
+    def test_edu_drop_near_se_lockdown(self, full_series):
+        detected = changepoint.detect_change_week(
+            full_series["edu"], direction="decrease"
+        )
+        assert abs(
+            changepoint.timeline_consistency(detected, timebase.TIMELINE_SE)
+        ) <= 1
+
+    def test_invalid_direction(self, full_series):
+        with pytest.raises(ValueError):
+            changepoint.detect_change_week(
+                full_series["isp-ce"], direction="sideways"
+            )
+
+    def test_invalid_window(self, full_series):
+        with pytest.raises(ValueError):
+            changepoint.detect_change_week(full_series["isp-ce"], window=0)
+
+    def test_flat_series_scores_near_one(self):
+        values = np.ones(timebase.STUDY_HOURS)
+        series = HourlySeries(0, values)
+        detected = changepoint.detect_change_week(series)
+        assert detected.score == pytest.approx(1.0, abs=0.01)
+
+    def test_per_vantage_convenience(self, full_series):
+        detections = changepoint.detect_per_vantage(
+            {"isp-ce": full_series["isp-ce"], "ipx": full_series["ipx"]},
+            directions={"ipx": "decrease"},
+        )
+        assert detections["isp-ce"].direction == "increase"
+        assert detections["ipx"].direction == "decrease"
+
+
+class TestMobility:
+    @pytest.fixture(scope="class")
+    def summary(self, full_series):
+        return mobility.summarize(
+            full_series["isp-ce"], full_series["mobile-ce"],
+            full_series["ipx"],
+        )
+
+    def test_substitution_detected(self, summary):
+        assert summary.substitution_detected
+
+    def test_travel_collapse_detected(self, summary):
+        assert summary.travel_collapse_detected
+        assert summary.roaming_floor <= 0.6
+
+    def test_onset_near_lockdown(self, summary):
+        lockdown_week = timebase.iso_week(timebase.TIMELINE_CE.lockdown)
+        assert abs(summary.divergence_onset_week - lockdown_week) <= 2
+
+    def test_roaming_floor_after_lockdown(self, summary):
+        assert summary.roaming_floor_week >= timebase.iso_week(
+            timebase.TIMELINE_CE.lockdown
+        )
+
+    def test_divergence_series_shared_weeks(self, full_series):
+        divergence = mobility.divergence_series(
+            full_series["isp-ce"], full_series["mobile-ce"]
+        )
+        assert timebase.FIG1_BASELINE_WEEK in divergence
+        # At the baseline week both are 1.0 by construction.
+        assert divergence[timebase.FIG1_BASELINE_WEEK] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_onset_requires_sustained_gap(self):
+        flat = {w: 0.0 for w in range(3, 20)}
+        with pytest.raises(ValueError):
+            mobility.divergence_onset_week(flat)

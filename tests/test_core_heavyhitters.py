@@ -1,0 +1,109 @@
+"""Unit tests for the Space-Saving heavy-hitter sketch."""
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core.heavyhitters import (
+    SpaceSaving,
+    top_ports_streaming,
+    top_sources_streaming,
+)
+from repro.netbase.asdb import HYPERGIANT_ASNS
+
+
+class TestSpaceSaving:
+    def test_exact_below_capacity(self):
+        sketch = SpaceSaving(10)
+        for key, weight in ((1, 5.0), (2, 3.0), (1, 2.0)):
+            sketch.update(key, weight)
+        top = sketch.top(2)
+        assert top[0].key == 1 and top[0].count == 7.0
+        assert top[0].error == 0.0
+
+    def test_eviction_inherits_error(self):
+        sketch = SpaceSaving(2)
+        sketch.update(1, 10.0)
+        sketch.update(2, 1.0)
+        sketch.update(3, 1.0)  # evicts key 2 (count 1) -> error 1
+        top = {h.key: h for h in sketch.top(2)}
+        assert 3 in top
+        assert top[3].count == 2.0
+        assert top[3].error == 1.0
+        assert top[3].guaranteed == 1.0
+
+    def test_error_bound_holds(self):
+        rng = np.random.default_rng(0)
+        # Zipf-ish stream over 500 keys, 16 counters.
+        keys = rng.zipf(1.3, size=20000) % 500
+        truth = np.bincount(keys, minlength=500)
+        sketch = SpaceSaving(16)
+        for key in keys:
+            sketch.update(int(key))
+        bound = sketch.error_bound
+        for hitter in sketch.top(16):
+            true_count = truth[hitter.key]
+            assert hitter.count >= true_count  # never undercounts
+            assert hitter.count - true_count <= bound + 1e-9
+
+    def test_guaranteed_hitters_are_true_hitters(self):
+        rng = np.random.default_rng(1)
+        keys = rng.zipf(1.5, size=30000) % 200
+        truth = np.bincount(keys, minlength=200)
+        total = truth.sum()
+        sketch = SpaceSaving(32)
+        for key in keys:
+            sketch.update(int(key))
+        for key in sketch.guaranteed_hitters(0.05):
+            assert truth[key] > total * 0.05
+
+    def test_update_many_matches_sequential(self):
+        keys = np.array([1, 2, 1, 3, 2, 1])
+        weights = np.array([1.0, 2.0, 1.0, 5.0, 1.0, 1.0])
+        batch = SpaceSaving(10)
+        batch.update_many(keys, weights)
+        sequential = SpaceSaving(10)
+        for key, weight in zip(keys, weights):
+            sequential.update(int(key), float(weight))
+        assert {(h.key, h.count) for h in batch.top(3)} == {
+            (h.key, h.count) for h in sequential.top(3)
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        sketch = SpaceSaving(4)
+        with pytest.raises(ValueError):
+            sketch.update(1, -1.0)
+        with pytest.raises(ValueError):
+            sketch.top(0)
+        with pytest.raises(ValueError):
+            sketch.guaranteed_hitters(0.0)
+        with pytest.raises(ValueError):
+            sketch.update_many(np.array([1, 2]), np.array([1.0]))
+
+
+class TestStreamingRankings:
+    def test_top_ports_match_exact(self, scenario, isp_base_week_flows):
+        chunks = [
+            isp_base_week_flows.head(5000),
+            isp_base_week_flows.filter(
+                np.arange(len(isp_base_week_flows)) >= 5000
+            ),
+        ]
+        hitters = top_ports_streaming(chunks, k=64, n=5)
+        # The sketch keys on the service port (merging TCP/UDP); compare
+        # against the exact per-port byte sums.
+        ports = isp_base_week_flows.service_ports()
+        n_bytes = isp_base_week_flows.column("n_bytes")
+        exact = {}
+        for port in np.unique(ports):
+            exact[int(port)] = int(n_bytes[ports == port].sum())
+        exact_top = sorted(exact, key=exact.get, reverse=True)[:3]
+        assert [h.key for h in hitters[:3]] == exact_top
+        for hitter in hitters[:3]:
+            assert hitter.count == pytest.approx(exact[hitter.key])
+
+    def test_top_sources_include_hypergiants(self, isp_base_week_flows):
+        hitters = top_sources_streaming([isp_base_week_flows], n=5)
+        assert set(h.key for h in hitters[:3]) <= HYPERGIANT_ASNS

@@ -1,0 +1,68 @@
+"""Unit tests for the hypergiant vs. other-AS analysis."""
+
+import datetime as dt
+
+import pytest
+
+from repro import timebase
+from repro.core import hypergiants
+from repro.flows.table import FlowTable
+
+
+@pytest.fixture(scope="module")
+def survey_flows(scenario):
+    return scenario.isp_ce.generate_flows(
+        dt.date(2020, 1, 27), dt.date(2020, 4, 26), fidelity=0.1
+    )
+
+
+class TestShare:
+    def test_share_in_expected_band(self, survey_flows):
+        share = hypergiants.hypergiant_share(survey_flows)
+        assert 0.55 <= share <= 0.85
+
+    def test_empty_table_raises(self):
+        with pytest.raises(ValueError):
+            hypergiants.hypergiant_share(FlowTable.empty())
+
+    def test_custom_hypergiant_set(self, survey_flows):
+        # With an empty hypergiant set, the share is zero.
+        assert hypergiants.hypergiant_share(
+            survey_flows, frozenset({99999})
+        ) == 0.0
+
+
+class TestGroupGrowth:
+    @pytest.fixture(scope="class")
+    def growth(self, survey_flows):
+        return hypergiants.group_growth(
+            survey_flows, timebase.Region.CENTRAL_EUROPE,
+            baseline_week=6, weeks=list(range(5, 18)),
+        )
+
+    def test_both_groups_present(self, growth):
+        assert set(growth) == {"hypergiants", "other"}
+
+    def test_baseline_normalized_to_one(self, growth):
+        for group in growth.values():
+            for curve in hypergiants.CURVES:
+                assert group.curves[curve][6] == pytest.approx(1.0)
+
+    def test_other_dominates_post_lockdown(self, growth):
+        assert hypergiants.other_dominates_after(growth, lockdown_week=13)
+
+    def test_curves_have_all_weeks(self, growth):
+        curve = growth["other"].curve("workday", "evening")
+        assert set(curve) == set(range(5, 18))
+
+    def test_baseline_must_be_analyzed(self, survey_flows):
+        with pytest.raises(ValueError):
+            hypergiants.group_growth(
+                survey_flows, timebase.Region.CENTRAL_EUROPE,
+                baseline_week=3, weeks=[5, 6, 7],
+            )
+
+    def test_post_lockdown_growth_positive(self, growth):
+        for group in growth.values():
+            curve = group.curve("workday", "working-hours")
+            assert curve[14] > 1.05

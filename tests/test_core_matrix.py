@@ -1,0 +1,134 @@
+"""Unit tests for the IXP traffic-matrix analysis."""
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core import matrix
+from repro.flows.record import PROTO_TCP, FlowRecord
+from repro.flows.table import FlowTable
+from repro.netbase.asdb import ASCategory, HYPERGIANT_ASNS
+
+
+def flow(src_asn, dst_asn, n_bytes):
+    return FlowRecord(
+        hour=0, src_ip=1, dst_ip=2, src_asn=src_asn, dst_asn=dst_asn,
+        proto=PROTO_TCP, src_port=443, dst_port=55000,
+        n_bytes=n_bytes, n_packets=1,
+    )
+
+
+@pytest.fixture
+def small_matrix():
+    flows = FlowTable.from_records(
+        [
+            flow(10, 20, 1000),
+            flow(10, 20, 500),
+            flow(10, 30, 200),
+            flow(20, 10, 100),
+        ]
+    )
+    return matrix.build_matrix(flows)
+
+
+class TestBuildMatrix:
+    def test_aggregates_pairs(self, small_matrix):
+        i, j = small_matrix.asns.index(10), small_matrix.asns.index(20)
+        assert small_matrix.volumes[i, j] == 1500
+
+    def test_total(self, small_matrix):
+        assert small_matrix.total == 1800
+
+    def test_sent_received(self, small_matrix):
+        assert small_matrix.sent(10) == 1700
+        assert small_matrix.received(10) == 100
+        assert small_matrix.received(20) == 1500
+
+    def test_unknown_asn(self, small_matrix):
+        with pytest.raises(KeyError):
+            small_matrix.sent(99)
+
+    def test_member_restriction(self):
+        flows = FlowTable.from_records(
+            [flow(10, 20, 100), flow(10, 99, 999)]
+        )
+        restricted = matrix.build_matrix(flows, members=[10, 20])
+        assert restricted.total == 100
+
+    def test_empty_flows(self):
+        built = matrix.build_matrix(FlowTable.empty())
+        assert built.total == 0.0
+        assert built.asns == ()
+
+
+class TestAsymmetry:
+    def test_pure_source(self, small_matrix):
+        assert small_matrix.asymmetry(30) == -1.0  # only receives
+        assert small_matrix.asymmetry(10) > 0.8
+
+    def test_absent_traffic_is_balanced(self):
+        built = matrix.build_matrix(
+            FlowTable.from_records([flow(1, 2, 10)])
+        )
+        assert built.asymmetry(1) == 1.0
+        assert built.asymmetry(2) == -1.0
+
+
+class TestTopPairsAndConcentration:
+    def test_top_pairs_ordered(self, small_matrix):
+        pairs = small_matrix.top_pairs(2)
+        assert pairs[0] == (10, 20, 1500.0)
+        assert pairs[0][2] >= pairs[1][2]
+
+    def test_top_pairs_validation(self, small_matrix):
+        with pytest.raises(ValueError):
+            small_matrix.top_pairs(0)
+
+    def test_concentration_bounds(self, small_matrix):
+        assert 0.0 < small_matrix.concentration(0.5) <= 1.0
+        with pytest.raises(ValueError):
+            small_matrix.concentration(0.0)
+
+
+class TestOnScenario:
+    @pytest.fixture(scope="class")
+    def ixp_matrices(self, scenario):
+        base = scenario.ixp_ce.generate_week_flows(
+            timebase.MACRO_WEEKS["base"], fidelity=0.4
+        )
+        stage = scenario.ixp_ce.generate_week_flows(
+            timebase.MACRO_WEEKS["stage2"], fidelity=0.4
+        )
+        return matrix.build_matrix(base), matrix.build_matrix(stage)
+
+    def test_hypergiants_are_sources(self, ixp_matrices, scenario):
+        base, _ = ixp_matrices
+        groups = matrix.source_sink_split(base)
+        present_hypergiants = set(base.asns) & HYPERGIANT_ASNS
+        sources = set(groups["sources"])
+        # Most present hypergiants behave as sources at the IXP.
+        assert len(present_hypergiants & sources) >= (
+            len(present_hypergiants) * 0.6
+        )
+
+    def test_eyeballs_are_sinks(self, ixp_matrices, scenario):
+        base, _ = ixp_matrices
+        groups = matrix.source_sink_split(base)
+        eyeballs = set(
+            scenario.registry.eyeball_asns(timebase.Region.CENTRAL_EUROPE)
+        ) & set(base.asns)
+        sinks = set(groups["sinks"])
+        assert len(eyeballs & sinks) >= len(eyeballs) * 0.8
+
+    def test_matrix_concentrated(self, ixp_matrices):
+        base, _ = ixp_matrices
+        # The top 1% of pairs carries a large share of the platform.
+        assert base.concentration(0.01) > 0.3
+
+    def test_growth_between_weeks(self, ixp_matrices):
+        base, stage = ixp_matrices
+        growth = matrix.matrix_growth(base, stage)
+        values = np.array(list(growth.values()))
+        # The platform grows and members disperse around the aggregate.
+        assert np.median(values) > 0.0
+        assert values.max() > np.median(values) + 0.2

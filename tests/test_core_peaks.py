@@ -1,0 +1,111 @@
+"""Unit tests for the §9 peak-vs-valley analysis."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core import peaks
+from repro.synth import linkutil as linkutil_synth
+
+
+@pytest.fixture(scope="module")
+def isp_series(scenario):
+    return scenario.isp_ce.hourly_traffic(
+        dt.date(2020, 2, 1), dt.date(2020, 5, 17)
+    )
+
+
+class TestPeakValley:
+    def test_valleys_filled(self, isp_series):
+        summary = peaks.peak_valley_summary(
+            isp_series,
+            timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        assert summary.valleys_filled
+        assert summary.valley_growth > summary.total_growth
+
+    def test_peak_growth_moderate(self, isp_series):
+        summary = peaks.peak_valley_summary(
+            isp_series,
+            timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        assert -0.05 <= summary.peak_growth <= 0.30
+
+    def test_peak_hour_in_evening(self, isp_series):
+        summary = peaks.peak_valley_summary(
+            isp_series,
+            timebase.MACRO_WEEKS["base"],
+            timebase.MACRO_WEEKS["stage1"],
+        )
+        assert 18 <= summary.peak_hour_base <= 23
+
+    def test_identical_weeks_zero_growth(self, isp_series):
+        week = timebase.MACRO_WEEKS["base"]
+        summary = peaks.peak_valley_summary(isp_series, week, week)
+        assert summary.total_growth == pytest.approx(0.0)
+        assert summary.peak_growth == pytest.approx(0.0)
+
+    def test_bad_valley_range_rejected(self, isp_series):
+        with pytest.raises(ValueError):
+            peaks.peak_valley_summary(
+                isp_series,
+                timebase.MACRO_WEEKS["base"],
+                timebase.MACRO_WEEKS["stage1"],
+                valley_hours=(17, 8),
+            )
+
+
+class TestMemberGrowth:
+    @pytest.fixture(scope="class")
+    def distribution(self, scenario):
+        members = scenario.members["ixp-ce"]
+        base = linkutil_synth.member_day_utilization(
+            members, dt.date(2020, 2, 19), 1.0, seed=9
+        )
+        stage = linkutil_synth.member_day_utilization(
+            members, dt.date(2020, 4, 22), 1.35, seed=9,
+            shape_name="lockdown-workday",
+        )
+        return peaks.member_growth_distribution(base, stage)
+
+    def test_dispersion_exceeds_aggregate(self, distribution):
+        assert distribution.max_growth > distribution.aggregate_growth * 1.5
+
+    def test_quantiles_ordered(self, distribution):
+        assert (
+            distribution.quantile(0.1)
+            <= distribution.quantile(0.5)
+            <= distribution.quantile(0.9)
+        )
+
+    def test_quantile_bounds(self, distribution):
+        with pytest.raises(ValueError):
+            distribution.quantile(1.5)
+
+    def test_fraction_above_aggregate_sane(self, distribution):
+        assert 0.0 < distribution.fraction_above_aggregate < 1.0
+
+    def test_no_common_members_rejected(self):
+        with pytest.raises(ValueError):
+            peaks.member_growth_distribution(
+                {1: np.ones(10)}, {2: np.ones(10)}
+            )
+
+
+class TestHeadroom:
+    def test_threshold_fractions(self):
+        utils = {
+            1: np.full(100, 0.9),  # always over
+            2: np.full(100, 0.1),  # never over
+        }
+        result = peaks.headroom_exceeded(utils, threshold=0.8)
+        assert result[1] == 1.0
+        assert result[2] == 0.0
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            peaks.headroom_exceeded({1: np.ones(5)}, threshold=1.5)

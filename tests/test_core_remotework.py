@@ -1,0 +1,120 @@
+"""Unit tests for the remote-work AS analysis (Fig 6)."""
+
+import datetime as dt
+
+import pytest
+
+from repro import timebase
+from repro.core import remotework
+from repro.core.remotework import normalized_difference
+
+
+@pytest.fixture(scope="module")
+def scatter(scenario):
+    base = scenario.generate_remote_work_flows(
+        timebase.Week(dt.date(2020, 2, 19), "base"), False
+    )
+    lockdown = scenario.generate_remote_work_flows(
+        timebase.Week(dt.date(2020, 3, 18), "lockdown"), True
+    )
+    eyeballs = scenario.registry.eyeball_asns(
+        timebase.Region.CENTRAL_EUROPE
+    )
+    return remotework.traffic_shift_scatter(base, lockdown, eyeballs)
+
+
+class TestNormalizedDifference:
+    def test_unchanged_is_zero(self):
+        assert normalized_difference(5.0, 5.0) == 0.0
+
+    def test_appearing_is_one(self):
+        assert normalized_difference(0.0, 3.0) == 1.0
+
+    def test_vanishing_is_minus_one(self):
+        assert normalized_difference(3.0, 0.0) == -1.0
+
+    def test_absent_both_is_zero(self):
+        assert normalized_difference(0.0, 0.0) == 0.0
+
+    def test_bounded(self):
+        assert -1.0 <= normalized_difference(10.0, 2.0) <= 1.0
+
+
+class TestScatter:
+    def test_one_point_per_enterprise(self, scenario, scatter):
+        assert len(scatter) >= len(scenario.enterprise_behaviors)
+
+    def test_shifts_bounded(self, scatter):
+        for point in scatter:
+            assert -1.0 <= point.total_shift <= 1.0
+            assert -1.0 <= point.residential_shift <= 1.0
+
+    def test_quadrant_labels(self, scatter):
+        labels = {p.quadrant for p in scatter}
+        assert "total-up/residential-up" in labels
+        assert "total-down/residential-up" in labels
+
+    def test_requires_eyeballs(self, scenario):
+        week = timebase.Week(dt.date(2020, 2, 19), "base")
+        flows = scenario.generate_remote_work_flows(week, False)
+        with pytest.raises(ValueError):
+            remotework.traffic_shift_scatter(flows, flows, [])
+
+
+class TestSummary:
+    def test_correlation_positive(self, scatter):
+        summary = remotework.summarize_scatter(scatter)
+        assert summary.majority_correlated()
+
+    def test_x_axis_band_from_transit_ases(self, scenario, scatter):
+        summary = remotework.summarize_scatter(scatter)
+        n_transit = sum(
+            1 for b in scenario.enterprise_behaviors.values()
+            if b.kind == "transit"
+        )
+        # Most transit ASes should land in the x-axis band.
+        assert summary.x_axis_band >= n_transit * 0.4
+
+    def test_top_left_from_declining_remote(self, scenario, scatter):
+        summary = remotework.summarize_scatter(scatter)
+        assert summary.quadrant_counts.get(
+            "total-down/residential-up", 0
+        ) >= 3
+
+    def test_too_few_points_rejected(self, scatter):
+        with pytest.raises(ValueError):
+            remotework.summarize_scatter(scatter[:2])
+
+
+class TestWorkdayRatioGroups:
+    def test_groups_partition_ases(self, scenario):
+        week = timebase.Week(dt.date(2020, 2, 19), "base")
+        flows = scenario.generate_remote_work_flows(week, False)
+        groups = remotework.group_by_workday_ratio(
+            flows, timebase.Region.CENTRAL_EUROPE
+        )
+        total = sum(len(v) for v in groups.values())
+        assert total == len(scenario.enterprise_behaviors)
+
+    def test_enterprises_workday_dominated(self, scenario):
+        # Enterprise traffic follows business hours, so the
+        # workday-dominated group must dominate (§3.4's expectation).
+        week = timebase.Week(dt.date(2020, 2, 19), "base")
+        flows = scenario.generate_remote_work_flows(week, False)
+        groups = remotework.group_by_workday_ratio(
+            flows, timebase.Region.CENTRAL_EUROPE
+        )
+        assert len(groups["workday-dominated"]) > len(
+            groups["weekend-dominated"]
+        )
+
+    def test_needs_both_day_kinds(self, scenario):
+        week = timebase.Week(dt.date(2020, 2, 19), "base")
+        flows = scenario.generate_remote_work_flows(week, False)
+        # Restrict to a single workday: grouping must fail.
+        start = timebase.hour_index(dt.date(2020, 2, 19), 0)
+        workday_only = flows.between_hours(start, start + 24)
+        with pytest.raises(ValueError):
+            remotework.group_by_workday_ratio(
+                workday_only, timebase.Region.CENTRAL_EUROPE
+            )

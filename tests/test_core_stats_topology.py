@@ -1,0 +1,195 @@
+"""Unit tests for the statistics wrappers and peering-graph analysis."""
+
+import datetime as dt
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core import matrix, stats, topology
+from repro.core.matrix import TrafficMatrix
+from repro.netbase.asdb import HYPERGIANT_ASNS
+from repro.synth import linkutil as linkutil_synth
+
+
+class TestKSShift:
+    def test_clear_shift_significant(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0.0, 0.3, 200)
+        stage = rng.uniform(0.15, 0.5, 200)
+        result = stats.ks_shift(base, stage)
+        assert result.significant()
+        assert result.direction == "right"
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(1)
+        base = rng.uniform(0, 1, 200)
+        stage = rng.uniform(0, 1, 200)
+        assert not stats.ks_shift(base, stage).significant(alpha=0.001)
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            stats.ks_shift([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_fig5_utilizations_significant(self, scenario):
+        members = scenario.members["ixp-ce"]
+        base = linkutil_synth.member_day_utilization(
+            members, dt.date(2020, 2, 19), 1.0, seed=scenario.seed + 51
+        )
+        stage = linkutil_synth.member_day_utilization(
+            members, dt.date(2020, 4, 22), 1.3, seed=scenario.seed + 51,
+            shape_name="lockdown-workday",
+        )
+        base_avgs = [float(np.mean(v)) for v in base.values()]
+        stage_avgs = [float(np.mean(v)) for v in stage.values()]
+        result = stats.ks_shift(base_avgs, stage_avgs)
+        assert result.significant()
+        assert result.direction == "right"
+
+
+class TestMannWhitney:
+    def test_level_shift_detected(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(100, 5, 30)
+        stage = rng.normal(125, 5, 30)
+        result = stats.mannwhitney_shift(base, stage)
+        assert result.significant()
+        assert result.direction == "right"
+
+    def test_decrease_direction(self):
+        result = stats.mannwhitney_shift(
+            [10.0] * 10, [5.0, 5.1, 4.9, 5.2, 5.0, 4.8, 5.1, 5.0, 4.9, 5.0]
+        )
+        assert result.direction == "left"
+
+
+class TestSpearmanTrend:
+    def test_rising_trend(self):
+        result = stats.spearman_trend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert result.direction == "right"
+        assert result.significant(alpha=0.05)
+
+    def test_ixp_us_rises_through_april(self, scenario):
+        # §3.1: IXP-US "increases only in April" — the rise window
+        # (weeks 10-15, late lockdown ramping in) is a significant
+        # monotone trend.
+        from repro.core import aggregate
+
+        weekly = aggregate.weekly_normalized(
+            scenario.ixp_us.hourly_traffic(
+                timebase.STUDY_START, timebase.STUDY_END
+            )
+        )
+        values = [weekly.value(w) for w in range(10, 16)]
+        result = stats.spearman_trend(values)
+        assert result.direction == "right"
+        assert result.significant(alpha=0.05)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            stats.spearman_trend([1.0, 2.0, 3.0])
+
+
+@pytest.fixture(scope="module")
+def ixp_graphs(scenario):
+    base_flows = scenario.ixp_ce.generate_week_flows(
+        timebase.MACRO_WEEKS["base"], fidelity=0.4
+    )
+    stage_flows = scenario.ixp_ce.generate_week_flows(
+        timebase.MACRO_WEEKS["stage2"], fidelity=0.4
+    )
+    base_matrix = matrix.build_matrix(base_flows)
+    stage_matrix = matrix.build_matrix(stage_flows)
+    return (
+        topology.build_peering_graph(base_matrix),
+        topology.build_peering_graph(stage_matrix),
+        base_matrix,
+    )
+
+
+class TestPeeringGraph:
+    def test_graph_built(self, ixp_graphs):
+        base_graph, _, base_matrix = ixp_graphs
+        assert base_graph.number_of_nodes() == len(base_matrix.asns)
+        assert base_graph.number_of_edges() > 0
+
+    def test_edge_weights_match_matrix(self, ixp_graphs):
+        base_graph, _, base_matrix = ixp_graphs
+        a, b, volume = base_matrix.top_pairs(1)[0]
+        assert base_graph[a][b]["weight"] == pytest.approx(volume)
+
+    def test_platform_is_one_fabric(self, ixp_graphs):
+        base_graph, _, _ = ixp_graphs
+        assert topology.largest_connected_share(base_graph) > 0.9
+
+    def test_hypergiants_are_hubs(self, ixp_graphs):
+        base_graph, _, base_matrix = ixp_graphs
+        groups = matrix.source_sink_split(base_matrix)
+        summary = topology.summarize_graph(
+            base_graph, groups["sources"], groups["sinks"]
+        )
+        hub_asns = {asn for asn, _ in summary.top_hubs[:5]}
+        assert hub_asns & HYPERGIANT_ASNS
+
+    def test_byte_flow_is_near_bipartite(self, ixp_graphs):
+        base_graph, _, base_matrix = ixp_graphs
+        groups = matrix.source_sink_split(base_matrix, threshold=0.3)
+        summary = topology.summarize_graph(
+            base_graph, groups["sources"], groups["sinks"]
+        )
+        assert summary.bipartite_byte_fraction > 0.5
+
+    def test_hub_share_concentrated(self, ixp_graphs):
+        base_graph, _, base_matrix = ixp_graphs
+        groups = matrix.source_sink_split(base_matrix)
+        summary = topology.summarize_graph(
+            base_graph, groups["sources"], groups["sinks"]
+        )
+        assert summary.hub_share > 0.3
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            topology.summarize_graph(nx.DiGraph(), [], [])
+
+
+class TestEdgeChurn:
+    def test_private_interconnect_move_detected(self):
+        # A heavy VoD -> eyeball edge leaves the public platform.
+        asns = (2906, 230000, 15169)
+        base = TrafficMatrix(
+            asns,
+            np.array(
+                [[0.0, 1e9, 0.0], [0.0, 0.0, 0.0], [0.0, 5e8, 0.0]]
+            ),
+        )
+        stage = TrafficMatrix(
+            asns,
+            np.array(
+                [[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 6e8, 0.0]]
+            ),
+        )
+        churn = topology.edge_churn(
+            topology.build_peering_graph(base),
+            topology.build_peering_graph(stage),
+        )
+        assert (2906, 230000) in churn.disappeared
+        assert churn.heaviest_lost_weight == pytest.approx(1e9)
+
+    def test_min_bytes_filters_noise(self):
+        asns = (1, 2)
+        base = TrafficMatrix(asns, np.array([[0.0, 5.0], [0.0, 0.0]]))
+        stage = TrafficMatrix(asns, np.array([[0.0, 0.0], [0.0, 0.0]]))
+        churn = topology.edge_churn(
+            topology.build_peering_graph(base),
+            topology.build_peering_graph(stage),
+            min_bytes=10.0,
+        )
+        assert churn.n_disappeared == 0
+
+    def test_scenario_churn_modest(self, ixp_graphs):
+        base_graph, stage_graph, _ = ixp_graphs
+        total = max(base_graph.number_of_edges(), 1)
+        churn = topology.edge_churn(base_graph, stage_graph, min_bytes=1e6)
+        # The platform mesh is stable week over week.
+        assert churn.n_disappeared < total * 0.5

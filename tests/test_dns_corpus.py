@@ -1,0 +1,129 @@
+"""Unit tests for the synthetic domain corpus."""
+
+import pytest
+
+from repro.dns.corpus import DNSCorpus, DomainRecord, build_vpn_corpus
+from repro.dns.names import has_vpn_label, www_variant
+from repro.netbase.asdb import build_default_registry
+from repro.netbase.prefixes import PrefixAllocator
+
+
+@pytest.fixture(scope="module")
+def corpus_and_truth():
+    registry = build_default_registry(n_enterprise=60, n_hosting=10)
+    prefix_map = PrefixAllocator(registry).allocate()
+    return build_vpn_corpus(registry, prefix_map, seed=42), prefix_map
+
+
+class TestDomainRecord:
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            DomainRecord("a.example.com", "whois")
+
+
+class TestCorpusStructure:
+    def test_nonempty(self, corpus_and_truth):
+        (corpus, truth), _ = corpus_and_truth
+        assert len(corpus) > 100
+
+    def test_domains_sorted_unique(self, corpus_and_truth):
+        (corpus, _), _ = corpus_and_truth
+        domains = corpus.all_domains()
+        assert domains == sorted(set(domains))
+
+    def test_all_three_sources_present(self, corpus_and_truth):
+        (corpus, _), _ = corpus_and_truth
+        for source in ("ct-logs", "fdns", "umbrella"):
+            assert corpus.domains_from(source)
+
+    def test_unknown_source_query_rejected(self, corpus_and_truth):
+        (corpus, _), _ = corpus_and_truth
+        with pytest.raises(ValueError):
+            corpus.domains_from("zonefiles")
+
+    def test_every_observed_domain_resolves(self, corpus_and_truth):
+        (corpus, _), _ = corpus_and_truth
+        for domain in corpus.all_domains():
+            assert corpus.resolve(domain)
+
+    def test_unknown_domain_resolves_empty(self, corpus_and_truth):
+        (corpus, _), _ = corpus_and_truth
+        assert corpus.resolve("nonexistent.example.org") == ()
+
+
+class TestVPNGroundTruth:
+    def test_has_dedicated_and_shared(self, corpus_and_truth):
+        (_, truth), _ = corpus_and_truth
+        assert truth.dedicated_gateway_ips
+        assert truth.shared_gateway_ips
+
+    def test_disjoint_sets(self, corpus_and_truth):
+        (_, truth), _ = corpus_and_truth
+        assert not truth.dedicated_gateway_ips & truth.shared_gateway_ips
+
+    def test_all_gateways_union(self, corpus_and_truth):
+        (_, truth), _ = corpus_and_truth
+        assert truth.all_gateway_ips == (
+            truth.dedicated_gateway_ips | truth.shared_gateway_ips
+        )
+
+    def test_shared_gateways_collide_with_www(self, corpus_and_truth):
+        (corpus, truth), _ = corpus_and_truth
+        # Every shared gateway address must be reachable through some
+        # *vpn* domain whose www sibling resolves to the same address.
+        for domain in corpus.all_domains():
+            if not has_vpn_label(domain):
+                continue
+            addresses = set(corpus.resolve(domain))
+            www_addresses = set(corpus.resolve(www_variant(domain)))
+            for addr in addresses & set(truth.shared_gateway_ips):
+                assert addr in www_addresses
+
+    def test_dedicated_gateways_distinct_from_www(self, corpus_and_truth):
+        (corpus, truth), _ = corpus_and_truth
+        for domain in corpus.all_domains():
+            if not has_vpn_label(domain):
+                continue
+            addresses = set(corpus.resolve(domain))
+            www_addresses = set(corpus.resolve(www_variant(domain)))
+            for addr in addresses & set(truth.dedicated_gateway_ips):
+                assert addr not in www_addresses
+
+    def test_gateways_inside_owner_prefixes(self, corpus_and_truth):
+        (_, truth), prefix_map = corpus_and_truth
+        for addr in truth.all_gateway_ips:
+            assert prefix_map.asn_for(addr) > 0
+
+
+class TestCorpusParameters:
+    def test_zero_vpn_fraction(self):
+        registry = build_default_registry(n_enterprise=20, n_hosting=5)
+        prefix_map = PrefixAllocator(registry).allocate()
+        corpus, truth = build_vpn_corpus(
+            registry, prefix_map, seed=1, vpn_operator_fraction=0.0
+        )
+        assert not truth.all_gateway_ips
+        assert not any(has_vpn_label(d) for d in corpus.all_domains())
+
+    def test_bad_fractions_rejected(self):
+        registry = build_default_registry(n_enterprise=5, n_hosting=2)
+        prefix_map = PrefixAllocator(registry).allocate()
+        with pytest.raises(ValueError):
+            build_vpn_corpus(registry, prefix_map, 1,
+                             vpn_operator_fraction=1.5)
+        with pytest.raises(ValueError):
+            build_vpn_corpus(registry, prefix_map, 1,
+                             shared_ip_fraction=-0.1)
+
+    def test_merged_with(self):
+        a = DNSCorpus(
+            [DomainRecord("a.example.com", "fdns")],
+            {"a.example.com": (1,)},
+        )
+        b = DNSCorpus(
+            [DomainRecord("b.example.com", "ct-logs")],
+            {"b.example.com": (2,)},
+        )
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.resolve("b.example.com") == (2,)

@@ -1,0 +1,106 @@
+"""Unit tests for domain-name handling and the *vpn* heuristic."""
+
+import pytest
+
+from repro.dns.names import (
+    has_vpn_label,
+    labels_left_of_public_suffix,
+    public_suffix,
+    registrable_domain,
+    split_host_and_zone,
+    www_variant,
+)
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self):
+        assert public_suffix("example.com") == "com"
+
+    def test_multi_label_suffix(self):
+        assert public_suffix("example.co.uk") == "co.uk"
+
+    def test_longest_match_wins(self):
+        # co.uk must beat uk.
+        assert public_suffix("deep.sub.example.co.uk") == "co.uk"
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(ValueError):
+            public_suffix("example.zz")
+
+    def test_case_and_trailing_dot_normalized(self):
+        assert public_suffix("Example.COM.") == "com"
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            public_suffix("a..b.com")
+
+
+class TestRegistrableDomain:
+    def test_apex(self):
+        assert registrable_domain("example.com") == "example.com"
+
+    def test_subdomain(self):
+        assert registrable_domain("vpn.corp.example.com") == "example.com"
+
+    def test_multi_label_suffix(self):
+        assert registrable_domain("www.example.co.uk") == "example.co.uk"
+
+    def test_bare_suffix_raises(self):
+        with pytest.raises(ValueError):
+            registrable_domain("com")
+
+
+class TestLabels:
+    def test_labels_left_of_suffix(self):
+        assert labels_left_of_public_suffix("a.b.example.com") == [
+            "a", "b", "example",
+        ]
+
+    def test_bare_suffix_has_no_labels(self):
+        assert labels_left_of_public_suffix("co.uk") == []
+
+    def test_split_host_and_zone(self):
+        host, zone = split_host_and_zone("companyvpn3.example.com")
+        assert host == "companyvpn3"
+        assert zone == "example.com"
+
+    def test_split_apex(self):
+        host, zone = split_host_and_zone("example.com")
+        assert host == ""
+        assert zone == "example.com"
+
+
+class TestVPNLabel:
+    def test_paper_example(self):
+        assert has_vpn_label("companyvpn3.example.com")
+
+    def test_plain_vpn_host(self):
+        assert has_vpn_label("vpn.example.com")
+
+    def test_nested_vpn_label(self):
+        assert has_vpn_label("sslvpn.gw.example.de")
+
+    def test_vpn_in_registrable_label(self):
+        # 'vpn' left of the public suffix matches even at the apex.
+        assert has_vpn_label("nordvpn.com")
+
+    def test_www_never_matches(self):
+        assert not has_vpn_label("www.example.com")
+
+    def test_unrelated_host(self):
+        assert not has_vpn_label("mail.example.com")
+
+    def test_vpn_right_of_suffix_not_matched(self):
+        # No 'vpn' left of the public suffix here.
+        assert not has_vpn_label("example.com")
+
+
+class TestWWWVariant:
+    def test_paper_elimination_pair(self):
+        assert www_variant("companyvpn3.example.com") == "www.example.com"
+
+    def test_multi_label_suffix(self):
+        assert www_variant("vpn.example.co.uk") == "www.example.co.uk"
+
+    def test_apex(self):
+        assert www_variant("example.com") == "www.example.com"

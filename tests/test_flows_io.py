@@ -1,0 +1,90 @@
+"""Unit tests for flow-table persistence."""
+
+import numpy as np
+import pytest
+
+from repro.flows.io import (
+    iter_csv_records,
+    read_csv,
+    read_npz,
+    write_csv,
+    write_npz,
+)
+from repro.flows.record import PROTO_TCP, FlowRecord
+from repro.flows.table import FlowTable
+
+
+@pytest.fixture
+def table():
+    return FlowTable.from_records(
+        [
+            FlowRecord(
+                hour=h, src_ip=10 + h, dst_ip=20 + h, src_asn=100,
+                dst_asn=200, proto=PROTO_TCP, src_port=50000, dst_port=443,
+                n_bytes=1000 * (h + 1), n_packets=h + 1,
+            )
+            for h in range(5)
+        ]
+    )
+
+
+class TestCSV:
+    def test_round_trip(self, table, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_csv(table, path)
+        assert read_csv(path) == table
+
+    def test_header_written(self, table, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_csv(table, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("hour,src_ip")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_empty_table(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(FlowTable.empty(), path)
+        assert len(read_csv(path)) == 0
+
+    def test_iter_csv_records(self, table, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_csv(table, path)
+        records = list(iter_csv_records(path))
+        assert len(records) == 5
+        assert records[0] == table.record(0)
+
+    def test_iter_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x\n")
+        with pytest.raises(ValueError):
+            list(iter_csv_records(path))
+
+
+class TestNPZ:
+    def test_round_trip(self, table, tmp_path):
+        path = tmp_path / "flows.npz"
+        write_npz(table, path)
+        assert read_npz(path) == table
+
+    def test_empty_table(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        write_npz(FlowTable.empty(), path)
+        assert len(read_npz(path)) == 0
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, hour=np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            read_npz(path)
+
+    def test_npz_preserves_dtypes(self, table, tmp_path):
+        path = tmp_path / "flows.npz"
+        write_npz(table, path)
+        loaded = read_npz(path)
+        assert loaded.column("src_ip").dtype == np.uint32
+        assert loaded.column("n_bytes").dtype == np.int64

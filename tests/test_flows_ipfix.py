@@ -1,0 +1,116 @@
+"""Unit tests for the IPFIX codec and collector."""
+
+import struct
+
+import pytest
+
+from repro.flows.ipfix import (
+    Collector,
+    DEFAULT_TEMPLATE_ID,
+    MIN_DATA_SET_ID,
+    VERSION,
+    decode_messages,
+    encode_messages,
+)
+from repro.flows.record import PROTO_UDP, FlowRecord
+from repro.flows.table import FlowTable
+
+
+def record(hour=50, src_asn=210000, n_bytes=2**35, connections=3):
+    return FlowRecord(
+        hour=hour, src_ip=1, dst_ip=2, src_asn=src_asn, dst_asn=15169,
+        proto=PROTO_UDP, src_port=55555, dst_port=443,
+        n_bytes=n_bytes, n_packets=100, connections=connections,
+    )
+
+
+@pytest.fixture
+def table():
+    return FlowTable.from_records([record(hour=50 + i) for i in range(5)])
+
+
+class TestEncode:
+    def test_first_message_carries_template(self, table):
+        messages = encode_messages(table)
+        # Template set id (2) appears right after the 16-byte header.
+        set_id = struct.unpack_from("!H", messages[0], 16)[0]
+        assert set_id == 2
+
+    def test_message_splitting(self):
+        table = FlowTable.from_records([record() for _ in range(25)])
+        messages = encode_messages(table, max_records_per_message=10)
+        assert len(messages) == 3
+
+    def test_template_id_validated(self, table):
+        with pytest.raises(ValueError):
+            encode_messages(table, template_id=100)
+
+    def test_batch_size_validated(self, table):
+        with pytest.raises(ValueError):
+            encode_messages(table, max_records_per_message=0)
+
+    def test_empty_table_emits_template_only(self):
+        messages = encode_messages(FlowTable.empty())
+        assert len(messages) == 1
+        assert len(decode_messages(messages)) == 0
+
+
+class TestRoundTrip:
+    def test_lossless_round_trip(self, table):
+        decoded = decode_messages(encode_messages(table))
+        assert decoded == table
+
+    def test_preserves_64bit_counters(self, table):
+        decoded = decode_messages(encode_messages(table))
+        assert decoded.record(0).n_bytes == 2**35
+
+    def test_preserves_32bit_asns(self, table):
+        decoded = decode_messages(encode_messages(table))
+        assert decoded.record(0).src_asn == 210000
+
+    def test_preserves_connection_counts(self, table):
+        decoded = decode_messages(encode_messages(table))
+        assert decoded.record(0).connections == 3
+
+
+class TestCollector:
+    def test_data_before_template_skipped(self, table):
+        messages = encode_messages(table, max_records_per_message=2)
+        collector = Collector()
+        # Feed a data-only message first: no template cached yet.
+        assert collector.feed(messages[1]) == 0
+        # After the template arrives, data decodes.
+        assert collector.feed(messages[0]) == 2
+        assert collector.feed(messages[1]) == 2
+
+    def test_templates_scoped_per_domain(self, table):
+        domain_a = encode_messages(table, observation_domain=1)
+        domain_b = encode_messages(
+            table, observation_domain=2, max_records_per_message=2
+        )
+        collector = Collector()
+        collector.feed(domain_a[0])
+        # Domain 2's data message cannot use domain 1's template.
+        assert collector.feed(domain_b[1]) == 0
+
+    def test_rejects_wrong_version(self, table):
+        message = bytearray(encode_messages(table)[0])
+        struct.pack_into("!H", message, 0, 9)
+        with pytest.raises(ValueError):
+            Collector().feed(bytes(message))
+
+    def test_rejects_truncated_message(self, table):
+        message = encode_messages(table)[0]
+        with pytest.raises(ValueError):
+            Collector().feed(message[:20])
+
+    def test_rejects_short_header(self):
+        with pytest.raises(ValueError):
+            Collector().feed(b"\x00" * 8)
+
+    def test_collector_accumulates(self, table):
+        messages = encode_messages(table, max_records_per_message=2)
+        collector = Collector()
+        for message in messages:
+            collector.feed(message)
+        assert collector.table() == table

@@ -1,0 +1,118 @@
+"""Unit tests for the NetFlow v5 binary codec."""
+
+import struct
+
+import pytest
+
+from repro.flows.netflow5 import (
+    AS_TRANS,
+    MAX_RECORDS_PER_PACKET,
+    VERSION,
+    decode_packet,
+    decode_packets,
+    encode_packets,
+    round_trip_lossless,
+)
+from repro.flows.record import PROTO_TCP, PROTO_UDP, FlowRecord
+from repro.flows.table import FlowTable
+
+
+def record(hour=10, src_asn=3320, dst_asn=15169, n_bytes=5000,
+           n_packets=5, connections=1):
+    return FlowRecord(
+        hour=hour, src_ip=0x0A010203, dst_ip=0xC0A80101,
+        src_asn=src_asn, dst_asn=dst_asn, proto=PROTO_TCP,
+        src_port=51000, dst_port=443, n_bytes=n_bytes,
+        n_packets=n_packets, connections=connections,
+    )
+
+
+@pytest.fixture
+def table():
+    return FlowTable.from_records([record(hour=10 + i % 2) for i in range(7)])
+
+
+class TestEncode:
+    def test_packet_sizes(self, table):
+        packets = encode_packets(table)
+        assert len(packets) == 1
+        assert len(packets[0]) == 24 + 7 * 48
+
+    def test_packetization_at_30(self):
+        table = FlowTable.from_records([record() for _ in range(65)])
+        packets = encode_packets(table)
+        assert len(packets) == 3
+        counts = [decode_packet(p)[0].count for p in packets]
+        assert counts == [30, 30, 5]
+
+    def test_sequence_numbers_accumulate(self):
+        table = FlowTable.from_records([record() for _ in range(61)])
+        packets = encode_packets(table, first_sequence=100)
+        sequences = [decode_packet(p)[0].flow_sequence for p in packets]
+        assert sequences == [100, 130, 160]
+
+    def test_sampling_interval_encoded(self, table):
+        packets = encode_packets(table, sampling_interval=1000)
+        header, _ = decode_packet(packets[0])
+        assert header.sampling_interval == 1000
+
+    def test_sampling_interval_range(self, table):
+        with pytest.raises(ValueError):
+            encode_packets(table, sampling_interval=0x4000)
+
+    def test_empty_table(self):
+        assert encode_packets(FlowTable.empty()) == []
+
+
+class TestDecode:
+    def test_round_trip(self, table):
+        packets = encode_packets(table)
+        decoded = decode_packets(packets)
+        assert len(decoded) == len(table)
+        assert decoded.total_bytes() == table.total_bytes()
+        assert decoded.column("hour").tolist() == (
+            table.column("hour").tolist()
+        )
+        assert decoded.column("src_asn").tolist() == (
+            table.column("src_asn").tolist()
+        )
+
+    def test_rejects_wrong_version(self, table):
+        packet = bytearray(encode_packets(table)[0])
+        struct.pack_into("!H", packet, 0, 9)
+        with pytest.raises(ValueError):
+            decode_packet(bytes(packet))
+
+    def test_rejects_truncation(self, table):
+        packet = encode_packets(table)[0]
+        with pytest.raises(ValueError):
+            decode_packet(packet[:-10])
+
+    def test_rejects_short_header(self):
+        with pytest.raises(ValueError):
+            decode_packet(b"\x00" * 10)
+
+    def test_32bit_asn_becomes_as_trans(self):
+        table = FlowTable.from_records([record(src_asn=210000)])
+        decoded = decode_packets(encode_packets(table))
+        assert decoded.record(0).src_asn == AS_TRANS
+
+
+class TestLossless:
+    def test_plain_table_lossless(self, table):
+        assert round_trip_lossless(table)
+
+    def test_32bit_asn_lossy(self):
+        table = FlowTable.from_records([record(dst_asn=4200000000 % 2**31)])
+        assert not round_trip_lossless(table)
+
+    def test_counter_overflow_lossy(self):
+        table = FlowTable.from_records([record(n_bytes=2**33)])
+        assert not round_trip_lossless(table)
+
+    def test_connection_aggregates_lossy(self):
+        table = FlowTable.from_records([record(connections=5)])
+        assert not round_trip_lossless(table)
+
+    def test_empty_lossless(self):
+        assert round_trip_lossless(FlowTable.empty())

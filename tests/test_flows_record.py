@@ -1,0 +1,132 @@
+"""Unit tests for flow records and protocol helpers."""
+
+import pytest
+
+from repro.flows.record import (
+    PROTO_ESP,
+    PROTO_GRE,
+    PROTO_TCP,
+    PROTO_UDP,
+    FlowRecord,
+    int_to_ip,
+    ip_to_int,
+    proto_name,
+    proto_number,
+)
+
+
+def make_record(**overrides):
+    defaults = dict(
+        hour=100,
+        src_ip=ip_to_int("10.1.2.3"),
+        dst_ip=ip_to_int("192.168.1.1"),
+        src_asn=15169,
+        dst_asn=3320,
+        proto=PROTO_TCP,
+        src_port=443,
+        dst_port=52000,
+        n_bytes=1500,
+        n_packets=3,
+    )
+    defaults.update(overrides)
+    return FlowRecord(**defaults)
+
+
+class TestProtocolHelpers:
+    def test_proto_names(self):
+        assert proto_name(PROTO_TCP) == "TCP"
+        assert proto_name(PROTO_UDP) == "UDP"
+        assert proto_name(PROTO_GRE) == "GRE"
+        assert proto_name(PROTO_ESP) == "ESP"
+
+    def test_unknown_proto_stringified(self):
+        assert proto_name(99) == "99"
+
+    def test_proto_number_case_insensitive(self):
+        assert proto_number("tcp") == PROTO_TCP
+        assert proto_number("Udp") == PROTO_UDP
+
+    def test_proto_number_unknown_raises(self):
+        with pytest.raises(ValueError):
+            proto_number("quic")
+
+    def test_ip_round_trip(self):
+        assert int_to_ip(ip_to_int("203.0.113.7")) == "203.0.113.7"
+
+
+class TestValidation:
+    def test_negative_hour_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(hour=-1)
+
+    def test_port_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(src_port=70000)
+
+    def test_ip_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(src_ip=2**32)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(n_bytes=-1)
+
+    def test_negative_connections_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(connections=-1)
+
+
+class TestServicePort:
+    def test_service_on_src_side(self):
+        record = make_record(src_port=443, dst_port=52000)
+        assert record.service_port() == 443
+
+    def test_service_on_dst_side(self):
+        record = make_record(src_port=52000, dst_port=443)
+        assert record.service_port() == 443
+
+    def test_both_ephemeral_uses_dst(self):
+        record = make_record(src_port=50001, dst_port=50002)
+        assert record.service_port() == 50002
+
+    def test_portless_protocol(self):
+        record = make_record(proto=PROTO_GRE, src_port=0, dst_port=0)
+        assert record.service_port() == 0
+
+
+class TestTransportKey:
+    def test_tcp_key(self):
+        assert make_record().transport_key() == "TCP/443"
+
+    def test_udp_key(self):
+        record = make_record(proto=PROTO_UDP, src_port=50000, dst_port=4500)
+        assert record.transport_key() == "UDP/4500"
+
+    def test_gre_has_bare_name(self):
+        record = make_record(proto=PROTO_GRE, src_port=0, dst_port=0)
+        assert record.transport_key() == "GRE"
+
+
+class TestReversed:
+    def test_swaps_endpoints(self):
+        record = make_record()
+        rev = record.reversed()
+        assert rev.src_ip == record.dst_ip
+        assert rev.dst_asn == record.src_asn
+        assert rev.src_port == record.dst_port
+
+    def test_double_reverse_is_identity(self):
+        record = make_record()
+        assert record.reversed().reversed() == record
+
+    def test_preserves_counters(self):
+        record = make_record(n_bytes=999, n_packets=9)
+        rev = record.reversed()
+        assert rev.n_bytes == 999
+        assert rev.n_packets == 9
+
+    def test_ip_properties(self):
+        record = make_record()
+        assert record.src_ip_str == "10.1.2.3"
+        assert record.dst_ip_str == "192.168.1.1"
+        assert record.proto_name == "TCP"

@@ -1,0 +1,131 @@
+"""Unit tests for sampled-NetFlow emulation."""
+
+import numpy as np
+import pytest
+
+from repro.flows.record import PROTO_TCP, FlowRecord
+from repro.flows.sampling import (
+    effective_flow_fraction,
+    expected_survival_probability,
+    packet_sample,
+    scale_up,
+)
+from repro.flows.table import FlowTable
+
+
+def big_table(n=2000, packets=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return FlowTable.from_records(
+        [
+            FlowRecord(
+                hour=int(rng.integers(0, 24)), src_ip=i, dst_ip=i + 1,
+                src_asn=1, dst_asn=2, proto=PROTO_TCP, src_port=50000,
+                dst_port=443, n_bytes=packets * 1000, n_packets=packets,
+            )
+            for i in range(n)
+        ]
+    )
+
+
+class TestPacketSample:
+    def test_rate_one_is_identity(self):
+        table = big_table(50)
+        assert packet_sample(table, 1) is table
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            packet_sample(big_table(5), 0)
+
+    def test_zero_packet_flows_dropped(self):
+        # One-packet flows at 1:1000 sampling almost all disappear.
+        table = FlowTable.from_records(
+            [
+                FlowRecord(
+                    hour=0, src_ip=i, dst_ip=0, src_asn=1, dst_asn=2,
+                    proto=PROTO_TCP, src_port=50000, dst_port=443,
+                    n_bytes=100, n_packets=1,
+                )
+                for i in range(500)
+            ]
+        )
+        sampled = packet_sample(table, 1000, seed=1)
+        assert len(sampled) < 20
+
+    def test_counters_shrink(self):
+        table = big_table()
+        sampled = packet_sample(table, 10, seed=1)
+        assert sampled.total_bytes() < table.total_bytes()
+        assert int(sampled.column("n_packets").sum()) < int(
+            table.column("n_packets").sum()
+        )
+
+    def test_sampled_flows_have_positive_counters(self):
+        sampled = packet_sample(big_table(packets=3), 10, seed=2)
+        assert np.all(sampled.column("n_packets") >= 1)
+        assert np.all(sampled.column("n_bytes") >= 1)
+
+    def test_deterministic(self):
+        table = big_table(200)
+        assert packet_sample(table, 8, seed=5) == packet_sample(
+            table, 8, seed=5
+        )
+
+    def test_empty_table(self):
+        assert len(packet_sample(FlowTable.empty(), 100)) == 0
+
+
+class TestScaleUp:
+    def test_unbiased_byte_estimate(self):
+        table = big_table(n=4000, packets=50)
+        rate = 16
+        estimated = scale_up(packet_sample(table, rate, seed=3), rate)
+        ratio = estimated.total_bytes() / table.total_bytes()
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_unbiased_packet_estimate(self):
+        table = big_table(n=4000, packets=50)
+        rate = 16
+        estimated = scale_up(packet_sample(table, rate, seed=4), rate)
+        ratio = int(estimated.column("n_packets").sum()) / int(
+            table.column("n_packets").sum()
+        )
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_flow_counts_biased_low(self):
+        table = big_table(n=2000, packets=5)
+        sampled = packet_sample(table, 50, seed=5)
+        assert len(sampled) < len(table) * 0.5
+
+    def test_rate_one_identity(self):
+        table = big_table(10)
+        assert scale_up(table, 1) is table
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            scale_up(big_table(5), 0)
+
+
+class TestSurvival:
+    def test_matches_analytic_probability(self):
+        table = big_table(n=5000, packets=10)
+        rate = 20
+        sampled = packet_sample(table, rate, seed=6)
+        empirical = effective_flow_fraction(table, sampled)
+        analytic = expected_survival_probability(table, rate)
+        assert empirical == pytest.approx(analytic, rel=0.08)
+
+    def test_survival_increases_with_packets(self):
+        small = big_table(n=100, packets=2)
+        large = big_table(n=100, packets=200)
+        rate = 30
+        assert expected_survival_probability(
+            large, rate
+        ) > expected_survival_probability(small, rate)
+
+    def test_empty_original_rejected(self):
+        with pytest.raises(ValueError):
+            effective_flow_fraction(FlowTable.empty(), FlowTable.empty())
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            expected_survival_probability(FlowTable.empty(), 10)

@@ -1,0 +1,141 @@
+"""Unit tests for the partitioned flow store."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.core.streaming import StreamingAggregator
+from repro.flows.store import FlowStore
+from repro.flows.table import FlowTable
+
+
+@pytest.fixture(scope="module")
+def three_day_flows(scenario):
+    return scenario.isp_ce.generate_flows(
+        dt.date(2020, 2, 19), dt.date(2020, 2, 21), fidelity=0.3
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FlowStore(tmp_path / "store")
+
+
+class TestWrites:
+    def test_write_and_read_day(self, store, three_day_flows):
+        day = dt.date(2020, 2, 19)
+        start = timebase.hour_index(day, 0)
+        day_flows = three_day_flows.between_hours(start, start + 24)
+        store.write_day(day, day_flows)
+        assert store.read_day(day) == day_flows
+        assert day in store
+
+    def test_write_range_partitions(self, store, three_day_flows):
+        written = store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        assert written == 3
+        assert store.days() == [
+            dt.date(2020, 2, 19), dt.date(2020, 2, 20), dt.date(2020, 2, 21),
+        ]
+
+    def test_wrong_day_rejected(self, store, three_day_flows):
+        with pytest.raises(ValueError):
+            store.write_day(dt.date(2020, 3, 1), three_day_flows)
+
+    def test_rewrite_replaces(self, store, three_day_flows):
+        day = dt.date(2020, 2, 19)
+        start = timebase.hour_index(day, 0)
+        day_flows = three_day_flows.between_hours(start, start + 24)
+        store.write_day(day, day_flows)
+        store.write_day(day, day_flows.head(10))
+        assert len(store.read_day(day)) == 10
+        assert store.total_flows() == 10
+
+    def test_empty_partition_allowed(self, store):
+        store.write_day(dt.date(2020, 2, 19), FlowTable.empty())
+        assert len(store.read_day(dt.date(2020, 2, 19))) == 0
+
+    def test_delete_day(self, store, three_day_flows):
+        store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        store.delete_day(dt.date(2020, 2, 20))
+        assert dt.date(2020, 2, 20) not in store
+        assert len(store) == 2
+        store.delete_day(dt.date(2020, 2, 20))  # no-op
+
+
+class TestReads:
+    def test_read_range_concatenates(self, store, three_day_flows):
+        store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        loaded = store.read_range(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        assert loaded.total_bytes() == three_day_flows.total_bytes()
+        assert len(loaded) == len(three_day_flows)
+
+    def test_read_range_skips_missing(self, store, three_day_flows):
+        store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        store.delete_day(dt.date(2020, 2, 20))
+        loaded = store.read_range(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        assert len(loaded) < len(three_day_flows)
+
+    def test_require_complete(self, store, three_day_flows):
+        store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 20)
+        )
+        with pytest.raises(KeyError):
+            store.read_range(
+                dt.date(2020, 2, 19), dt.date(2020, 2, 21),
+                require_complete=True,
+            )
+
+    def test_missing_day_raises(self, store):
+        with pytest.raises(KeyError):
+            store.read_day(dt.date(2020, 1, 1))
+
+    def test_backwards_range_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.read_range(dt.date(2020, 2, 21), dt.date(2020, 2, 19))
+
+
+class TestManifest:
+    def test_survives_reopen(self, tmp_path, three_day_flows):
+        store = FlowStore(tmp_path / "store")
+        store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        reopened = FlowStore(tmp_path / "store")
+        assert reopened.days() == store.days()
+        assert reopened.total_flows() == len(three_day_flows)
+        assert reopened.total_bytes() == three_day_flows.total_bytes()
+
+    def test_totals_track_manifest(self, store, three_day_flows):
+        store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        assert store.total_flows() == len(three_day_flows)
+
+
+class TestStreamingIntegration:
+    def test_iter_days_feeds_streaming(self, store, three_day_flows):
+        store.write_range(
+            three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        start = timebase.hour_index(dt.date(2020, 2, 19), 0)
+        aggregator = StreamingAggregator(start, start + 72)
+        for _, flows in store.iter_days():
+            aggregator.feed(flows)
+        batch = three_day_flows.hourly_bytes(start, start + 72)
+        assert np.array_equal(
+            aggregator.hourly_bytes().values, batch.astype(np.float64)
+        )

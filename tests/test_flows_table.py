@@ -1,0 +1,226 @@
+"""Unit tests for the columnar flow table."""
+
+import numpy as np
+import pytest
+
+from repro.flows.record import PROTO_ESP, PROTO_GRE, PROTO_TCP, PROTO_UDP, FlowRecord
+from repro.flows.table import COLUMNS, FlowTable
+
+
+def record(hour=0, src_asn=1, dst_asn=2, proto=PROTO_TCP, src_port=50000,
+           dst_port=443, n_bytes=100, src_ip=0x0A000001, dst_ip=0x0A000002,
+           connections=1):
+    return FlowRecord(
+        hour=hour, src_ip=src_ip, dst_ip=dst_ip, src_asn=src_asn,
+        dst_asn=dst_asn, proto=proto, src_port=src_port, dst_port=dst_port,
+        n_bytes=n_bytes, n_packets=max(1, n_bytes // 100),
+        connections=connections,
+    )
+
+
+@pytest.fixture
+def small_table():
+    return FlowTable.from_records(
+        [
+            record(hour=0, src_asn=15169, n_bytes=1000),
+            record(hour=0, src_asn=3320, n_bytes=500, proto=PROTO_UDP,
+                   dst_port=443),
+            record(hour=1, src_asn=15169, n_bytes=2000),
+            record(hour=2, src_asn=2906, n_bytes=300, proto=PROTO_GRE,
+                   src_port=0, dst_port=0),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        table = FlowTable.empty()
+        assert len(table) == 0
+        assert table.total_bytes() == 0
+
+    def test_from_records_round_trip(self, small_table):
+        assert len(small_table) == 4
+        assert small_table.record(0).src_asn == 15169
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTable({"hour": np.zeros(3)})
+
+    def test_unknown_column_rejected(self):
+        columns = {name: np.zeros(2, dtype=dt) for name, dt in COLUMNS.items()}
+        columns["bogus"] = np.zeros(2)
+        with pytest.raises(ValueError):
+            FlowTable(columns)
+
+    def test_mismatched_lengths_rejected(self):
+        columns = {name: np.zeros(2, dtype=dt) for name, dt in COLUMNS.items()}
+        columns["hour"] = np.zeros(3, dtype=np.int64)
+        with pytest.raises(ValueError):
+            FlowTable(columns)
+
+    def test_from_arrays_defaults_connections(self):
+        table = FlowTable.from_arrays(
+            hour=np.array([0]), src_ip=np.array([1]), dst_ip=np.array([2]),
+            src_asn=np.array([1]), dst_asn=np.array([2]),
+            proto=np.array([6]), src_port=np.array([1]),
+            dst_port=np.array([2]), n_bytes=np.array([10]),
+            n_packets=np.array([1]),
+        )
+        assert table.total_connections() == 1
+
+    def test_concat(self, small_table):
+        doubled = FlowTable.concat([small_table, small_table])
+        assert len(doubled) == 8
+        assert doubled.total_bytes() == 2 * small_table.total_bytes()
+
+    def test_concat_empty_list(self):
+        assert len(FlowTable.concat([])) == 0
+
+    def test_equality(self, small_table):
+        same = FlowTable.from_records(list(small_table))
+        assert same == small_table
+        assert small_table != FlowTable.empty()
+
+
+class TestColumnAccess:
+    def test_column_read_only(self, small_table):
+        col = small_table.column("n_bytes")
+        with pytest.raises(ValueError):
+            col[0] = 7
+
+    def test_columns_dict(self, small_table):
+        assert set(small_table.columns) == set(COLUMNS)
+
+    def test_iter_yields_records(self, small_table):
+        records = list(small_table)
+        assert len(records) == 4
+        assert isinstance(records[0], FlowRecord)
+
+    def test_repr(self, small_table):
+        assert "4" in repr(small_table)
+
+
+class TestSelection:
+    def test_filter_mask(self, small_table):
+        mask = small_table.column("src_asn") == 15169
+        assert len(small_table.filter(mask)) == 2
+
+    def test_filter_bad_mask_rejected(self, small_table):
+        with pytest.raises(ValueError):
+            small_table.filter(np.ones(3, dtype=bool))
+
+    def test_where_scalar(self, small_table):
+        assert len(small_table.where(proto=PROTO_GRE)) == 1
+
+    def test_where_membership(self, small_table):
+        sub = small_table.where(src_asn=[15169, 2906])
+        assert len(sub) == 3
+
+    def test_where_set(self, small_table):
+        assert len(small_table.where(src_asn={3320})) == 1
+
+    def test_where_unknown_column(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.where(nonexistent=1)
+
+    def test_between_hours(self, small_table):
+        assert len(small_table.between_hours(0, 2)) == 3
+
+
+class TestAggregation:
+    def test_total_bytes(self, small_table):
+        assert small_table.total_bytes() == 3800
+
+    def test_hourly_bytes(self, small_table):
+        hourly = small_table.hourly_bytes(0, 4)
+        assert hourly.tolist() == [1500, 2000, 300, 0]
+
+    def test_hourly_bytes_bad_range(self, small_table):
+        with pytest.raises(ValueError):
+            small_table.hourly_bytes(5, 5)
+
+    def test_hourly_connections(self, small_table):
+        assert small_table.hourly_connections(0, 3).tolist() == [2, 1, 1]
+
+    def test_bytes_by_asn(self, small_table):
+        by_asn = small_table.bytes_by("src_asn")
+        assert by_asn[15169] == 3000
+        assert by_asn[3320] == 500
+
+    def test_connections_by(self, small_table):
+        assert small_table.connections_by("src_asn")[15169] == 2
+
+    def test_unique_ips(self):
+        table = FlowTable.from_records(
+            [record(src_ip=1), record(src_ip=1), record(src_ip=2)]
+        )
+        assert table.unique_ips("src") == 2
+        assert table.unique_ips("dst") == 1
+
+    def test_unique_ips_bad_side(self, small_table):
+        with pytest.raises(ValueError):
+            small_table.unique_ips("middle")
+
+    def test_unique_ips_per_hour(self):
+        table = FlowTable.from_records(
+            [
+                record(hour=0, src_ip=1),
+                record(hour=0, src_ip=1),
+                record(hour=0, src_ip=2),
+                record(hour=1, src_ip=3),
+            ]
+        )
+        counts = table.unique_ips_per_hour(0, 3)
+        assert counts.tolist() == [2, 1, 0]
+
+    def test_unique_ips_per_hour_empty_range(self, small_table):
+        counts = small_table.unique_ips_per_hour(100, 103)
+        assert counts.tolist() == [0, 0, 0]
+
+
+class TestTransportKeys:
+    def test_service_port_prefers_non_ephemeral(self):
+        table = FlowTable.from_records(
+            [record(src_port=443, dst_port=50000)]
+        )
+        assert table.service_ports()[0] == 443
+
+    def test_portless_protocols_zero(self, small_table):
+        ports = small_table.service_ports()
+        assert ports[-1] == 0
+
+    def test_transport_keys(self, small_table):
+        keys = set(small_table.transport_keys())
+        assert keys == {"TCP/443", "UDP/443", "GRE"}
+
+    def test_bytes_by_transport_key(self, small_table):
+        by_key = small_table.bytes_by_transport_key()
+        assert by_key["TCP/443"] == 3000
+        assert by_key["UDP/443"] == 500
+        assert by_key["GRE"] == 300
+
+    def test_top_transport_keys_ordering(self, small_table):
+        top = small_table.top_transport_keys(2)
+        assert top[0] == ("TCP/443", 3000)
+        assert top[1] == ("UDP/443", 500)
+
+
+class TestOrderingHelpers:
+    def test_sort_by_hour(self):
+        table = FlowTable.from_records(
+            [record(hour=5), record(hour=1), record(hour=3)]
+        )
+        assert table.sort_by_hour().column("hour").tolist() == [1, 3, 5]
+
+    def test_head(self, small_table):
+        assert len(small_table.head(2)) == 2
+
+    def test_sample_smaller_than_table(self, small_table):
+        sampled = small_table.sample(2, seed=1)
+        assert len(sampled) == 2
+
+    def test_sample_larger_returns_self(self, small_table):
+        assert small_table.sample(100) is small_table
+
+    def test_sample_deterministic(self, small_table):
+        assert small_table.sample(2, seed=3) == small_table.sample(2, seed=3)

@@ -1,0 +1,111 @@
+"""Unit tests for the AS registry."""
+
+import pytest
+
+from repro.netbase.asdb import (
+    ASCategory,
+    ASInfo,
+    ASRegistry,
+    HYPERGIANT_ASNS,
+    HYPERGIANTS,
+    build_default_registry,
+)
+from repro.timebase import Region
+
+
+class TestHypergiantList:
+    def test_fifteen_hypergiants(self):
+        assert len(HYPERGIANTS) == 15
+
+    def test_table2_members(self):
+        asns = {a.asn for a in HYPERGIANTS}
+        # Spot-check the paper's Table 2.
+        assert {714, 16509, 32934, 15169, 20940, 2906, 8075, 13335} <= asns
+
+    def test_asn_set_matches_list(self):
+        assert HYPERGIANT_ASNS == frozenset(a.asn for a in HYPERGIANTS)
+
+    def test_all_categorized_as_hypergiant(self):
+        assert all(
+            a.category is ASCategory.HYPERGIANT for a in HYPERGIANTS
+        )
+
+
+class TestASInfo:
+    def test_rejects_nonpositive_asn(self):
+        with pytest.raises(ValueError):
+            ASInfo(0, "x", ASCategory.CLOUD)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            ASInfo(1, "x", ASCategory.CLOUD, weight=0)
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        registry = ASRegistry()
+        registry.add(ASInfo(1, "a", ASCategory.CLOUD))
+        with pytest.raises(ValueError):
+            registry.add(ASInfo(1, "b", ASCategory.CLOUD))
+
+    def test_lookup(self):
+        registry = build_default_registry()
+        assert registry.get(15169).name == "Google Inc."
+        assert registry.get(999999999) is None
+
+    def test_name_fallback(self):
+        registry = ASRegistry()
+        assert registry.name(42) == "AS42"
+
+    def test_is_hypergiant(self):
+        registry = build_default_registry()
+        assert registry.is_hypergiant(2906)
+        assert not registry.is_hypergiant(30103)
+
+    def test_contains(self):
+        registry = build_default_registry()
+        assert 15169 in registry
+        assert 4 not in registry
+
+    def test_by_category_sorted_by_weight(self):
+        registry = build_default_registry()
+        gaming = registry.by_category(ASCategory.GAMING)
+        weights = [a.weight for a in gaming]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_asns_by_category(self):
+        registry = build_default_registry()
+        assert len(registry.asns_by_category(ASCategory.CDN)) == 8
+
+    def test_educational_population(self):
+        registry = build_default_registry()
+        edu = registry.asns_by_category(ASCategory.EDUCATIONAL)
+        # Nine Table 1 educational networks plus the EDU metro network.
+        assert len(edu) == 10
+
+
+class TestDefaultRegistry:
+    def test_enterprise_population_size(self):
+        registry = build_default_registry(n_enterprise=50)
+        assert len(registry.by_category(ASCategory.ENTERPRISE)) == 50
+
+    def test_eyeballs_per_region(self):
+        registry = build_default_registry()
+        for region in Region:
+            assert registry.eyeball_asns(region)
+
+    def test_eyeballs_include_mobile(self):
+        registry = build_default_registry()
+        eyeballs = registry.eyeball_asns(Region.CENTRAL_EUROPE)
+        mobile = registry.by_category(ASCategory.MOBILE)
+        assert all(m.asn in eyeballs for m in mobile
+                   if m.region is Region.CENTRAL_EUROPE)
+
+    def test_all_asns_sorted_unique(self):
+        registry = build_default_registry()
+        asns = registry.all_asns()
+        assert asns == sorted(set(asns))
+
+    def test_gaming_has_five_ases(self):
+        registry = build_default_registry()
+        assert len(registry.by_category(ASCategory.GAMING)) == 5

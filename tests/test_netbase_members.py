@@ -1,0 +1,95 @@
+"""Unit tests for the IXP member database."""
+
+import datetime as dt
+
+import pytest
+
+from repro.netbase.members import (
+    CAPACITY_CLASSES,
+    CapacityUpgrade,
+    IXPMember,
+    IXPMemberDB,
+    build_member_db,
+)
+
+WINDOW = (dt.date(2020, 3, 12), dt.date(2020, 4, 20))
+
+
+class TestMember:
+    def test_capacity_before_upgrade(self):
+        member = IXPMember(asn=1, base_capacity_gbps=10)
+        member.add_upgrade(CapacityUpgrade(dt.date(2020, 3, 20), 100))
+        assert member.capacity_on(dt.date(2020, 3, 19)) == 10
+
+    def test_capacity_after_upgrade(self):
+        member = IXPMember(asn=1, base_capacity_gbps=10)
+        member.add_upgrade(CapacityUpgrade(dt.date(2020, 3, 20), 100))
+        assert member.capacity_on(dt.date(2020, 3, 20)) == 110
+
+    def test_upgrades_sorted(self):
+        member = IXPMember(asn=1, base_capacity_gbps=10)
+        member.add_upgrade(CapacityUpgrade(dt.date(2020, 4, 1), 10))
+        member.add_upgrade(CapacityUpgrade(dt.date(2020, 3, 1), 10))
+        assert member.upgrades[0].effective < member.upgrades[1].effective
+
+    def test_nonpositive_upgrade_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityUpgrade(dt.date(2020, 3, 1), 0)
+
+
+class TestMemberDB:
+    def test_duplicate_member_rejected(self):
+        members = [IXPMember(1, 10), IXPMember(1, 100)]
+        with pytest.raises(ValueError):
+            IXPMemberDB("x", members)
+
+    def test_lookup(self):
+        db = IXPMemberDB("x", [IXPMember(5, 10)])
+        assert db.member(5).base_capacity_gbps == 10
+        assert db.get(6) is None
+        assert 5 in db
+
+    def test_total_capacity(self):
+        db = IXPMemberDB("x", [IXPMember(1, 10), IXPMember(2, 100)])
+        assert db.total_capacity_on(dt.date(2020, 1, 1)) == 110
+
+
+class TestBuildMemberDB:
+    def test_member_count(self):
+        db = build_member_db("test", list(range(1, 101)), seed=1)
+        assert len(db) == 100
+
+    def test_capacities_from_classes(self):
+        db = build_member_db("test", list(range(1, 51)), seed=2)
+        for member in db.members():
+            assert member.base_capacity_gbps in CAPACITY_CLASSES
+
+    def test_upgrades_sum_to_requested(self):
+        db = build_member_db(
+            "test", list(range(1, 201)), seed=3,
+            lockdown_upgrade_gbps=1500, upgrade_window=WINDOW,
+        )
+        added = db.capacity_added_between(
+            WINDOW[0] - dt.timedelta(days=1), WINDOW[1]
+        )
+        assert added == 1500
+
+    def test_upgrades_within_window(self):
+        db = build_member_db(
+            "test", list(range(1, 101)), seed=4,
+            lockdown_upgrade_gbps=500, upgrade_window=WINDOW,
+        )
+        for member in db.members():
+            for upgrade in member.upgrades:
+                assert WINDOW[0] <= upgrade.effective <= WINDOW[1]
+
+    def test_upgrades_require_window(self):
+        with pytest.raises(ValueError):
+            build_member_db("x", [1, 2], seed=1, lockdown_upgrade_gbps=10)
+
+    def test_deterministic(self):
+        a = build_member_db("x", list(range(1, 31)), seed=9)
+        b = build_member_db("x", list(range(1, 31)), seed=9)
+        assert [m.base_capacity_gbps for m in a.members()] == [
+            m.base_capacity_gbps for m in b.members()
+        ]

@@ -1,0 +1,104 @@
+"""Unit tests for the port/service registry."""
+
+import pytest
+
+from repro.flows.record import PROTO_TCP, PROTO_UDP
+from repro.netbase.ports import (
+    COLLAB_PORTS,
+    EMAIL_PORTS,
+    GAMING_PORTS,
+    MESSAGING_PORTS,
+    PortRegistry,
+    PortService,
+    VPN_PORTS,
+    WEBCONF_PORTS,
+    default_port_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_port_registry()
+
+
+class TestPortConstants:
+    def test_57_gaming_ports(self):
+        assert len(GAMING_PORTS) == 57
+        assert len(set(GAMING_PORTS)) == 57
+
+    def test_10_email_ports(self):
+        assert len(set(EMAIL_PORTS)) == 10
+
+    def test_5_messaging_ports(self):
+        assert len(set(MESSAGING_PORTS)) == 5
+
+    def test_6_webconf_ports(self):
+        assert len(set(WEBCONF_PORTS)) == 6
+
+    def test_9_collab_ports(self):
+        assert len(set(COLLAB_PORTS)) == 9
+
+    def test_vpn_ports_match_section6(self):
+        assert set(VPN_PORTS) == {500, 1194, 1701, 1723, 4500}
+
+
+class TestRegistryLookups:
+    def test_quic(self, registry):
+        service = registry.get(PROTO_UDP, 443)
+        assert service.service == "quic"
+        assert service.category == "quic"
+
+    def test_https_distinct_from_quic(self, registry):
+        assert registry.get(PROTO_TCP, 443).service == "https"
+
+    def test_zoom_connector(self, registry):
+        assert registry.category(PROTO_UDP, 8801) == "webconf"
+
+    def test_teams_stun(self, registry):
+        assert registry.get(PROTO_UDP, 3480).service == "skype-teams-stun"
+
+    def test_tv_streaming_port(self, registry):
+        assert registry.category(PROTO_TCP, 8200) == "tv-streaming"
+
+    def test_cloudflare_lb(self, registry):
+        assert registry.category(PROTO_UDP, 2408) == "cdn-lb"
+
+    def test_unknown_port_25461_registered(self, registry):
+        assert registry.category(PROTO_TCP, 25461) == "unknown"
+
+    def test_unregistered_port(self, registry):
+        assert registry.get(PROTO_TCP, 61234) is None
+        assert registry.service_name(PROTO_TCP, 61234) == "TCP/61234"
+
+    def test_service_key_format(self):
+        service = PortService(PROTO_UDP, 443, "quic", "quic")
+        assert service.key == "UDP/443"
+
+    def test_duplicate_registration_rejected(self):
+        service = PortService(PROTO_TCP, 80, "http", "web")
+        with pytest.raises(ValueError):
+            PortRegistry([service, service])
+
+
+class TestCategoryQueries:
+    def test_gaming_category_complete(self, registry):
+        assert registry.distinct_ports_in_category("gaming") <= set(
+            GAMING_PORTS
+        )
+        # 5223 may be claimed by push; all others must be present.
+        assert len(registry.ports_in_category("gaming")) >= 55
+
+    def test_vpn_category(self, registry):
+        vpn_ports = registry.distinct_ports_in_category("vpn")
+        assert {500, 4500, 1194, 1701, 1723} == vpn_ports
+
+    def test_push_wins_over_messaging_for_5223(self, registry):
+        # Explicit registration (Apple push) takes precedence.
+        assert registry.category(PROTO_TCP, 5223) == "push"
+
+    def test_remote_desktop_ports(self, registry):
+        ports = registry.distinct_ports_in_category("remote-desktop")
+        assert {1494, 3389, 5938} == ports
+
+    def test_len_counts_services(self, registry):
+        assert len(registry) > 100

@@ -1,0 +1,147 @@
+"""Unit tests for the hourly time-series container."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.series import HourlySeries, full_study_series, sum_series
+
+
+def make_series(start_day=dt.date(2020, 2, 19), days=7, level=10.0):
+    start = timebase.hour_index(start_day, 0)
+    values = np.full(days * 24, level)
+    return HourlySeries(start, values)
+
+
+class TestConstruction:
+    def test_values_coerced_to_float(self):
+        series = HourlySeries(0, np.arange(24, dtype=np.int64))
+        assert series.values.dtype == np.float64
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            HourlySeries(0, np.zeros((2, 24)))
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            HourlySeries(-1, np.zeros(24))
+
+    def test_len_and_bounds(self):
+        series = make_series()
+        assert len(series) == 168
+        assert series.stop_hour == series.start_hour + 168
+        assert series.start_date == dt.date(2020, 2, 19)
+
+
+class TestSlicing:
+    def test_slice_hours(self):
+        series = make_series()
+        sub = series.slice_hours(series.start_hour + 24,
+                                 series.start_hour + 48)
+        assert len(sub) == 24
+        assert sub.start_date == dt.date(2020, 2, 20)
+
+    def test_slice_outside_raises(self):
+        series = make_series()
+        with pytest.raises(ValueError):
+            series.slice_hours(0, 24)
+
+    def test_slice_week(self):
+        series = make_series()
+        week = timebase.Week(dt.date(2020, 2, 19))
+        assert len(series.slice_week(week)) == 168
+
+    def test_slice_day(self):
+        series = make_series()
+        day = series.slice_day(dt.date(2020, 2, 21))
+        assert len(day) == 24
+
+    def test_day_values_shape(self):
+        assert make_series().day_values(dt.date(2020, 2, 19)).shape == (24,)
+
+
+class TestAggregation:
+    def test_total(self):
+        assert make_series(level=2.0).total() == pytest.approx(2.0 * 168)
+
+    def test_daily_totals(self):
+        start, totals = make_series(level=1.0).daily_totals()
+        assert start == dt.date(2020, 2, 19)
+        assert totals.shape == (7,)
+        assert np.allclose(totals, 24.0)
+
+    def test_daily_totals_requires_alignment(self):
+        series = HourlySeries(1, np.zeros(24))
+        with pytest.raises(ValueError):
+            series.daily_totals()
+
+    def test_rebin_six_hours(self):
+        binned = make_series(days=1, level=1.0).rebin(6)
+        assert binned.shape == (4,)
+        assert np.allclose(binned, 6.0)
+
+    def test_rebin_uneven_raises(self):
+        with pytest.raises(ValueError):
+            make_series(days=1).rebin(5)
+
+    def test_iter_days_yields_dates_in_order(self):
+        days = [day for day, _ in make_series().iter_days()]
+        assert days[0] == dt.date(2020, 2, 19)
+        assert days[-1] == dt.date(2020, 2, 25)
+
+
+class TestArithmetic:
+    def test_normalize_by_min(self):
+        start = timebase.hour_index(dt.date(2020, 2, 19), 0)
+        series = HourlySeries(start, np.array([2.0, 4.0, 8.0]))
+        normalized = series.normalize_by_min()
+        assert normalized.values[0] == pytest.approx(1.0)
+        assert normalized.values[-1] == pytest.approx(4.0)
+
+    def test_normalize_by_min_rejects_zero(self):
+        series = HourlySeries(0, np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            series.normalize_by_min()
+
+    def test_normalize_by_max(self):
+        series = HourlySeries(0, np.array([1.0, 5.0]))
+        assert series.normalize_by_max().values[-1] == pytest.approx(1.0)
+
+    def test_add_aligned(self):
+        total = make_series(level=1.0) + make_series(level=2.0)
+        assert np.allclose(total.values, 3.0)
+
+    def test_add_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            make_series() + make_series(start_day=dt.date(2020, 2, 20))
+
+    def test_scale(self):
+        assert np.allclose(make_series(level=3.0).scale(2.0).values, 6.0)
+
+    def test_map_preserves_length(self):
+        mapped = make_series().map(np.sqrt)
+        assert len(mapped) == 168
+
+    def test_map_rejects_shape_change(self):
+        with pytest.raises(ValueError):
+            make_series().map(lambda v: v[:10])
+
+
+class TestHelpers:
+    def test_sum_series(self):
+        result = sum_series([make_series(level=1.0)] * 3)
+        assert np.allclose(result.values, 3.0)
+
+    def test_sum_series_empty_raises(self):
+        with pytest.raises(ValueError):
+            sum_series([])
+
+    def test_full_study_series_length_check(self):
+        with pytest.raises(ValueError):
+            full_study_series(np.zeros(100))
+
+    def test_full_study_series_ok(self):
+        series = full_study_series(np.ones(timebase.STUDY_HOURS))
+        assert series.start_hour == 0

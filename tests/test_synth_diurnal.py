@@ -1,0 +1,96 @@
+"""Unit tests for the diurnal shape models."""
+
+import numpy as np
+import pytest
+
+from repro.synth import diurnal
+
+
+ALL_SHAPES = [
+    "workday", "weekend", "lockdown-workday", "business", "evening",
+    "flat", "business-late", "evening-late",
+]
+
+
+class TestShapeInvariants:
+    @pytest.mark.parametrize("name", ALL_SHAPES)
+    def test_mean_is_one(self, name):
+        shape = diurnal.get_shape(name)
+        assert shape.mean() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ALL_SHAPES)
+    def test_nonnegative(self, name):
+        assert np.all(diurnal.get_shape(name) >= 0)
+
+    @pytest.mark.parametrize("name", ALL_SHAPES)
+    def test_24_entries(self, name):
+        assert diurnal.get_shape(name).shape == (24,)
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            diurnal.get_shape("lunar")
+
+
+class TestShapeSemantics:
+    def test_workday_peaks_in_evening(self):
+        shape = diurnal.workday_shape()
+        assert int(np.argmax(shape)) in range(19, 23)
+
+    def test_weekend_morning_higher_than_workday(self):
+        # "Momentum at about 9 to 10 am" on weekends.
+        workday = diurnal.workday_shape()
+        weekend = diurnal.weekend_shape()
+        assert weekend[10] > workday[10]
+
+    def test_lockdown_workday_has_lunch_dip(self):
+        shape = diurnal.lockdown_workday_shape()
+        assert shape[12] < shape[10] or shape[13] < shape[11]
+
+    def test_lockdown_workday_morning_weekend_like(self):
+        lockdown = diurnal.lockdown_workday_shape()
+        workday = diurnal.workday_shape()
+        weekend = diurnal.weekend_shape()
+        morning = slice(9, 12)
+        assert abs(lockdown[morning].mean() - weekend[morning].mean()) < abs(
+            lockdown[morning].mean() - workday[morning].mean()
+        )
+
+    def test_business_concentrated_in_office_hours(self):
+        shape = diurnal.business_hours_shape()
+        office = shape[9:17].sum()
+        assert office / shape.sum() > 0.55
+
+    def test_evening_concentrated_after_18(self):
+        shape = diurnal.evening_entertainment_shape()
+        assert shape[19:23].sum() / shape.sum() > 0.3
+
+    def test_flat_is_flat(self):
+        shape = diurnal.flat_shape()
+        assert shape.max() / shape.min() < 1.5
+
+
+class TestTransforms:
+    def test_shifted_rolls(self):
+        shape = diurnal.business_hours_shape()
+        shifted = diurnal.shifted(shape, 7)
+        assert shifted[16] == pytest.approx(shape[9])
+
+    def test_shifted_requires_24(self):
+        with pytest.raises(ValueError):
+            diurnal.shifted(np.ones(10), 3)
+
+    def test_blend_endpoints(self):
+        a = diurnal.workday_shape()
+        b = diurnal.weekend_shape()
+        assert np.allclose(diurnal.blend(a, b, 0.0), a)
+        assert np.allclose(diurnal.blend(a, b, 1.0), b)
+
+    def test_blend_clips_t(self):
+        a = diurnal.workday_shape()
+        b = diurnal.weekend_shape()
+        assert np.allclose(diurnal.blend(a, b, 2.0), b)
+
+    def test_business_late_peaks_at_night(self):
+        late = diurnal.get_shape("business-late")
+        # Shifted +7h: the 9-17 office block lands on 16-24.
+        assert int(np.argmax(late)) >= 16

@@ -1,0 +1,222 @@
+"""Unit tests for the flow sampler."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.flows.record import PROTO_GRE, PROTO_TCP, PROTO_UDP
+from repro.netbase.asdb import ASCategory, build_default_registry
+from repro.netbase.prefixes import PrefixAllocator
+from repro.series import HourlySeries
+from repro.synth.flowgen import (
+    BYTES_PER_UNIT,
+    EPHEMERAL_PORT,
+    EPHEMERAL_START,
+    FlowSampler,
+)
+from repro.synth.profiles import (
+    AppProfile,
+    FlowTemplate,
+    LockdownResponse,
+    POOL_EYEBALL_LOCAL,
+    POOL_VPN_GATEWAYS,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    registry = build_default_registry(n_enterprise=30, n_hosting=10)
+    prefix_map = PrefixAllocator(registry).allocate()
+    return registry, prefix_map
+
+
+def make_sampler(world, gateways=(), seed=1):
+    registry, prefix_map = world
+    return FlowSampler(
+        registry=registry,
+        prefix_map=prefix_map,
+        local_eyeball_asns=[3320],
+        seed=seed,
+        vpn_gateway_ips=gateways,
+    )
+
+
+def profile_with(template):
+    return AppProfile(
+        name="test", templates=(template,), response=LockdownResponse()
+    )
+
+
+def volumes(hours=24, level=5.0):
+    start = timebase.hour_index(dt.date(2020, 2, 19), 0)
+    return HourlySeries(start, np.full(hours, level))
+
+
+class TestSampling:
+    def test_bytes_match_model(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL, mean_flow_kbytes=100.0)
+        )
+        vols = volumes(level=10.0)
+        table = sampler.sample_profile(profile, vols)
+        expected = vols.total() * BYTES_PER_UNIT
+        assert table.total_bytes() == pytest.approx(expected, rel=0.001)
+
+    def test_per_hour_bytes_match(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL, mean_flow_kbytes=50.0)
+        )
+        vols = volumes(hours=6, level=3.0)
+        table = sampler.sample_profile(profile, vols)
+        hourly = table.hourly_bytes(vols.start_hour, vols.stop_hour)
+        assert np.allclose(
+            hourly, vols.values * BYTES_PER_UNIT, rtol=0.001
+        )
+
+    def test_fidelity_scales_counts_not_bytes(self, world):
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL, mean_flow_kbytes=100.0)
+        )
+        low = make_sampler(world).sample_profile(profile, volumes(), 0.5)
+        high = make_sampler(world).sample_profile(profile, volumes(), 2.0)
+        assert len(high) > len(low) * 2
+        assert high.total_bytes() == pytest.approx(
+            low.total_bytes(), rel=0.01
+        )
+
+    def test_every_hour_with_volume_has_a_flow(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL, mean_flow_kbytes=1e6)
+        )
+        vols = volumes(level=0.001)  # tiny volume
+        table = sampler.sample_profile(profile, vols)
+        hourly = table.hourly_connections(vols.start_hour, vols.stop_hour)
+        assert np.all(hourly >= 1)
+
+    def test_rejects_nonpositive_fidelity(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL)
+        )
+        with pytest.raises(ValueError):
+            sampler.sample_profile(profile, volumes(), fidelity=0)
+
+
+class TestAddressing:
+    def test_addresses_consistent_with_asn(self, world):
+        registry, prefix_map = world
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL)
+        )
+        table = sampler.sample_profile(profile, volumes())
+        src_owner = prefix_map.asn_for_many(table.column("src_ip"))
+        assert np.array_equal(src_owner, table.column("src_asn"))
+        dst_owner = prefix_map.asn_for_many(table.column("dst_ip"))
+        assert np.array_equal(dst_owner, table.column("dst_asn"))
+
+    def test_service_port_on_server_side(self, world):
+        sampler = make_sampler(world)
+        # Download: src is the server pool, so src_port carries 443.
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL)
+        )
+        table = sampler.sample_profile(profile, volumes())
+        assert np.all(table.column("src_port") == 443)
+        assert np.all(table.column("dst_port") >= EPHEMERAL_START)
+
+    def test_upload_direction_port_placement(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_UDP, ((4500, 1.0),), POOL_EYEBALL_LOCAL,
+                         ASCategory.ENTERPRISE)
+        )
+        table = sampler.sample_profile(profile, volumes())
+        assert np.all(table.column("dst_port") == 4500)
+        assert np.all(table.column("src_port") >= EPHEMERAL_START)
+
+    def test_portless_protocol_has_zero_ports(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_GRE, ((0, 1.0),), ASCategory.ENTERPRISE,
+                         ASCategory.ENTERPRISE)
+        )
+        table = sampler.sample_profile(profile, volumes())
+        assert np.all(table.column("src_port") == 0)
+        assert np.all(table.column("dst_port") == 0)
+
+    def test_ephemeral_marker_gives_high_ports(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((EPHEMERAL_PORT, 1.0),),
+                         POOL_EYEBALL_LOCAL, ASCategory.HOSTING)
+        )
+        table = sampler.sample_profile(profile, volumes())
+        assert np.all(table.column("dst_port") >= EPHEMERAL_START)
+        assert np.all(table.column("src_port") >= EPHEMERAL_START)
+
+    def test_gateway_pool_uses_exact_addresses(self, world):
+        registry, prefix_map = world
+        gateways = tuple(
+            int(a)
+            for a in prefix_map.prefixes_of(210001)[0].network.hosts()
+        )[:3]
+        sampler = make_sampler(world, gateways=gateways)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), POOL_EYEBALL_LOCAL,
+                         POOL_VPN_GATEWAYS)
+        )
+        table = sampler.sample_profile(profile, volumes())
+        assert set(np.unique(table.column("dst_ip"))) <= set(gateways)
+        # Gateway ASNs resolved through the prefix map.
+        assert np.all(table.column("dst_asn") == 210001)
+
+    def test_gateway_pool_requires_addresses(self, world):
+        sampler = make_sampler(world, gateways=())
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), POOL_EYEBALL_LOCAL,
+                         POOL_VPN_GATEWAYS)
+        )
+        with pytest.raises(ValueError):
+            sampler.sample_profile(profile, volumes())
+
+    def test_client_side_has_many_unique_ips(self, world):
+        sampler = make_sampler(world)
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL, mean_flow_kbytes=20.0)
+        )
+        table = sampler.sample_profile(profile, volumes(level=20.0))
+        # Clients are drawn uniformly: nearly all distinct.
+        assert table.unique_ips("dst") > len(table) * 0.8
+        # Servers come from small stable per-AS pools (15 hypergiants
+        # at 4 + 4*weight addresses each).
+        assert table.unique_ips("src") < 500
+
+
+class TestVantagePointSampler:
+    def test_requires_eyeballs(self, world):
+        registry, prefix_map = world
+        with pytest.raises(ValueError):
+            FlowSampler(registry, prefix_map, [], seed=0)
+
+    def test_deterministic_given_seed(self, world):
+        profile = profile_with(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), ASCategory.HYPERGIANT,
+                         POOL_EYEBALL_LOCAL)
+        )
+        a = make_sampler(world, seed=9).sample_profile(profile, volumes())
+        b = make_sampler(world, seed=9).sample_profile(profile, volumes())
+        assert a == b

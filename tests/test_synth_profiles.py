@@ -1,0 +1,196 @@
+"""Unit tests for application profiles and lockdown responses."""
+
+import datetime as dt
+
+import pytest
+
+from repro import timebase
+from repro.flows.record import PROTO_TCP
+from repro.synth.profiles import (
+    AppProfile,
+    FlowTemplate,
+    LockdownResponse,
+    RAMP_DAYS,
+    VolumeEvent,
+    standard_profiles,
+    uniform_ports,
+)
+
+
+def simple_profile(response=None, events=(), growth=0.0):
+    return AppProfile(
+        name="test",
+        templates=(
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), (1,), (2,)),
+        ),
+        response=response or LockdownResponse(),
+        events=tuple(events),
+        annual_growth=growth,
+    )
+
+
+class TestFlowTemplate:
+    def test_requires_ports(self):
+        with pytest.raises(ValueError):
+            FlowTemplate(PROTO_TCP, (), (1,), (2,))
+
+    def test_requires_positive_weight(self):
+        with pytest.raises(ValueError):
+            FlowTemplate(PROTO_TCP, ((443, 1.0),), (1,), (2,), weight=0)
+
+    def test_requires_positive_mean_size(self):
+        with pytest.raises(ValueError):
+            FlowTemplate(
+                PROTO_TCP, ((443, 1.0),), (1,), (2,), mean_flow_kbytes=0
+            )
+
+    def test_uniform_ports(self):
+        assert uniform_ports([1, 2]) == ((1, 1.0), (2, 1.0))
+
+
+class TestLockdownResponse:
+    def test_default_multiplier_is_one(self):
+        response = LockdownResponse()
+        assert response.multiplier("lockdown", weekend=False) == 1.0
+
+    def test_phase_inheritance(self):
+        response = LockdownResponse(workday_mult={"lockdown": 2.0})
+        # relaxation inherits the lockdown value.
+        assert response.multiplier("relaxation", weekend=False) == 2.0
+        # pre stays at 1.0.
+        assert response.multiplier("pre", weekend=False) == 1.0
+
+    def test_weekend_separate(self):
+        response = LockdownResponse(
+            workday_mult={"lockdown": 3.0}, weekend_mult={"lockdown": 1.1}
+        )
+        assert response.multiplier("lockdown", weekend=True) == 1.1
+
+    def test_shape_inheritance(self):
+        response = LockdownResponse(
+            workday_shape={"lockdown": "weekend"},
+            base_workday_shape="business",
+        )
+        assert response.shape_name("response", weekend=False) == "business"
+        assert response.shape_name("reopening", weekend=False) == "weekend"
+
+
+class TestVolumeEvent:
+    def test_applies_inclusive(self):
+        event = VolumeEvent(dt.date(2020, 3, 16), dt.date(2020, 3, 17), 0.2)
+        assert event.applies(dt.date(2020, 3, 16))
+        assert event.applies(dt.date(2020, 3, 17))
+        assert not event.applies(dt.date(2020, 3, 18))
+
+    def test_rejects_backwards_range(self):
+        with pytest.raises(ValueError):
+            VolumeEvent(dt.date(2020, 3, 17), dt.date(2020, 3, 16), 0.5)
+
+    def test_rejects_negative_multiplier(self):
+        with pytest.raises(ValueError):
+            VolumeEvent(dt.date(2020, 3, 1), dt.date(2020, 3, 2), -1.0)
+
+
+class TestDailyMultiplier:
+    TL = timebase.TIMELINE_CE
+
+    def test_pre_phase_is_one(self):
+        profile = simple_profile(
+            LockdownResponse(workday_mult={"lockdown": 2.0})
+        )
+        assert profile.daily_multiplier(
+            dt.date(2020, 1, 10), self.TL, weekend=False
+        ) == pytest.approx(1.0)
+
+    def test_lockdown_reached_after_ramp(self):
+        profile = simple_profile(
+            LockdownResponse(workday_mult={"lockdown": 2.0})
+        )
+        day = self.TL.lockdown + dt.timedelta(days=RAMP_DAYS + 1)
+        assert profile.daily_multiplier(
+            day, self.TL, weekend=False
+        ) == pytest.approx(2.0)
+
+    def test_ramp_is_partial(self):
+        profile = simple_profile(
+            LockdownResponse(workday_mult={"lockdown": 2.0})
+        )
+        first = profile.daily_multiplier(
+            self.TL.lockdown, self.TL, weekend=False
+        )
+        assert 1.0 < first < 2.0
+
+    def test_ramp_monotone(self):
+        profile = simple_profile(
+            LockdownResponse(workday_mult={"lockdown": 3.0})
+        )
+        values = [
+            profile.daily_multiplier(
+                self.TL.lockdown + dt.timedelta(days=i), self.TL, False
+            )
+            for i in range(RAMP_DAYS + 1)
+        ]
+        assert values == sorted(values)
+
+    def test_event_applied_multiplicatively(self):
+        event = VolumeEvent(dt.date(2020, 1, 10), dt.date(2020, 1, 12), 0.5)
+        profile = simple_profile(events=[event])
+        assert profile.daily_multiplier(
+            dt.date(2020, 1, 11), self.TL, weekend=False
+        ) == pytest.approx(0.5)
+
+    def test_annual_growth_accrues(self):
+        profile = simple_profile(growth=0.365)
+        early = profile.daily_multiplier(
+            dt.date(2020, 1, 1), self.TL, weekend=False
+        )
+        later = profile.daily_multiplier(
+            dt.date(2020, 1, 11), self.TL, weekend=False
+        )
+        assert later / early == pytest.approx(1.01, rel=1e-3)
+
+
+class TestStandardProfiles:
+    @pytest.fixture(scope="class")
+    def lib(self):
+        return standard_profiles()
+
+    def test_expected_profiles_present(self, lib):
+        expected = {
+            "web-hypergiant", "web-other", "quic", "vod", "gaming",
+            "tv-streaming", "webconf-teams", "webconf-zoom", "vpn-ipsec",
+            "vpn-openvpn", "vpn-legacy", "vpn-tls", "tunnels-gre-esp",
+            "http-alt", "cloudflare-lb", "email", "messaging", "social",
+            "collab", "cdn", "educational", "push", "unknown-25461",
+        }
+        assert expected == set(lib)
+
+    def test_port_based_vpn_flat(self, lib):
+        response = lib["vpn-legacy"].response
+        assert response.multiplier("lockdown", weekend=False) < 1.1
+
+    def test_webconf_exceeds_200_percent(self, lib):
+        response = lib["webconf-teams"].response
+        assert response.multiplier("lockdown", weekend=False) >= 3.0
+
+    def test_vpn_weekend_increase_negligible(self, lib):
+        response = lib["vpn-ipsec"].response
+        assert response.multiplier("lockdown", weekend=True) <= 1.15
+
+    def test_gre_esp_decrease(self, lib):
+        response = lib["tunnels-gre-esp"].response
+        assert response.multiplier("lockdown", weekend=False) < 1.0
+
+    def test_hypergiant_resolution_event_present(self, lib):
+        events = lib["web-hypergiant"].events
+        assert any("resolution" in e.label for e in events)
+        assert all(e.multiplier < 1.0 for e in events)
+
+    def test_vod_shifts_to_weekend_shape(self, lib):
+        response = lib["vod"].response
+        assert response.shape_name("lockdown", weekend=False) == "weekend"
+        assert response.shape_name("pre", weekend=False) == "evening"
+
+    def test_gaming_57_port_choices(self, lib):
+        template = lib["gaming"].templates[0]
+        assert len(template.dst_ports) == 57

@@ -1,0 +1,205 @@
+"""Unit tests for scenario assembly and the vantage mixes."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import build_scenario, timebase
+from repro.netbase.asdb import EDU_NETWORK_ASN, ISP_CE_ASN
+from repro.synth import edu as edu_mixes
+from repro.synth import mixes
+
+
+class TestScenario:
+    def test_all_vantages_present(self, scenario):
+        expected = {
+            "isp-ce", "ixp-ce", "ixp-se", "ixp-us", "edu", "mobile-ce",
+            "ipx",
+        }
+        assert set(scenario.vantages) == expected
+
+    def test_vantage_lookup_error(self, scenario):
+        with pytest.raises(KeyError):
+            scenario.vantage("ixp-antarctica")
+
+    def test_accessors(self, scenario):
+        assert scenario.isp_ce.kind == "isp"
+        assert scenario.ixp_ce.kind == "ixp"
+        assert scenario.edu.kind == "edu"
+
+    def test_member_dbs(self, scenario):
+        assert len(scenario.members["ixp-ce"]) > len(
+            scenario.members["ixp-se"]
+        )
+
+    def test_ixp_ce_upgrades_1500_gbps(self, scenario):
+        added = scenario.members["ixp-ce"].capacity_added_between(
+            dt.date(2020, 3, 1), dt.date(2020, 5, 1)
+        )
+        assert added == 1500
+
+    def test_regions(self, scenario):
+        assert scenario.ixp_us.region is timebase.Region.US_EAST
+        assert scenario.ixp_se.region is timebase.Region.SOUTHERN_EUROPE
+
+    def test_seed_changes_world(self):
+        a = build_scenario(seed=1, n_enterprise=20, n_hosting=5)
+        b = build_scenario(seed=2, n_enterprise=20, n_hosting=5)
+        fa = a.isp_ce.generate_flows(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 19), 0.3
+        )
+        fb = b.isp_ce.generate_flows(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 19), 0.3
+        )
+        assert fa != fb
+
+    def test_small_scenario_builds(self):
+        small = build_scenario(n_enterprise=15, n_hosting=5)
+        assert small.isp_ce.hourly_traffic(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 19)
+        ).total() > 0
+
+    def test_enterprise_behaviors_assigned(self, scenario):
+        kinds = {b.kind for b in scenario.enterprise_behaviors.values()}
+        assert kinds == {
+            "remote-work", "transit", "declining-remote", "declining",
+        }
+
+
+class TestMixes:
+    def test_isp_mix_web_dominates(self):
+        mix = mixes.isp_ce_mix()
+        web_share = mix["web-hypergiant"].share + mix["web-other"].share
+        assert web_share > 0.5 * sum(u.share for u in mix.values())
+
+    def test_ixp_us_email_messaging_antipattern(self):
+        mix = mixes.ixp_us_mix()
+        email = mix["email"].profile.response
+        messaging = mix["messaging"].profile.response
+        assert email.multiplier("lockdown", weekend=False) > 1.5
+        assert messaging.multiplier("lockdown", weekend=False) < 1.0
+
+    def test_ixp_se_has_gaming_outage(self):
+        mix = mixes.ixp_se_mix()
+        events = mix["gaming"].profile.events
+        assert any("outage" in e.label for e in events)
+        outage = next(e for e in events if "outage" in e.label)
+        assert (outage.end - outage.start).days == 1  # two days inclusive
+
+    def test_ipx_collapses(self):
+        mix = mixes.ipx_mix()
+        response = mix["web-hypergiant"].profile.response
+        assert response.multiplier("lockdown", weekend=False) < 0.6
+
+    def test_tv_streaming_only_at_ixp_ce(self):
+        assert "tv-streaming" in mixes.ixp_ce_mix()
+        assert "tv-streaming" not in mixes.isp_ce_mix()
+        assert "tv-streaming" not in mixes.ixp_us_mix()
+
+    def test_adjust_response_preserves_other_phases(self):
+        from repro.synth.profiles import standard_profiles
+
+        lib = standard_profiles()
+        adjusted = mixes.adjust_response(
+            lib["quic"], workday={"lockdown": 9.9}
+        )
+        assert adjusted.response.multiplier("lockdown", False) == 9.9
+        assert adjusted.response.multiplier(
+            "response", False
+        ) == lib["quic"].response.multiplier("response", False)
+
+
+class TestEduMix:
+    def test_mix_names_prefixed(self):
+        mix = edu_mixes.edu_mix()
+        assert all(name.startswith("edu-") for name in mix)
+
+    def test_ingress_dominates_pre_lockdown(self):
+        mix = edu_mixes.edu_mix()
+        ingress = mix["edu-campus-ingress"].share + mix["edu-quic-ingress"].share
+        egress = sum(
+            use.share
+            for name, use in mix.items()
+            if "served" in name or "egress" in name
+        )
+        assert ingress / egress > 8
+
+    def test_remote_access_multipliers_ordered(self):
+        mix = edu_mixes.edu_mix()
+
+        def lockdown_mult(name):
+            return mix[name].profile.response.multiplier("lockdown", False)
+
+        assert (
+            lockdown_mult("edu-ssh-served")
+            > lockdown_mult("edu-rdp-served")
+            > lockdown_mult("edu-vpn-served")
+            > lockdown_mult("edu-email-in")
+        )
+
+    def test_campus_ingress_collapses(self):
+        mix = edu_mixes.edu_mix()
+        response = mix["edu-campus-ingress"].profile.response
+        assert response.multiplier("lockdown", weekend=False) < 0.5
+
+    def test_overseas_uses_shifted_shape(self):
+        # Overseas students connect in their local evenings, which land
+        # after midnight in vantage-local time (§7).
+        mix = edu_mixes.edu_mix()
+        response = mix["edu-overseas-web-served"].profile.response
+        assert response.shape_name("pre", weekend=False) == "evening-late"
+
+    def test_edu_vantage_uses_internal_asn(self, scenario):
+        flows = scenario.edu.generate_flows(
+            dt.date(2020, 3, 2), dt.date(2020, 3, 2), fidelity=2.0
+        )
+        asns = set(np.unique(flows.column("src_asn"))) | set(
+            np.unique(flows.column("dst_asn"))
+        )
+        assert EDU_NETWORK_ASN in asns
+
+    def test_every_edu_flow_has_one_internal_endpoint(self, scenario):
+        flows = scenario.edu.generate_flows(
+            dt.date(2020, 3, 2), dt.date(2020, 3, 2), fidelity=2.0
+        )
+        src_internal = flows.column("src_asn") == EDU_NETWORK_ASN
+        dst_internal = flows.column("dst_asn") == EDU_NETWORK_ASN
+        assert np.all(src_internal ^ dst_internal)
+
+
+class TestMixTargets:
+    """The per-vantage mixes must keep encoding the paper's contrasts."""
+
+    def test_isp_stage_decay_vs_ixp_persistence(self):
+        isp = mixes.isp_ce_mix()
+        ixp = mixes.ixp_ce_mix()
+
+        def reopening_mult(mix, name):
+            return mix[name].profile.response.multiplier("reopening", False)
+
+        assert reopening_mult(isp, "web-hypergiant") <= 1.0
+        assert reopening_mult(ixp, "web-hypergiant") >= 1.1
+
+    def test_ixp_se_growth_moderate(self):
+        mix = mixes.ixp_se_mix()
+        big = ("web-hypergiant", "web-other", "quic")
+        for name in big:
+            mult = mix[name].profile.response.multiplier("lockdown", False)
+            assert mult <= 1.2, name
+
+    def test_vpn_tls_present_at_all_fixed_vantages(self):
+        for build in (mixes.isp_ce_mix, mixes.ixp_ce_mix,
+                      mixes.ixp_se_mix, mixes.ixp_us_mix):
+            assert "vpn-tls" in build()
+
+    def test_us_vod_has_rerouting_event(self):
+        mix = mixes.ixp_us_mix()
+        events = mix["vod"].profile.events
+        assert any("interconnect" in e.label for e in events)
+
+    def test_shares_positive_everywhere(self):
+        for build in (mixes.isp_ce_mix, mixes.ixp_ce_mix, mixes.ixp_se_mix,
+                      mixes.ixp_us_mix, mixes.mobile_ce_mix, mixes.ipx_mix):
+            for use in build().values():
+                assert use.share > 0

@@ -1,0 +1,162 @@
+"""Unit tests for vantage-point traffic models."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.synth.flowgen import BYTES_PER_UNIT
+
+
+class TestIntensityModel:
+    def test_profile_names_sorted(self, scenario):
+        names = scenario.isp_ce.profile_names()
+        assert names == sorted(names)
+
+    def test_unknown_profile_raises(self, scenario):
+        with pytest.raises(KeyError):
+            scenario.isp_ce.profile_volumes(
+                "nonexistent", dt.date(2020, 2, 1), dt.date(2020, 2, 2)
+            )
+
+    def test_backwards_range_raises(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.isp_ce.profile_volumes(
+                "quic", dt.date(2020, 2, 2), dt.date(2020, 2, 1)
+            )
+
+    def test_volumes_positive(self, scenario):
+        series = scenario.isp_ce.profile_volumes(
+            "web-hypergiant", dt.date(2020, 2, 19), dt.date(2020, 2, 25)
+        )
+        assert np.all(series.values > 0)
+
+    def test_hourly_traffic_is_sum_of_profiles(self, scenario):
+        start, end = dt.date(2020, 2, 19), dt.date(2020, 2, 20)
+        vantage = scenario.isp_ce
+        total = vantage.hourly_traffic(start, end)
+        manual = sum(
+            vantage.profile_volumes(name, start, end).values
+            for name in vantage.profile_names()
+        )
+        assert np.allclose(total.values, manual)
+
+    def test_profile_subset_selection(self, scenario):
+        start, end = dt.date(2020, 2, 19), dt.date(2020, 2, 19)
+        sub = scenario.isp_ce.hourly_traffic(start, end, profiles=["quic"])
+        quic = scenario.isp_ce.profile_volumes("quic", start, end)
+        assert np.allclose(sub.values, quic.values)
+
+    def test_empty_profile_selection_raises(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.isp_ce.hourly_traffic(
+                dt.date(2020, 2, 19), dt.date(2020, 2, 19), profiles=[]
+            )
+
+    def test_noise_consistent_across_query_ranges(self, scenario):
+        # The same calendar hour must carry the same value regardless of
+        # the requested range (noise is anchored to absolute time).
+        wide = scenario.isp_ce.profile_volumes(
+            "quic", dt.date(2020, 2, 18), dt.date(2020, 2, 22)
+        )
+        narrow = scenario.isp_ce.profile_volumes(
+            "quic", dt.date(2020, 2, 20), dt.date(2020, 2, 20)
+        )
+        assert np.allclose(
+            wide.slice_day(dt.date(2020, 2, 20)).values, narrow.values
+        )
+
+    def test_weekend_shape_differs_from_workday(self, scenario):
+        series = scenario.isp_ce.profile_volumes(
+            "web-hypergiant", dt.date(2020, 2, 19), dt.date(2020, 2, 23)
+        )
+        workday = series.day_values(dt.date(2020, 2, 19))
+        weekend = series.day_values(dt.date(2020, 2, 22))
+        workday_shape = workday / workday.sum()
+        weekend_shape = weekend / weekend.sum()
+        assert not np.allclose(workday_shape, weekend_shape, atol=0.005)
+
+    def test_lockdown_increases_isp_traffic(self, scenario):
+        base = scenario.isp_ce.hourly_traffic(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 25)
+        ).total()
+        lockdown = scenario.isp_ce.hourly_traffic(
+            dt.date(2020, 3, 18), dt.date(2020, 3, 24)
+        ).total()
+        assert 1.10 < lockdown / base < 1.45
+
+
+class TestFlowGeneration:
+    def test_flows_match_aggregate(self, scenario, isp_base_week_flows):
+        base = scenario.isp_ce.hourly_traffic(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 25)
+        )
+        assert isp_base_week_flows.total_bytes() == pytest.approx(
+            base.total() * BYTES_PER_UNIT, rel=0.001
+        )
+
+    def test_flows_sorted_by_hour(self, isp_base_week_flows):
+        hours = isp_base_week_flows.column("hour")
+        assert np.all(np.diff(hours) >= 0)
+
+    def test_generation_deterministic(self, scenario):
+        week = timebase.MACRO_WEEKS["base"]
+        a = scenario.ixp_se.generate_week_flows(week, fidelity=0.3)
+        b = scenario.ixp_se.generate_week_flows(week, fidelity=0.3)
+        assert a == b
+
+    def test_profile_filter_restricts_ports(self, scenario):
+        week = timebase.MACRO_WEEKS["base"]
+        flows = scenario.isp_ce.generate_week_flows(
+            week, fidelity=0.3, profiles=["quic"]
+        )
+        keys = set(flows.transport_keys())
+        assert keys == {"UDP/443"}
+
+    def test_flow_hours_inside_requested_range(self, isp_base_week_flows):
+        start, stop = timebase.MACRO_WEEKS["base"].hour_range()
+        hours = isp_base_week_flows.column("hour")
+        assert hours.min() >= start
+        assert hours.max() < stop
+
+
+class TestVantageValidation:
+    def test_unknown_vantage_kind(self, scenario):
+        from repro.synth.vantage import VantagePoint
+
+        with pytest.raises(ValueError):
+            VantagePoint(
+                name="x", kind="satellite",
+                region=timebase.Region.CENTRAL_EUROPE,
+                mix=scenario.isp_ce.mix, base_daily_volume=1.0,
+                registry=scenario.registry,
+                prefix_map=scenario.prefix_map,
+                local_eyeball_asns=[1], seed=0,
+            )
+
+    def test_empty_mix_rejected(self, scenario):
+        from repro.synth.vantage import VantagePoint
+
+        with pytest.raises(ValueError):
+            VantagePoint(
+                name="x", kind="isp",
+                region=timebase.Region.CENTRAL_EUROPE,
+                mix={}, base_daily_volume=1.0,
+                registry=scenario.registry,
+                prefix_map=scenario.prefix_map,
+                local_eyeball_asns=[1], seed=0,
+            )
+
+    def test_nonpositive_volume_rejected(self, scenario):
+        from repro.synth.vantage import VantagePoint
+
+        with pytest.raises(ValueError):
+            VantagePoint(
+                name="x", kind="isp",
+                region=timebase.Region.CENTRAL_EUROPE,
+                mix=scenario.isp_ce.mix, base_daily_volume=0.0,
+                registry=scenario.registry,
+                prefix_map=scenario.prefix_map,
+                local_eyeball_asns=[1], seed=0,
+            )

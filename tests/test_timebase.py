@@ -1,0 +1,182 @@
+"""Unit tests for the calendar and lockdown timeline."""
+
+import datetime as dt
+
+import pytest
+
+from repro import timebase
+from repro.timebase import DayKind, Region
+
+
+class TestStudyPeriod:
+    def test_study_days_count(self):
+        assert timebase.STUDY_DAYS == 138  # Jan 1 - May 17 (leap year)
+
+    def test_study_hours(self):
+        assert timebase.STUDY_HOURS == 138 * 24
+
+    def test_2020_is_leap(self):
+        assert dt.date(2020, 2, 29) in list(timebase.iter_days())
+
+
+class TestHourIndex:
+    def test_first_hour(self):
+        assert timebase.hour_index(dt.date(2020, 1, 1), 0) == 0
+
+    def test_last_hour(self):
+        assert (
+            timebase.hour_index(timebase.STUDY_END, 23)
+            == timebase.STUDY_HOURS - 1
+        )
+
+    def test_round_trip(self):
+        index = timebase.hour_index(dt.date(2020, 3, 25), 14)
+        as_dt = timebase.hour_index_to_datetime(index)
+        assert as_dt == dt.datetime(2020, 3, 25, 14)
+
+    def test_rejects_bad_hour(self):
+        with pytest.raises(ValueError):
+            timebase.hour_index(dt.date(2020, 3, 1), 24)
+
+    def test_day_index_round_trip(self):
+        day = dt.date(2020, 4, 15)
+        assert timebase.day_index_to_date(
+            timebase.date_to_day_index(day)
+        ) == day
+
+
+class TestISOWeeks:
+    def test_week_of_lockdown(self):
+        # March 16, 2020 is a Monday in ISO week 12.
+        assert timebase.iso_week(dt.date(2020, 3, 16)) == 12
+
+    def test_baseline_week_is_3(self):
+        # The third calendar week of January (Jan 13-19).
+        days = timebase.iso_week_dates(3)
+        assert days[0] == dt.date(2020, 1, 13)
+        assert len(days) == 7
+
+    def test_week_1_truncated(self):
+        # ISO week 1 of 2020 starts Dec 30, 2019; only Jan 1-5 are in
+        # the study.
+        days = timebase.iso_week_dates(1)
+        assert days[0] == dt.date(2020, 1, 1)
+        assert len(days) == 5
+
+    def test_weeks_in_study_ordered(self):
+        weeks = timebase.weeks_in_study()
+        assert weeks == sorted(weeks)
+        assert weeks[0] == 1
+        assert 20 in weeks
+
+
+class TestDayKind:
+    def test_plain_workday(self):
+        assert timebase.day_kind(dt.date(2020, 2, 19)) is DayKind.WORKDAY
+
+    def test_saturday(self):
+        assert timebase.day_kind(dt.date(2020, 2, 22)) is DayKind.WEEKEND
+
+    def test_easter_is_holiday_in_europe(self):
+        for day in (10, 11, 12, 13):
+            assert (
+                timebase.day_kind(dt.date(2020, 4, day))
+                is DayKind.HOLIDAY
+            )
+
+    def test_easter_not_holiday_in_us(self):
+        # Good Friday is not a federal US holiday.
+        assert (
+            timebase.day_kind(dt.date(2020, 4, 10), Region.US_EAST)
+            is DayKind.WORKDAY
+        )
+
+    def test_presidents_day_only_us(self):
+        day = dt.date(2020, 2, 17)
+        assert timebase.day_kind(day, Region.US_EAST) is DayKind.HOLIDAY
+        assert timebase.day_kind(day) is DayKind.WORKDAY
+
+
+class TestBehavesLikeWeekend:
+    def test_new_year_vacation_behaves_weekend_like(self):
+        # Jan 2-3 are calendar workdays but behave weekend-like (the
+        # paper's holiday-period misclassification).
+        for day in (dt.date(2020, 1, 2), dt.date(2020, 1, 3)):
+            assert timebase.day_kind(day) is DayKind.WORKDAY
+            assert timebase.behaves_like_weekend(day)
+
+    def test_ordinary_workday_not_weekend_like(self):
+        assert not timebase.behaves_like_weekend(dt.date(2020, 2, 19))
+
+    def test_easter_weekend_like(self):
+        assert timebase.behaves_like_weekend(dt.date(2020, 4, 10))
+
+
+class TestTimeline:
+    def test_phase_sequence_ce(self):
+        tl = timebase.TIMELINE_CE
+        assert tl.phase(dt.date(2020, 1, 10)) == "pre"
+        assert tl.phase(dt.date(2020, 2, 10)) == "outbreak"
+        assert tl.phase(dt.date(2020, 3, 10)) == "response"
+        assert tl.phase(dt.date(2020, 3, 25)) == "lockdown"
+        assert tl.phase(dt.date(2020, 4, 25)) == "relaxation"
+        assert tl.phase(dt.date(2020, 5, 10)) == "reopening"
+
+    def test_us_lockdown_later_than_europe(self):
+        assert timebase.TIMELINE_US.lockdown > timebase.TIMELINE_CE.lockdown
+        assert timebase.TIMELINE_US.lockdown > timebase.TIMELINE_SE.lockdown
+
+    def test_se_lockdown_earliest(self):
+        assert timebase.TIMELINE_SE.lockdown < timebase.TIMELINE_CE.lockdown
+
+    def test_timeline_for_all_regions(self):
+        for region in Region:
+            assert timebase.timeline_for(region).region is region
+
+
+class TestWeek:
+    def test_week_days(self):
+        week = timebase.Week(dt.date(2020, 2, 19))
+        days = week.days()
+        assert len(days) == 7
+        assert days[-1] == week.end == dt.date(2020, 2, 25)
+
+    def test_contains(self):
+        week = timebase.Week(dt.date(2020, 2, 19))
+        assert week.contains(dt.date(2020, 2, 22))
+        assert not week.contains(dt.date(2020, 2, 26))
+
+    def test_hour_range_spans_168_hours(self):
+        week = timebase.Week(dt.date(2020, 3, 18))
+        start, stop = week.hour_range()
+        assert stop - start == 168
+
+
+class TestNamedWeeks:
+    def test_macro_weeks_match_paper(self):
+        assert timebase.MACRO_WEEKS["base"].start == dt.date(2020, 2, 19)
+        assert timebase.MACRO_WEEKS["stage1"].start == dt.date(2020, 3, 18)
+        assert timebase.MACRO_WEEKS["stage2"].start == dt.date(2020, 4, 22)
+        assert timebase.MACRO_WEEKS["stage3"].start == dt.date(2020, 5, 10)
+
+    def test_edu_weeks_match_paper(self):
+        assert timebase.EDU_WEEKS["base"].start == dt.date(2020, 2, 27)
+        assert timebase.EDU_WEEKS["transition"].start == dt.date(2020, 3, 12)
+        assert timebase.EDU_WEEKS["online-lecturing"].start == dt.date(
+            2020, 4, 16
+        )
+
+    def test_edu_capture_is_72_days(self):
+        days = (timebase.EDU_CAPTURE_END - timebase.EDU_CAPTURE_START).days + 1
+        assert days == 71  # Feb 28 - May 8 inclusive
+
+    def test_appclass_weeks_differ_between_isp_and_ixp(self):
+        assert (
+            timebase.APPCLASS_WEEKS_ISP["stage2"].start
+            != timebase.APPCLASS_WEEKS_IXP["stage2"].start
+        )
+
+    def test_named_weeks_lookup(self):
+        assert len(timebase.named_weeks("edu")) == 3
+        assert len(timebase.named_weeks("ixp")) == 4
+        assert len(timebase.named_weeks("isp")) == 7
