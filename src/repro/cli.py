@@ -4,19 +4,28 @@ Subcommands:
 
 * ``list`` — show available experiments,
 * ``run [EXPERIMENT ...]`` — run experiments (default: all) and print
-  metrics, checks, and the figure sketch,
+  metrics, checks, and the figure sketch; ``--telemetry PATH``
+  additionally records spans/metrics and writes a run manifest,
+* ``telemetry PATH`` — pretty-print a previously written manifest
+  (span tree with self/total times, top counters),
 * ``report`` — run everything and emit a Markdown paper-vs-measured
   report (the generator behind EXPERIMENTS.md),
 * ``generate`` — write a synthetic flow trace to disk (CSV or NPZ).
+
+``--log-level`` (global) routes structured JSON log events — e.g.
+failed experiment checks — to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime as _dt
+import json
+import logging
 import sys
 from typing import List, Optional, Sequence
 
+import repro.obs as obs
 from repro.flows import io as flow_io
 from repro.pipeline import (
     EXPERIMENTS,
@@ -93,23 +102,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.telemetry:
+        obs.configure(telemetry=True)
+    logger = obs.get_logger("cli")
     config = PipelineConfig.fast() if args.fast else PipelineConfig()
     scenario = build_scenario(seed=args.seed)
     failed = 0
     results = []
     for experiment_id in ids:
-        result = run_experiment(experiment_id, scenario, config)
+        try:
+            result = run_experiment(experiment_id, scenario, config)
+        except Exception as exc:
+            # A crashed experiment yields an empty-check (failed)
+            # result so the run keeps going and exits non-zero.
+            result = ExperimentResult(
+                experiment_id, f"crashed: {type(exc).__name__}: {exc}"
+            )
+            obs.log_event(
+                logger, "experiment-crashed", level=logging.ERROR,
+                experiment=experiment_id, error=f"{type(exc).__name__}: {exc}",
+            )
         results.append(result)
         _print_result(result, verbose=args.verbose)
-        failed += 0 if result.passed else 1
-    if args.artifacts:
-        from repro.report.export import export_results
+        if not result.passed:
+            failed += 1
+            obs.log_event(
+                logger, "experiment-failed", level=logging.WARNING,
+                experiment=experiment_id,
+                failed_checks=result.failed_checks(),
+            )
+    manifest = None
+    if args.telemetry:
+        from repro.obs.manifest import build_manifest
 
-        root = export_results(results, args.artifacts)
+        manifest = build_manifest(results, seed=args.seed, config=config)
+        try:
+            manifest.write(args.telemetry)
+        except OSError as exc:
+            print(f"cannot write telemetry to {args.telemetry}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"telemetry written to {args.telemetry}")
+    if args.artifacts:
+        from repro.report.export import write_run
+
+        root = write_run(results, args.artifacts, manifest=manifest)
         print(f"artifacts written to {root}")
     if failed:
         print(f"{failed} experiment(s) with failing shape checks")
     return 1 if failed else 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import format_manifest
+
+    try:
+        with open(args.telemetry_file) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read manifest {args.telemetry_file}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(format_manifest(payload, top=args.top))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -287,6 +342,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=DEFAULT_SEED,
         help="scenario seed (default: %(default)s)",
     )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="emit structured JSON log events at LEVEL or above",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(
@@ -309,7 +369,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts", metavar="DIR",
         help="write per-experiment metrics/series artifacts to DIR",
     )
+    run_parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="collect spans/metrics and write a run manifest to PATH",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    telemetry_parser = sub.add_parser(
+        "telemetry", help="pretty-print a telemetry.json run manifest"
+    )
+    telemetry_parser.add_argument(
+        "telemetry_file", help="manifest written by run --telemetry"
+    )
+    telemetry_parser.add_argument(
+        "--top", type=int, default=10,
+        help="number of counters shown (default: %(default)s)",
+    )
+    telemetry_parser.set_defaults(func=_cmd_telemetry)
 
     report_parser = sub.add_parser(
         "report", help="emit a Markdown paper-vs-measured report"
@@ -384,6 +460,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        obs.configure(telemetry=False, log_level=args.log_level)
     return args.func(args)
 
 

@@ -22,6 +22,7 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.flows.hll import HyperLogLog
 from repro.flows.table import FlowTable
 from repro.series import HourlySeries
@@ -58,6 +59,9 @@ class StreamingAggregator:
 
     def feed(self, chunk: FlowTable) -> None:
         """Ingest one chunk of flows (any order, any chunking)."""
+        registry = obs.get_registry()
+        registry.counter("streaming.chunks").inc()
+        registry.counter("streaming.flows-offered").inc(len(chunk))
         if len(chunk) == 0:
             return
         hours = chunk.column("hour")
@@ -98,6 +102,11 @@ class StreamingAggregator:
                 self._ip_sketches[int(rel_hour)] = sketch
             sketch.add_many(ips[rel == rel_hour])
         self._flows_seen += len(chunk)
+        registry.counter("streaming.flows-ingested").inc(len(chunk))
+        if obs.enabled():
+            registry.counter("streaming.bytes-aggregated").inc(
+                int(chunk.column("n_bytes").sum())
+            )
 
     def feed_stream(
         self, chunks: Iterable[FlowTable]

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.flows.record import (
     PROTO_ESP,
     PROTO_GRE,
@@ -113,7 +114,11 @@ class FlowTable:
             name: np.concatenate([t._cols[name] for t in tables])
             for name in COLUMNS
         }
-        return cls(columns)
+        result = cls(columns)
+        registry = obs.get_registry()
+        registry.counter("table.concats").inc()
+        registry.counter("table.concat-rows").inc(len(result))
+        return result
 
     # -- basic container protocol -----------------------------------------
 
@@ -159,7 +164,14 @@ class FlowTable:
         mask = np.asarray(mask)
         if mask.dtype != np.bool_ or mask.shape[0] != len(self):
             raise ValueError("mask must be a boolean array of table length")
-        return FlowTable({name: col[mask] for name, col in self._cols.items()})
+        result = FlowTable(
+            {name: col[mask] for name, col in self._cols.items()}
+        )
+        registry = obs.get_registry()
+        registry.counter("table.filters").inc()
+        registry.counter("table.filter-rows-in").inc(len(self))
+        registry.counter("table.filter-rows-out").inc(len(result))
+        return result
 
     def where(self, **conditions: object) -> "FlowTable":
         """Select rows matching equality/membership conditions per column.

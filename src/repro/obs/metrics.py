@@ -1,0 +1,287 @@
+"""Metric instruments: counters, gauges, histograms, and timers.
+
+The pipeline runs unattended over large synthetic traces, so the hot
+paths account for themselves: flow counts, rows generated, bytes
+aggregated, RNG draws, and per-experiment wall time all flow into a
+process-global :class:`MetricsRegistry` (see :mod:`repro.obs`).
+
+Two registry implementations share one interface:
+
+* :class:`MetricsRegistry` — the real thing; instruments are created on
+  first use and keyed by name, and :meth:`MetricsRegistry.snapshot`
+  returns a JSON-serializable dump.
+* :class:`NullRegistry` — the default; hands out shared no-op
+  instruments so instrumented code pays only a couple of attribute
+  lookups per call when telemetry is disabled.
+
+Instruments are not thread-safe; the pipeline is single-threaded and
+sharded workers are expected to own their own registry and merge
+snapshots out of band.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value metric (last write wins)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+
+class Histogram:
+    """A distribution metric with exact quantiles.
+
+    Keeps every recorded value; callers recording unbounded streams
+    should sample before recording.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else float("nan")
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else float("nan")
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return float("nan")
+        return self.total / len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile, ``0 <= q <= 1``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._values:
+            return float("nan")
+        data = sorted(self._values)
+        position = q * (len(data) - 1)
+        lo = math.floor(position)
+        hi = math.ceil(position)
+        if lo == hi:
+            return data[lo]
+        frac = position - lo
+        return data[lo] + (data[hi] - data[lo]) * frac
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary statistics as a JSON-serializable dict."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _TimerContext:
+    """Context manager recording one duration into a timer."""
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: "Timer"):
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.record(time.perf_counter() - self._t0)
+
+
+class Timer(Histogram):
+    """A histogram of wall-clock durations in seconds."""
+
+    __slots__ = ()
+
+    def time(self) -> _TimerContext:
+        """Context manager timing its body."""
+        return _TimerContext(self)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def top_counters(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` largest counters, descending by value."""
+        ranked = sorted(
+            ((c.name, c.value) for c in self._counters.values()),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        return ranked[:n]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instruments as a JSON-serializable dict."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+            "timers": {
+                name: t.snapshot() for name, t in sorted(self._timers.items())
+            },
+        }
+
+
+class _NullContext:
+    """Shared do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+
+class NullHistogram(Histogram):
+    __slots__ = ()
+
+    def record(self, value: float) -> None:
+        return None
+
+
+class NullTimer(Timer):
+    __slots__ = ()
+
+    def record(self, value: float) -> None:
+        return None
+
+    def time(self) -> _NullContext:
+        return _NULL_CONTEXT
+
+
+_NULL_CONTEXT = _NullContext()
+_NULL_COUNTER = NullCounter("null")
+_NULL_GAUGE = NullGauge("null")
+_NULL_HISTOGRAM = NullHistogram("null")
+_NULL_TIMER = NullTimer("null")
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: shared no-op instruments, empty snapshots."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str) -> Timer:
+        return _NULL_TIMER

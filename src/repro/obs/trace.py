@@ -1,0 +1,127 @@
+"""Nested tracing spans.
+
+A span measures one named unit of work (``"experiment/fig09"``,
+``"flowgen/vod"``) and nests: spans opened while another span is active
+become its children, so a run produces a tree mirroring the pipeline's
+call structure.  Each span records wall time, optional attached
+metrics, and the error type if its body raised; the tree serializes
+via :meth:`Tracer.to_dict` into the ``telemetry.json`` artifact.
+
+As with metrics, a :class:`NullTracer` stands in when telemetry is
+disabled: ``span()`` then returns one shared no-op context manager, so
+instrumented code costs almost nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Union
+
+MetricValue = Union[int, float, str]
+
+
+class Span:
+    """One timed unit of work inside a trace tree."""
+
+    __slots__ = ("name", "started_at", "wall_s", "metrics", "children",
+                 "error")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.started_at = time.time()
+        self.wall_s = 0.0
+        self.metrics: Dict[str, MetricValue] = {}
+        self.children: List["Span"] = []
+        self.error: str = ""
+
+    def set_metric(self, key: str, value: MetricValue) -> None:
+        """Attach one metric value to this span."""
+        self.metrics[key] = value
+
+    @property
+    def self_s(self) -> float:
+        """Wall time not covered by child spans."""
+        return max(0.0, self.wall_s - sum(c.wall_s for c in self.children))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation of the subtree."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "started_at": round(self.started_at, 3),
+            "wall_ms": round(self.wall_s * 1e3, 3),
+            "self_ms": round(self.self_s * 1e3, 3),
+            "metrics": dict(self.metrics),
+            "children": [c.to_dict() for c in self.children],
+        }
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+class Tracer:
+    """Collects spans into a tree; one tracer per pipeline run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a child of the currently active span (or a new root)."""
+        current = Span(name)
+        if self._stack:
+            self._stack[-1].children.append(current)
+        else:
+            self.roots.append(current)
+        self._stack.append(current)
+        t0 = time.perf_counter()
+        try:
+            yield current
+        except BaseException as exc:
+            current.error = type(exc).__name__
+            raise
+        finally:
+            current.wall_s = time.perf_counter() - t0
+            self._stack.pop()
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole trace tree, JSON-serializable."""
+        return {"spans": [span.to_dict() for span in self.roots]}
+
+
+class _NullSpan(Span):
+    """Shared inert span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_metric(self, key: str, value: MetricValue) -> None:
+        return None
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan("null")
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: records nothing."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_SPAN_CONTEXT
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spans": []}

@@ -18,11 +18,13 @@ is used by the test suite, the default by benchmarks.
 from __future__ import annotations
 
 import datetime as _dt
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro import timebase
 from repro.core import aggregate, appclass, edu as edu_analysis
 from repro.core import hypergiants, linkutil, patterns, ports, remotework, vpn
@@ -62,12 +64,46 @@ class ExperimentResult:
 
     @property
     def passed(self) -> bool:
-        """Whether every shape check held."""
-        return all(self.checks.values())
+        """Whether checks were recorded and every one held.
+
+        An empty check dict means the experiment never got far enough
+        to assert anything (e.g. it crashed mid-run), which must not
+        read as a pass.
+        """
+        return bool(self.checks) and all(self.checks.values())
 
     def failed_checks(self) -> List[str]:
         """Names of checks that did not hold."""
         return [name for name, ok in self.checks.items() if not ok]
+
+
+def traced_experiment(
+    func: Callable[..., "ExperimentResult"]
+) -> Callable[..., "ExperimentResult"]:
+    """Wrap a ``run_*`` function in a tracing span and run counters.
+
+    The experiment id is taken from the function name, so decorating a
+    runner is all it takes for it to show up in ``telemetry.json``.
+    No-op (beyond a couple of attribute lookups) while telemetry is
+    disabled.
+    """
+    experiment_id = func.__name__[len("run_"):]
+
+    @functools.wraps(func)
+    def wrapper(*args: object, **kwargs: object) -> "ExperimentResult":
+        with obs.span(f"experiment/{experiment_id}") as span:
+            result = func(*args, **kwargs)
+            span.set_metric("checks", len(result.checks))
+            span.set_metric("failed-checks", len(result.failed_checks()))
+            span.set_metric("metrics", len(result.metrics))
+        registry = obs.get_registry()
+        registry.counter("experiments.runs").inc()
+        registry.counter("experiments.checks").inc(len(result.checks))
+        if not result.passed:
+            registry.counter("experiments.failed").inc()
+        return result
+
+    return wrapper
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +113,7 @@ class ExperimentResult:
 FIG1_VANTAGES = ("isp-ce", "ixp-ce", "ixp-se", "ixp-us", "mobile-ce", "ipx")
 
 
+@traced_experiment
 def run_fig01(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 1: traffic changes during 2020 at multiple vantage points."""
@@ -151,6 +188,7 @@ def run_fig01(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_fig02(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 2: drastic shift in Internet usage patterns."""
@@ -231,6 +269,7 @@ _FIG3_BANDS = {
 }
 
 
+@traced_experiment
 def run_fig03(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 3: normalized hourly volume for four selected weeks."""
@@ -305,6 +344,7 @@ def run_fig03(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_fig04(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 4: normalized growth, hypergiants vs. other ASes (ISP-CE)."""
@@ -354,6 +394,7 @@ def run_fig04(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_fig05(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 5: IXP-CE port utilization before vs. during the lockdown."""
@@ -422,6 +463,7 @@ def run_fig05(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_fig06(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 6: per-AS total vs. residential traffic shift (ISP-CE)."""
@@ -476,6 +518,7 @@ def run_fig06(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_fig07(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 7: traffic by top application ports, ISP-CE and IXP-CE."""
@@ -578,6 +621,7 @@ def run_fig07(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_fig08(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 8: gaming class before/during lockdown at the IXP-SE."""
@@ -650,6 +694,7 @@ def run_fig08(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_fig09(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 9: application-class heatmaps at four vantage points."""
@@ -805,6 +850,7 @@ VPN_WEEKS = {
 }
 
 
+@traced_experiment
 def run_fig10(scenario: Scenario,
               config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Fig 10: port- vs. domain-based VPN identification at the IXP-CE."""
@@ -872,6 +918,7 @@ def _edu_flows(scenario: Scenario, config: PipelineConfig) -> FlowTable:
     )
 
 
+@traced_experiment
 def run_fig11(scenario: Scenario,
               config: Optional[PipelineConfig] = None,
               flows: Optional[FlowTable] = None) -> ExperimentResult:
@@ -930,6 +977,7 @@ def run_fig11(scenario: Scenario,
     return result
 
 
+@traced_experiment
 def run_fig12(scenario: Scenario,
               config: Optional[PipelineConfig] = None,
               flows: Optional[FlowTable] = None) -> ExperimentResult:
@@ -1043,6 +1091,7 @@ def run_fig12(scenario: Scenario,
 # ---------------------------------------------------------------------------
 
 
+@traced_experiment
 def run_disc09(scenario: Scenario,
                config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """§9: the pandemic fills the valleys; single links grow far more."""
@@ -1133,6 +1182,7 @@ TABLE1_EXPECTED = {
 }
 
 
+@traced_experiment
 def run_table1(scenario: Optional[Scenario] = None,
                config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Table 1: application-classification filter overview."""
@@ -1152,6 +1202,7 @@ def run_table1(scenario: Optional[Scenario] = None,
     return result
 
 
+@traced_experiment
 def run_table2(scenario: Optional[Scenario] = None,
                config: Optional[PipelineConfig] = None) -> ExperimentResult:
     """Table 2: the hypergiant AS list."""

@@ -4,6 +4,8 @@ Writes one directory per pipeline run:
 
     output/
       summary.json            run-level index: id, title, pass/fail
+      telemetry.json          run manifest: seed, config, git SHA,
+                              span tree, metrics (write_run only)
       <experiment>/
         metrics.json          measured values + check outcomes
         rendered.txt          the text sketch of the figure
@@ -20,10 +22,11 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.manifest import RunManifest, build_manifest
 from repro.pipeline import ExperimentResult
 
 PathLike = Union[str, Path]
@@ -95,4 +98,23 @@ def export_results(
         )
     with (root / "summary.json").open("w") as handle:
         json.dump(index, handle, indent=2)
+    return root
+
+
+def write_run(
+    results: Sequence[ExperimentResult],
+    directory: PathLike,
+    manifest: Optional[RunManifest] = None,
+) -> Path:
+    """Write all artifacts plus a ``telemetry.json`` run manifest.
+
+    Without an explicit ``manifest``, one is assembled from the
+    process-global tracer and metrics registry (see :mod:`repro.obs`);
+    with telemetry disabled that still records versions, the git SHA,
+    and per-experiment check outcomes — the span tree is just empty.
+    """
+    root = export_results(results, directory)
+    if manifest is None:
+        manifest = build_manifest(results)
+    manifest.write(root / "telemetry.json")
     return root

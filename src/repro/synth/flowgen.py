@@ -25,6 +25,7 @@ from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.flows.record import PROTO_ESP, PROTO_GRE, PROTO_ICMP
 from repro.flows.table import FlowTable
 from repro.netbase.asdb import ASCategory, ASRegistry
@@ -216,11 +217,20 @@ class FlowSampler:
         """
         if fidelity <= 0:
             raise ValueError("fidelity must be positive")
-        tables = [
-            self._sample_template(template, profile, volumes, fidelity)
-            for template in profile.templates
-        ]
-        return FlowTable.concat(tables)
+        with obs.span(f"flowgen/{profile.name}") as span:
+            tables = [
+                self._sample_template(template, profile, volumes, fidelity)
+                for template in profile.templates
+            ]
+            table = FlowTable.concat(tables)
+            if obs.enabled():
+                registry = obs.get_registry()
+                registry.counter("flowgen.flows").inc(len(table))
+                registry.counter("flowgen.bytes").inc(table.total_bytes())
+                span.set_metric("flows", len(table))
+                span.set_metric("templates", len(profile.templates))
+                span.set_metric("fidelity", fidelity)
+        return table
 
     def _sample_template(
         self,
@@ -310,6 +320,17 @@ class FlowSampler:
             # Byte flow from the server toward clients.
             src_ports = service_ports
             dst_ports = ephemeral
+
+        if obs.enabled():
+            # RNG accounting: one lognormal weight, one service-port
+            # and one ephemeral-port draw per flow, plus AS + address
+            # draws per side (gateway pools draw addresses only).
+            draws = total * 3
+            draws += total * (1 if src_spec.kind == "gateway" else 2)
+            draws += total * (1 if dst_spec.kind == "gateway" else 2)
+            if unmarked.any():
+                draws += total
+            obs.get_registry().counter("flowgen.rng-draws").inc(draws)
 
         return FlowTable.from_arrays(
             hour=volumes.start_hour + rel_hours,

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro import timebase
 from repro.flows.table import FlowTable
 from repro.netbase.asdb import ASRegistry
@@ -176,6 +177,7 @@ class VantagePoint:
         names = sorted(profiles) if profiles is not None else self.profile_names()
         if not names:
             raise ValueError("profiles selection is empty")
+        obs.get_registry().counter("vantage.hourly-queries").inc()
         total: Optional[HourlySeries] = None
         for name in names:
             series = self.profile_volumes(name, start_day, end_day)
@@ -213,13 +215,25 @@ class VantagePoint:
             start_day.toordinal(), end_day.toordinal(), fidelity, *names
         )
         sampler = self._sampler(stream)
-        tables = []
-        for name in names:
-            volumes = self.profile_volumes(name, start_day, end_day)
-            tables.append(
-                sampler.sample_profile(self.mix[name].profile, volumes, fidelity)
-            )
-        return FlowTable.concat(tables).sort_by_hour()
+        with obs.span(f"vantage/{self.name}/generate-flows") as span:
+            tables = []
+            for name in names:
+                volumes = self.profile_volumes(name, start_day, end_day)
+                tables.append(
+                    sampler.sample_profile(
+                        self.mix[name].profile, volumes, fidelity
+                    )
+                )
+            table = FlowTable.concat(tables).sort_by_hour()
+            if obs.enabled():
+                span.set_metric("flows", len(table))
+                span.set_metric("profiles", len(names))
+                span.set_metric("days", (end_day - start_day).days + 1)
+                span.set_metric("fidelity", fidelity)
+                obs.get_registry().counter(
+                    "vantage.flows-generated"
+                ).inc(len(table))
+        return table
 
     def generate_week_flows(
         self,

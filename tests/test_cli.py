@@ -1,9 +1,20 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
+import repro.obs as obs
 from repro import cli
 from repro.flows.io import read_csv, read_npz
+from repro.pipeline import ExperimentResult
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_globals():
+    """CLI runs may configure the global telemetry state; undo it."""
+    yield
+    obs.reset()
 
 
 class TestParser:
@@ -173,3 +184,82 @@ class TestArtifacts:
         assert code == 0
         assert (out_dir / "summary.json").exists()
         assert (out_dir / "table2" / "metrics.json").exists()
+        # write_run adds the run manifest next to summary.json.
+        assert (out_dir / "telemetry.json").exists()
+
+
+class TestTelemetry:
+    def test_run_telemetry_writes_manifest(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.json"
+        code = cli.main(
+            ["run", "table1", "table2", "--fast", "--telemetry", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert [s["name"] for s in payload["trace"]["spans"]] == [
+            "experiment/table1", "experiment/table2"
+        ]
+        assert payload["seed"] == 20200316
+        assert payload["config"]["flow_fidelity"] == 0.5
+        assert payload["metrics"]["counters"]["experiments.runs"] == 2
+
+    def test_telemetry_subcommand_pretty_prints(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.json"
+        cli.main(["run", "table2", "--fast", "--telemetry", str(path)])
+        capsys.readouterr()
+        assert cli.main(["telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment/table2" in out
+        assert "span tree" in out
+        assert "top counters" in out
+
+    def test_telemetry_subcommand_rejects_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "not-json.json"
+        path.write_text("{")
+        assert cli.main(["telemetry", str(path)]) == 2
+
+
+class TestExitStatus:
+    def test_failing_checks_exit_nonzero(self, monkeypatch, capsys):
+        def fake_run(experiment_id, scenario=None, config=None):
+            return ExperimentResult(
+                experiment_id, "stub", checks={"shape holds": False}
+            )
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        assert cli.main(["run", "table1"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "failing shape checks" in out
+
+    def test_crashing_experiment_exits_nonzero(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        def fake_run(experiment_id, scenario=None, config=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        path = tmp_path / "telemetry.json"
+        code = cli.main(["run", "table1", "--telemetry", str(path)])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+        # The crash still lands in the manifest as a failed experiment.
+        payload = json.loads(path.read_text())
+        assert payload["experiments"]["table1"]["passed"] is False
+
+    def test_failed_checks_logged_as_json_events(
+        self, monkeypatch, capsys
+    ):
+        def fake_run(experiment_id, scenario=None, config=None):
+            return ExperimentResult(
+                experiment_id, "stub", checks={"bad check": False}
+            )
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        code = cli.main(["--log-level", "warning", "run", "table1"])
+        assert code == 1
+        err = capsys.readouterr().err
+        event = json.loads(err.strip().splitlines()[-1])
+        assert event["event"] == "experiment-failed"
+        assert event["experiment"] == "table1"
+        assert event["failed_checks"] == ["bad check"]

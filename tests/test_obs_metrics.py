@@ -1,0 +1,145 @@
+"""Unit tests for the metric instruments and registries."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import metrics
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = metrics.Counter("flows")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_registry_returns_same_instrument(self):
+        registry = metrics.MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_top_counters_ordering(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("small").inc(1)
+        registry.counter("big").inc(100)
+        registry.counter("mid").inc(10)
+        assert registry.top_counters(2) == [("big", 100), ("mid", 10)]
+
+
+class TestGauge:
+    def test_unset_is_none(self):
+        assert metrics.Gauge("g").value is None
+
+    def test_last_write_wins(self):
+        g = metrics.MetricsRegistry().gauge("g")
+        g.set(1.5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_quantiles_interpolate(self):
+        h = metrics.Histogram("h")
+        for v in range(1, 101):
+            h.record(v)
+        assert h.quantile(0.0) == 1
+        assert h.quantile(1.0) == 100
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.9) == pytest.approx(90.1)
+
+    def test_empty_quantile_is_nan(self):
+        import math
+
+        assert math.isnan(metrics.Histogram("h").quantile(0.5))
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.Histogram("h").quantile(1.5)
+
+    def test_summary_statistics(self):
+        h = metrics.Histogram("h")
+        for v in (2.0, 4.0, 6.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 2.0
+        assert h.max == 6.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_snapshot_keys(self):
+        h = metrics.Histogram("h")
+        assert h.snapshot() == {"count": 0}
+        h.record(1.0)
+        snap = h.snapshot()
+        for key in ("count", "total", "min", "max", "mean", "p50", "p99"):
+            assert key in snap
+
+
+class TestTimer:
+    def test_records_positive_duration(self):
+        t = metrics.Timer("t")
+        with t.time():
+            time.sleep(0.005)
+        assert t.count == 1
+        assert t.total >= 0.004
+
+    def test_nested_use_records_each(self):
+        t = metrics.Timer("t")
+        with t.time():
+            with t.time():
+                pass
+        assert t.count == 2
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_json_serializable(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(2.0)
+        with registry.timer("t").time():
+            pass
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["timers"]["t"]["count"] == 1
+
+
+class TestNullRegistry:
+    def test_shared_noop_instruments(self):
+        registry = metrics.NullRegistry()
+        assert registry.counter("a") is registry.counter("b")
+        registry.counter("a").inc(100)
+        assert registry.counter("a").value == 0
+        registry.gauge("g").set(5)
+        assert registry.gauge("g").value is None
+        registry.histogram("h").record(1.0)
+        assert registry.histogram("h").count == 0
+
+    def test_null_timer_usable_as_context(self):
+        registry = metrics.NullRegistry()
+        with registry.timer("t").time():
+            pass
+        assert registry.timer("t").count == 0
+
+    def test_disabled_flag_and_empty_snapshot(self):
+        registry = metrics.NullRegistry()
+        assert not registry.enabled
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {}
+        }
+        assert registry.top_counters() == []
+
+    def test_noop_overhead_is_small(self):
+        # 100k no-op increments must be far below any timing that would
+        # show up in the tier-1 suite (generous bound to avoid flakes).
+        registry = metrics.NullRegistry()
+        counter = registry.counter("hot")
+        t0 = time.perf_counter()
+        for _ in range(100_000):
+            counter.inc()
+        assert time.perf_counter() - t0 < 0.5

@@ -1,0 +1,125 @@
+"""Unit tests for tracing spans and the obs facade."""
+
+import json
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.trace import NullTracer, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_globals():
+    yield
+    obs.reset()
+
+
+class TestSpanNesting:
+    def test_children_attach_to_active_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2"):
+                pass
+        with tracer.span("sibling"):
+            pass
+        assert [s.name for s in tracer.roots] == ["outer", "sibling"]
+        assert [c.name for c in tracer.roots[0].children] == [
+            "inner-1", "inner-2"
+        ]
+        assert tracer.roots[1].children == []
+
+    def test_wall_time_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        outer, = tracer.roots
+        inner, = outer.children
+        assert inner.wall_s >= 0.004
+        assert outer.wall_s >= inner.wall_s
+        assert outer.self_s <= outer.wall_s
+
+    def test_metrics_attach(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set_metric("flows", 42)
+        assert tracer.roots[0].metrics == {"flows": 42}
+
+    def test_error_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        span, = tracer.roots
+        assert span.error == "ValueError"
+        assert span.wall_s >= 0.0
+        # The stack unwound: the next span is a new root.
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["boom", "after"]
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_json(self):
+        tracer = Tracer()
+        with tracer.span("outer") as span:
+            span.set_metric("n", 1)
+            with tracer.span("inner"):
+                pass
+        payload = json.loads(json.dumps(tracer.to_dict()))
+        outer, = payload["spans"]
+        assert outer["name"] == "outer"
+        assert outer["metrics"] == {"n": 1}
+        assert outer["wall_ms"] >= outer["self_ms"] >= 0
+        assert [c["name"] for c in outer["children"]] == ["inner"]
+
+
+class TestNullTracer:
+    def test_span_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything") as span:
+            span.set_metric("k", 1)
+        assert tracer.to_dict() == {"spans": []}
+        assert not tracer.enabled
+
+
+class TestFacade:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        with obs.span("noop") as span:
+            span.set_metric("k", 1)
+        assert obs.get_tracer().to_dict() == {"spans": []}
+        obs.counter("c").inc(5)
+        assert obs.get_registry().snapshot()["counters"] == {}
+
+    def test_configure_enables_and_reset_disables(self):
+        obs.configure(telemetry=True)
+        assert obs.enabled()
+        with obs.span("live"):
+            obs.counter("c").inc(2)
+        assert obs.get_tracer().to_dict()["spans"][0]["name"] == "live"
+        assert obs.get_registry().counter("c").value == 2
+        obs.reset()
+        assert not obs.enabled()
+        assert obs.get_tracer().to_dict() == {"spans": []}
+
+    def test_configure_replaces_previous_collection(self):
+        obs.configure(telemetry=True)
+        with obs.span("first"):
+            pass
+        obs.configure(telemetry=True)
+        assert obs.get_tracer().to_dict() == {"spans": []}
+
+    def test_instrument_helpers_delegate(self):
+        obs.configure(telemetry=True)
+        obs.gauge("g").set(1.0)
+        obs.histogram("h").record(2.0)
+        with obs.timer("t").time():
+            pass
+        snap = obs.get_registry().snapshot()
+        assert snap["gauges"]["g"] == 1.0
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["timers"]["t"]["count"] == 1

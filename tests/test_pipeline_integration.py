@@ -8,7 +8,7 @@ are the codified version of EXPERIMENTS.md.
 import pytest
 
 from repro import pipeline
-from repro.pipeline import EXPERIMENTS, PipelineConfig
+from repro.pipeline import EXPERIMENTS, ExperimentResult, PipelineConfig
 
 
 @pytest.fixture(scope="module")
@@ -91,6 +91,49 @@ class TestRunnerAPI:
     def test_fast_config_values(self):
         config = PipelineConfig.fast()
         assert config.flow_fidelity < PipelineConfig().flow_fidelity
+
+
+class TestExperimentResultPassed:
+    """Regression: empty checks must not read as a pass.
+
+    An experiment that crashes before recording any check produces an
+    empty dict, and ``all({})`` is vacuously true."""
+
+    def test_empty_checks_is_not_passed(self):
+        assert not ExperimentResult("x", "crashed early").passed
+
+    def test_all_true_checks_pass(self):
+        result = ExperimentResult("x", "t", checks={"a": True, "b": True})
+        assert result.passed
+
+    def test_any_false_check_fails(self):
+        result = ExperimentResult("x", "t", checks={"a": True, "b": False})
+        assert not result.passed
+        assert result.failed_checks() == ["b"]
+
+
+class TestExperimentTracing:
+    """The run_* decorator records one span per executed experiment."""
+
+    def test_span_recorded_with_check_counts(self):
+        import repro.obs as obs
+
+        obs.configure(telemetry=True)
+        try:
+            result = pipeline.run_experiment("table1")
+            spans = obs.get_tracer().to_dict()["spans"]
+            assert [s["name"] for s in spans] == ["experiment/table1"]
+            assert spans[0]["metrics"]["checks"] == len(result.checks)
+            registry = obs.get_registry()
+            assert registry.counter("experiments.runs").value == 1
+        finally:
+            obs.reset()
+
+    def test_disabled_by_default_records_nothing(self):
+        import repro.obs as obs
+
+        pipeline.run_experiment("table2")
+        assert obs.get_tracer().to_dict() == {"spans": []}
 
 
 class TestSeedRobustness:
