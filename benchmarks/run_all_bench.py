@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Benchmark ``run_all`` across dataset-cache modes.
+
+Times the full experiment sweep three ways —
+
+* ``cache-off`` — every experiment materializes its own data (the old
+  monolith's behavior),
+* ``cache-cold`` — shared dataset cache, starting empty,
+* ``cache-warm`` — same cache, second sweep (everything hits),
+
+plus an optional parallel sweep (``--jobs N``), and appends one entry
+to ``BENCH_results.json`` in the repo's ``{"runs": [...]}`` history
+format.  The script exits non-zero — and records ``exit_status`` —
+if any experiment's checks fail in any mode or the modes disagree,
+so a cache- or executor-induced regression cannot slip through as a
+"fast" result.
+
+Usage::
+
+    python benchmarks/run_all_bench.py            # default fidelity
+    python benchmarks/run_all_bench.py --fast --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.experiments import PipelineConfig, run_all  # noqa: E402
+from repro.synth import datasets  # noqa: E402
+from repro.synth.scenario import build_scenario  # noqa: E402
+
+#: wall_s key prefix, matching the pytest-style keys already in the file.
+KEY = "benchmarks/run_all_bench.py::run_all"
+
+
+def _checks(results) -> Dict[str, Dict[str, bool]]:
+    return {
+        r.experiment_id: {k: bool(v) for k, v in r.checks.items()}
+        for r in results
+    }
+
+
+def _timed(scenario, config, cache, jobs: int = 1) -> Tuple[object, float]:
+    with datasets.use_cache(cache):
+        t0 = time.perf_counter()
+        results = run_all(scenario, config, jobs=jobs)
+        return results, time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use the test-suite fidelity (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="additionally time a parallel sweep with N workers",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_results.json"),
+        help="benchmark history file (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    config = PipelineConfig.fast() if args.fast else PipelineConfig()
+    scenario = build_scenario()
+    walls: Dict[str, float] = {}
+    sweeps: Dict[str, Dict[str, Dict[str, bool]]] = {}
+
+    off_results, walls[f"{KEY}[cache-off]"] = _timed(
+        scenario, config, datasets.DatasetCache(enabled=False)
+    )
+    sweeps["cache-off"] = _checks(off_results)
+
+    shared = datasets.DatasetCache()
+    cold_results, walls[f"{KEY}[cache-cold]"] = _timed(
+        scenario, config, shared
+    )
+    sweeps["cache-cold"] = _checks(cold_results)
+    warm_results, walls[f"{KEY}[cache-warm]"] = _timed(
+        scenario, config, shared
+    )
+    sweeps["cache-warm"] = _checks(warm_results)
+
+    if args.jobs > 1:
+        par_results, walls[f"{KEY}[jobs-{args.jobs}]"] = _timed(
+            scenario, config, datasets.DatasetCache(), jobs=args.jobs
+        )
+        sweeps[f"jobs-{args.jobs}"] = _checks(par_results)
+
+    problems: List[str] = []
+    baseline = sweeps["cache-off"]
+    for mode, outcome in sweeps.items():
+        for experiment_id, checks in outcome.items():
+            failed = [name for name, ok in checks.items() if not ok]
+            if failed:
+                problems.append(f"{mode}: {experiment_id} failed {failed}")
+        if outcome != baseline:
+            problems.append(f"{mode}: check outcomes differ from cache-off")
+
+    for key, wall in walls.items():
+        print(f"{key:55s} {wall:8.3f} s")
+    off = walls[f"{KEY}[cache-off]"]
+    cold = walls[f"{KEY}[cache-cold]"]
+    warm = walls[f"{KEY}[cache-warm]"]
+    print(
+        f"cold sweep saves {off - cold:.3f} s over cache-off "
+        f"({off / cold:.2f}x); warm sweep runs {off / warm:.2f}x"
+    )
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    status = 1 if problems else 0
+
+    history_path = Path(args.output)
+    if history_path.exists():
+        payload = json.loads(history_path.read_text())
+    else:
+        payload = {"runs": []}
+    payload["runs"].append(
+        {
+            "timestamp": round(time.time(), 3),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "exit_status": status,
+            "wall_s": {k: round(v, 4) for k, v in sorted(walls.items())},
+        }
+    )
+    history_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"appended run to {history_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

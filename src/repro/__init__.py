@@ -5,8 +5,9 @@ Public API:
 * :func:`repro.synth.build_scenario` — construct the synthetic world,
 * :mod:`repro.core` — the paper's analyses (one module per figure
   family),
-* :mod:`repro.pipeline` — end-to-end experiment runner regenerating
-  every table and figure,
+* :mod:`repro.experiments` — end-to-end experiment registry and
+  runners regenerating every table and figure (``repro.pipeline``
+  remains as a compatibility shim over the same surface),
 * :mod:`repro.flows` / :mod:`repro.netbase` / :mod:`repro.dns` — the
   substrates (flow tables, network metadata, domain corpus).
 """

@@ -31,8 +31,10 @@ from repro.pipeline import (
     EXPERIMENTS,
     ExperimentResult,
     PipelineConfig,
+    run_all,
     run_experiment,
 )
+from repro.synth import datasets
 from repro.synth.scenario import DEFAULT_SEED, build_scenario
 
 #: Paper-reported reference values shown next to measurements in the
@@ -96,18 +98,9 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    ids = args.experiments or list(EXPERIMENTS)
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
-        return 2
-    if args.telemetry:
-        obs.configure(telemetry=True)
-    logger = obs.get_logger("cli")
-    config = PipelineConfig.fast() if args.fast else PipelineConfig()
-    scenario = build_scenario(seed=args.seed)
-    failed = 0
+def _run_serial(
+    ids: List[str], scenario, config, logger, verbose: bool
+) -> List[ExperimentResult]:
     results = []
     for experiment_id in ids:
         try:
@@ -123,19 +116,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 experiment=experiment_id, error=f"{type(exc).__name__}: {exc}",
             )
         results.append(result)
-        _print_result(result, verbose=args.verbose)
+        _print_result(result, verbose=verbose)
+    return results
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.telemetry:
+        obs.configure(telemetry=True)
+    logger = obs.get_logger("cli")
+    config = PipelineConfig.fast() if args.fast else PipelineConfig()
+    scenario = build_scenario(seed=args.seed)
+    run_cache = (
+        datasets.DatasetCache(enabled=False)
+        if args.no_dataset_cache
+        else datasets.get_cache()
+    )
+    with datasets.use_cache(run_cache):
+        if args.jobs > 1:
+            results = run_all(
+                scenario, config, experiment_ids=ids,
+                jobs=args.jobs, on_error="capture",
+            )
+            for result in results:
+                _print_result(result, verbose=args.verbose)
+        else:
+            results = _run_serial(
+                ids, scenario, config, logger, args.verbose
+            )
+    failed = 0
+    for result in results:
         if not result.passed:
             failed += 1
             obs.log_event(
                 logger, "experiment-failed", level=logging.WARNING,
-                experiment=experiment_id,
+                experiment=result.experiment_id,
                 failed_checks=result.failed_checks(),
             )
     manifest = None
     if args.telemetry:
         from repro.obs.manifest import build_manifest
 
-        manifest = build_manifest(results, seed=args.seed, config=config)
+        manifest = build_manifest(
+            results, seed=args.seed, config=config,
+            executor={
+                "name": "parallel" if args.jobs > 1 else "serial",
+                "jobs": args.jobs,
+                "dataset_cache": dict(
+                    run_cache.stats.to_dict(), enabled=run_cache.enabled
+                ),
+            },
+        )
         try:
             manifest.write(args.telemetry)
         except OSError as exc:
@@ -360,6 +398,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--fast", action="store_true", help="lower sampling fidelity"
+    )
+    run_parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="run experiments on N worker threads with dataset-ready "
+             "scheduling (default: %(default)s, serial)",
+    )
+    run_parser.add_argument(
+        "--no-dataset-cache", action="store_true",
+        help="materialize every dataset per experiment instead of "
+             "sharing them through the cache",
     )
     run_parser.add_argument(
         "-v", "--verbose", action="store_true",

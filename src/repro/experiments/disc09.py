@@ -1,0 +1,80 @@
+"""§9 discussion — peak-vs-valley decomposition."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional, Tuple
+
+from repro import timebase
+from repro.core import peaks
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.experiments.fig05 import utilization_requests
+from repro.report import tables as tabrender
+from repro.synth import datasets
+from repro.synth.datasets import DatasetRequest
+from repro.synth.scenario import Scenario
+
+
+def _datasets(scenario: Scenario,
+              config: PipelineConfig) -> Tuple[DatasetRequest, ...]:
+    # Same member-utilization materializations as Fig 5.
+    return utilization_requests(scenario)
+
+
+@register("disc09", "Peak vs valley growth decomposition", "§9",
+          datasets=_datasets)
+def run_disc09(scenario: Scenario,
+               config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """§9: the pandemic fills the valleys; single links grow far more."""
+    result = ExperimentResult(
+        "disc09", "Peak vs valley growth decomposition"
+    )
+    series = scenario.isp_ce.hourly_traffic(
+        _dt.date(2020, 2, 1), _dt.date(2020, 5, 17)
+    )
+    summary = peaks.peak_valley_summary(
+        series, timebase.MACRO_WEEKS["base"], timebase.MACRO_WEEKS["stage1"]
+    )
+    result.metrics["total-growth"] = summary.total_growth
+    result.metrics["peak-growth"] = summary.peak_growth
+    result.metrics["valley-growth"] = summary.valley_growth
+    result.checks["valleys filled (off-peak grows more than peak)"] = (
+        summary.valleys_filled
+    )
+    result.checks["peak growth stays within provisioning margins"] = (
+        summary.peak_growth <= 0.30
+    )
+    # Per-member growth dispersion at the IXP-CE, on the same cached
+    # utilizations Fig 5 compares.
+    base_request, stage_request = utilization_requests(scenario)
+    base_util = datasets.fetch(scenario, base_request)
+    stage_util = datasets.fetch(scenario, stage_request)
+    distribution = peaks.member_growth_distribution(base_util, stage_util)
+    result.metrics["aggregate-member-growth"] = (
+        distribution.aggregate_growth
+    )
+    result.metrics["p95-member-growth"] = distribution.quantile(0.95)
+    result.metrics["max-member-growth"] = distribution.max_growth
+    result.checks["individual links grow way beyond the aggregate"] = (
+        distribution.max_growth > distribution.aggregate_growth * 2
+    )
+    headroom = peaks.headroom_exceeded(stage_util, threshold=0.8)
+    pressured = sum(1 for frac in headroom.values() if frac > 0.05)
+    result.metrics["members-over-80pct-threshold"] = float(pressured)
+    result.checks["some members pushed past the planning threshold"] = (
+        pressured >= 3
+    )
+    result.rendered = tabrender.render_table(
+        ["quantity", "growth"],
+        [
+            ("total (stage1 vs base)", f"{summary.total_growth:+.1%}"),
+            ("peak hour", f"{summary.peak_growth:+.1%}"),
+            ("working-hour valley", f"{summary.valley_growth:+.1%}"),
+            ("median member", f"{distribution.quantile(0.5):+.1%}"),
+            ("p95 member", f"{distribution.quantile(0.95):+.1%}"),
+            ("max member", f"{distribution.max_growth:+.1%}"),
+        ],
+        title="§9 growth decomposition",
+    )
+    result.data = {"summary": summary, "distribution": distribution}
+    return result

@@ -1,0 +1,238 @@
+"""Execution strategies for running registered experiments.
+
+Two executors share one contract — take specs, return
+:class:`~repro.experiments.base.ExperimentResult` objects in paper
+order:
+
+* :class:`SerialExecutor` runs experiments one by one (the default, and
+  what ``repro run`` does without ``--jobs``).
+* :class:`ParallelExecutor` runs them on a thread pool with
+  dataset-ready scheduling: every distinct
+  :class:`~repro.synth.datasets.DatasetRequest` is materialized once on
+  the pool, and an experiment is submitted as soon as all of its
+  declared datasets are in the cache.  Experiments that share a key
+  (e.g. Figs 11/12's EDU capture) never materialize it twice.
+
+Threads (not processes) are the right fit: the heavy lifting happens
+inside numpy, which releases the GIL, and the dataset cache lives in
+process memory.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _cf
+from typing import Dict, List, Optional, Sequence, Set
+
+import repro.obs as obs
+from repro.experiments.base import (
+    ExperimentResult,
+    ExperimentSpec,
+    PipelineConfig,
+    get_spec,
+    resolve_specs,
+)
+from repro.synth import datasets as datasets_mod
+from repro.synth.datasets import DatasetCache, DatasetRequest
+from repro.synth.scenario import Scenario, build_scenario
+
+
+def _crash_result(spec: ExperimentSpec, exc: BaseException) -> ExperimentResult:
+    """A failed result standing in for an experiment that raised."""
+    result = ExperimentResult(spec.id, spec.title)
+    result.checks["experiment crashed"] = False
+    result.rendered = f"CRASH: {type(exc).__name__}: {exc}"
+    result.data = exc
+    return result
+
+
+def _run_one(
+    spec: ExperimentSpec,
+    scenario: Optional[Scenario],
+    config: Optional[PipelineConfig],
+    on_error: str,
+) -> ExperimentResult:
+    try:
+        return spec.runner(scenario, config)
+    except Exception as exc:
+        if on_error == "capture":
+            return _crash_result(spec, exc)
+        raise
+
+
+class SerialExecutor:
+    """Run experiments sequentially in paper order."""
+
+    name = "serial"
+    jobs = 1
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        scenario: Optional[Scenario],
+        config: Optional[PipelineConfig],
+        *,
+        on_error: str = "raise",
+    ) -> List[ExperimentResult]:
+        with obs.span("executor/serial") as span:
+            span.set_metric("experiments", len(specs))
+            results = [
+                _run_one(spec, scenario, config, on_error) for spec in specs
+            ]
+        return results
+
+
+class ParallelExecutor:
+    """Run experiments on a thread pool with dataset-ready scheduling.
+
+    Phase 1 submits every distinct dataset request to the pool (the
+    cache's per-key locks make concurrent fetches of the same key
+    materialize once).  Phase 2 submits each experiment the moment the
+    last of its declared datasets lands; experiments without declared
+    datasets start immediately.  Results come back in paper order
+    regardless of completion order.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        scenario: Optional[Scenario],
+        config: Optional[PipelineConfig],
+        *,
+        on_error: str = "raise",
+    ) -> List[ExperimentResult]:
+        cache = datasets_mod.get_cache()
+        with obs.span("executor/parallel") as span:
+            span.set_metric("experiments", len(specs))
+            span.set_metric("jobs", self.jobs)
+            results = self._run(specs, scenario, config, cache, on_error)
+        return results
+
+    def _run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        scenario: Optional[Scenario],
+        config: Optional[PipelineConfig],
+        cache: DatasetCache,
+        on_error: str,
+    ) -> List[ExperimentResult]:
+        # Which dataset keys gate which experiments.  With the cache
+        # disabled there is nothing to share, so everything starts
+        # immediately and each runner materializes its own data.
+        needs: Dict[str, Set[DatasetRequest]] = {}
+        distinct: Dict[DatasetRequest, None] = {}
+        for spec in specs:
+            requests = (
+                spec.dataset_requests(scenario, config)
+                if scenario is not None and cache.enabled
+                else ()
+            )
+            needs[spec.id] = set(requests)
+            for request in requests:
+                distinct.setdefault(request)
+        results: Dict[str, ExperimentResult] = {}
+        pending = list(specs)
+        outstanding: Set[_cf.Future] = set()
+        experiment_ids: Dict[_cf.Future, str] = {}
+        dataset_keys: Dict[_cf.Future, DatasetRequest] = {}
+        first_error: Optional[BaseException] = None
+        with _cf.ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-exp"
+        ) as pool:
+
+            def submit_ready() -> None:
+                nonlocal pending
+                still_waiting = []
+                for spec in pending:
+                    if needs[spec.id]:
+                        still_waiting.append(spec)
+                        continue
+                    future = pool.submit(
+                        _run_one, spec, scenario, config, on_error
+                    )
+                    experiment_ids[future] = spec.id
+                    outstanding.add(future)
+                pending = still_waiting
+
+            for request in distinct:
+                future = pool.submit(cache.fetch, scenario, request)
+                dataset_keys[future] = request
+                outstanding.add(future)
+            submit_ready()
+            while outstanding:
+                done, _ = _cf.wait(
+                    outstanding, return_when=_cf.FIRST_COMPLETED
+                )
+                outstanding.difference_update(done)
+                for future in done:
+                    if future in dataset_keys:
+                        # A materialization error is not fatal here: the
+                        # gated runner refetches the key and raises (or
+                        # captures) with proper attribution.
+                        future.exception()
+                        request = dataset_keys[future]
+                        for waiting in needs.values():
+                            waiting.discard(request)
+                    else:
+                        experiment_id = experiment_ids[future]
+                        try:
+                            results[experiment_id] = future.result()
+                        except BaseException as exc:
+                            if first_error is None:
+                                first_error = exc
+                            pending = []
+                if first_error is None:
+                    submit_ready()
+        if first_error is not None:
+            raise first_error
+        return [results[spec.id] for spec in specs if spec.id in results]
+
+
+def make_executor(jobs: int = 1):
+    """The executor matching a ``--jobs`` value."""
+    if jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+def run_experiment(
+    experiment_id: str,
+    scenario: Optional[Scenario] = None,
+    config: Optional[PipelineConfig] = None,
+) -> ExperimentResult:
+    """Run one experiment by id (``fig01`` ... ``fig12``, ``table1``/``2``)."""
+    spec = get_spec(experiment_id)
+    if scenario is None and spec.needs_scenario:
+        scenario = build_scenario()
+    return spec.runner(scenario, config)
+
+
+def run_all(
+    scenario: Optional[Scenario] = None,
+    config: Optional[PipelineConfig] = None,
+    *,
+    experiment_ids: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    executor=None,
+    on_error: str = "raise",
+) -> List[ExperimentResult]:
+    """Run every experiment (or a subset) in paper order.
+
+    ``jobs > 1`` switches to the dataset-ready parallel executor; the
+    metrics and checks are identical to a serial run because every
+    dataset key is a deterministic function of the scenario and config.
+    ``on_error="capture"`` converts a crashing experiment into a failed
+    :class:`ExperimentResult` instead of propagating the exception.
+    """
+    specs = resolve_specs(experiment_ids)
+    if scenario is None and any(spec.needs_scenario for spec in specs):
+        scenario = build_scenario()
+    if executor is None:
+        executor = make_executor(jobs)
+    return executor.run(specs, scenario, config, on_error=on_error)

@@ -1,0 +1,81 @@
+"""Fig 1 — weekly normalized traffic across vantage points."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import timebase
+from repro.core import aggregate, changepoint, mobility
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.report import figures as figrender
+from repro.synth.scenario import Scenario
+
+FIG1_VANTAGES = ("isp-ce", "ixp-ce", "ixp-se", "ixp-us", "mobile-ce", "ipx")
+
+
+@register("fig01", "Weekly normalized traffic volume", "Fig. 1")
+def run_fig01(scenario: Scenario,
+              config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Fig 1: traffic changes during 2020 at multiple vantage points."""
+    curves: Dict[str, aggregate.WeeklySeries] = {}
+    for name in FIG1_VANTAGES:
+        vantage = scenario.vantage(name)
+        series = vantage.hourly_traffic(timebase.STUDY_START, timebase.STUDY_END)
+        curves[name] = aggregate.weekly_normalized(series)
+    result = ExperimentResult("fig01", "Weekly normalized traffic volume")
+    lockdown_weeks = {"isp-ce": 13, "ixp-ce": 13, "ixp-se": 12,
+                      "ixp-us": 14, "mobile-ce": 13, "ipx": 13}
+    for name, weekly in curves.items():
+        values = weekly.as_dict()
+        result.metrics[f"{name}/lockdown"] = values[lockdown_weeks[name]]
+        result.metrics[f"{name}/final"] = values[max(values)]
+    # Fixed-line and IXP curves rise after the lockdowns.
+    for name in ("isp-ce", "ixp-ce", "ixp-se"):
+        result.checks[f"{name} rises >=10% by lockdown"] = (
+            result.metrics[f"{name}/lockdown"] >= 1.10
+        )
+    result.checks["ixp-us trails the European vantage points"] = (
+        result.metrics["ixp-us/lockdown"]
+        < min(result.metrics["isp-ce/lockdown"],
+              result.metrics["ixp-ce/lockdown"])
+    )
+    result.checks["roaming (ipx) collapses"] = (
+        result.metrics["ipx/lockdown"] <= 0.75
+    )
+    isp = curves["isp-ce"].as_dict()
+    ixp = curves["ixp-ce"].as_dict()
+    last = max(isp)
+    result.checks["isp decays toward May while ixp-ce persists"] = (
+        (max(isp.values()) - isp[last]) > (max(ixp.values()) - ixp[last]) * 0.5
+        and isp[last] < max(isp.values()) - 0.05
+    )
+    # Consistency loop: the lockdown week must be recoverable from the
+    # traffic alone, and the fixed/mobile/roaming narrative must hold.
+    full = {
+        name: scenario.vantage(name).hourly_traffic(
+            timebase.STUDY_START, timebase.STUDY_END
+        )
+        for name in ("isp-ce", "mobile-ce", "ipx")
+    }
+    detected = changepoint.detect_change_week(full["isp-ce"])
+    distance = changepoint.timeline_consistency(
+        detected, timebase.TIMELINE_CE
+    )
+    result.metrics["detected-shift-week"] = float(detected.week)
+    result.checks["shift week recoverable from traffic alone"] = (
+        abs(distance) <= 1
+    )
+    mob = mobility.summarize(full["isp-ce"], full["mobile-ce"], full["ipx"])
+    result.metrics["fixed-mobile-divergence"] = mob.max_divergence
+    result.metrics["roaming-floor"] = mob.roaming_floor
+    result.checks["fixed demand substitutes mobile"] = (
+        mob.substitution_detected
+    )
+    result.checks["roaming proxy shows travel collapse"] = (
+        mob.travel_collapse_detected
+    )
+    result.rendered = figrender.render_series_table(
+        {name: list(c.values) for name, c in curves.items()}
+    )
+    result.data = curves
+    return result

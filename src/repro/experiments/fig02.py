@@ -1,0 +1,78 @@
+"""Fig 2 — usage-pattern shift (hourly profiles + day classification)."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional
+
+from repro import timebase
+from repro.core import aggregate, patterns
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.report import figures as figrender
+from repro.synth.scenario import Scenario
+
+
+@register("fig02", "Workday/weekend pattern shift", "Fig. 2")
+def run_fig02(scenario: Scenario,
+              config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Fig 2: drastic shift in Internet usage patterns."""
+    result = ExperimentResult("fig02", "Workday/weekend pattern shift")
+    isp_series = scenario.isp_ce.hourly_traffic(
+        _dt.date(2020, 1, 1), _dt.date(2020, 5, 11)
+    )
+    profiles = aggregate.day_profiles_normalized(
+        isp_series,
+        [_dt.date(2020, 2, 19), _dt.date(2020, 2, 22), _dt.date(2020, 3, 25)],
+    )
+    feb_workday = profiles[_dt.date(2020, 2, 19)]
+    feb_weekend = profiles[_dt.date(2020, 2, 22)]
+    lockdown_day = profiles[_dt.date(2020, 3, 25)]
+    # Fig 2a: the lockdown workday's morning resembles the weekend's.
+    morning = slice(9, 12)
+    result.metrics["feb-workday/morning"] = float(feb_workday[morning].mean())
+    result.metrics["feb-weekend/morning"] = float(feb_weekend[morning].mean())
+    result.metrics["lockdown-workday/morning"] = float(
+        lockdown_day[morning].mean()
+    )
+    result.checks["lockdown workday morning looks weekend-like"] = abs(
+        result.metrics["lockdown-workday/morning"]
+        - result.metrics["feb-weekend/morning"]
+    ) < abs(
+        result.metrics["lockdown-workday/morning"]
+        - result.metrics["feb-workday/morning"]
+    )
+    shifts = {}
+    for name, region in (
+        ("isp-ce", timebase.Region.CENTRAL_EUROPE),
+        ("ixp-ce", timebase.Region.CENTRAL_EUROPE),
+    ):
+        series = scenario.vantage(name).hourly_traffic(
+            _dt.date(2020, 1, 1), _dt.date(2020, 5, 11)
+        )
+        classifications = patterns.classify_days(series, region)
+        shift = patterns.summarize_shift(
+            classifications, timebase.TIMELINE_CE.lockdown
+        )
+        shifts[name] = (classifications, shift)
+        result.metrics[f"{name}/pre-agreement"] = shift.pre_lockdown_agreement
+        result.metrics[f"{name}/post-weekendlike-workdays"] = (
+            shift.post_lockdown_weekendlike_workdays
+        )
+        result.checks[f"{name} shifts to weekend-like"] = shift.shifted()
+        # The New Year holidays are the one pre-lockdown misclassification.
+        holiday = [
+            c for c in classifications
+            if c.day <= timebase.NEW_YEAR_HOLIDAY_END
+        ]
+        result.checks[f"{name} holidays classify weekend-like"] = all(
+            c.predicted == "weekend-like" for c in holiday
+        )
+    result.rendered = figrender.render_series_table(
+        {
+            "Feb 19 (Wed)": feb_workday,
+            "Feb 22 (Sat)": feb_weekend,
+            "Mar 25 (Wed)": lockdown_day,
+        }
+    )
+    result.data = {"profiles": profiles, "shifts": shifts}
+    return result

@@ -1,0 +1,90 @@
+"""Fig 3 — macroscopic four-week comparison (§3.1 growth numbers)."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Optional
+
+from repro import timebase
+from repro.core import aggregate, bootstrap
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.series import HourlySeries
+from repro.synth.scenario import Scenario
+
+#: Target growth bands per vantage: (stage1 lo, stage1 hi, stage3 lo,
+#: stage3 hi).  Paper: >20% / 30% / 12% / ~2% at stage 1; back to 6% at
+#: the ISP, persistent at the IXPs.
+_FIG3_BANDS = {
+    "isp-ce": (0.15, 0.40, 0.02, 0.16),
+    "ixp-ce": (0.22, 0.45, 0.12, 0.40),
+    "ixp-se": (0.05, 0.25, 0.05, 0.28),
+    "ixp-us": (-0.05, 0.08, 0.05, 0.30),
+}
+
+
+@register("fig03", "Four-week aggregated traffic shifts", "Fig. 3")
+def run_fig03(scenario: Scenario,
+              config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Fig 3: normalized hourly volume for four selected weeks."""
+    result = ExperimentResult("fig03", "Four-week aggregated traffic shifts")
+    summaries: Dict[str, aggregate.GrowthSummary] = {}
+    normalized: Dict[str, Dict[str, HourlySeries]] = {}
+    for name, (s1_lo, s1_hi, s3_lo, s3_hi) in _FIG3_BANDS.items():
+        vantage = scenario.vantage(name)
+        series = vantage.hourly_traffic(
+            _dt.date(2020, 2, 1), _dt.date(2020, 5, 17)
+        )
+        summary = aggregate.growth_summary(name, series)
+        summaries[name] = summary
+        normalized[name] = aggregate.week_hourly_normalized(
+            series, timebase.MACRO_WEEKS
+        )
+        result.metrics[f"{name}/stage1"] = summary.stage1_growth
+        result.metrics[f"{name}/stage2"] = summary.stage2_growth
+        result.metrics[f"{name}/stage3"] = summary.stage3_growth
+        result.metrics[f"{name}/min-growth"] = summary.min_growth
+        result.checks[f"{name} stage1 in band"] = (
+            s1_lo <= summary.stage1_growth <= s1_hi
+        )
+        result.checks[f"{name} stage3 in band"] = (
+            s3_lo <= summary.stage3_growth <= s3_hi
+        )
+    # Minimum traffic levels also increase at the IXPs (§3.1).
+    for name in ("ixp-ce", "ixp-se"):
+        result.checks[f"{name} minimum level rises"] = (
+            summaries[name].min_growth > 0
+        )
+    # The headline growth must exceed day-level noise (bootstrap CI).
+    isp_series = scenario.isp_ce.hourly_traffic(
+        timebase.MACRO_WEEKS["base"].start,
+        timebase.MACRO_WEEKS["stage3"].end,
+    )
+    ci = bootstrap.growth_ci(
+        isp_series, timebase.MACRO_WEEKS["base"],
+        timebase.MACRO_WEEKS["stage1"],
+    )
+    result.metrics["isp-ce/stage1-ci-lower"] = ci.lower
+    result.metrics["isp-ce/stage1-ci-upper"] = ci.upper
+    result.checks["isp-ce stage1 growth exceeds day-level noise"] = (
+        ci.excludes_zero() and ci.lower > 0.05
+    )
+    result.checks["isp-ce falls back further than ixp-ce"] = (
+        summaries["isp-ce"].stage3_growth
+        < summaries["ixp-ce"].stage3_growth
+    )
+    result.checks["ixp-us increases only later"] = (
+        summaries["ixp-us"].stage1_growth
+        < summaries["ixp-us"].stage2_growth
+    )
+    result.rendered = "\n".join(
+        f"{name}: " + ", ".join(
+            f"{k}={v:+.1%}" for k, v in (
+                ("stage1", s.stage1_growth),
+                ("stage2", s.stage2_growth),
+                ("stage3", s.stage3_growth),
+            )
+        )
+        for name, s in summaries.items()
+    )
+    result.data = {"summaries": summaries, "normalized": normalized}
+    return result

@@ -1,0 +1,71 @@
+"""Fig 4 — hypergiants vs. other ASes."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional, Tuple
+
+from repro import timebase
+from repro.core import hypergiants
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.report import figures as figrender
+from repro.synth import datasets
+from repro.synth.datasets import DatasetRequest
+from repro.synth.scenario import Scenario
+
+#: The Fig 4 survey window (weeks 3-18 of 2020).
+SURVEY_START = _dt.date(2020, 1, 13)
+SURVEY_END = _dt.date(2020, 5, 3)
+
+
+def _datasets(scenario: Scenario,
+              config: PipelineConfig) -> Tuple[DatasetRequest, ...]:
+    return (
+        datasets.flows_request(
+            "isp-ce", SURVEY_START, SURVEY_END, config.survey_fidelity
+        ),
+    )
+
+
+@register("fig04", "Hypergiant vs other-AS growth", "Fig. 4",
+          datasets=_datasets)
+def run_fig04(scenario: Scenario,
+              config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Fig 4: normalized growth, hypergiants vs. other ASes (ISP-CE)."""
+    config = config or PipelineConfig()
+    result = ExperimentResult("fig04", "Hypergiant vs other-AS growth")
+    (survey_request,) = _datasets(scenario, config)
+    flows = datasets.fetch(scenario, survey_request)
+    share = hypergiants.hypergiant_share(flows)
+    result.metrics["hypergiant-share"] = share
+    result.checks["hypergiants carry ~75% of delivered traffic"] = (
+        0.55 <= share <= 0.85
+    )
+    growth = hypergiants.group_growth(
+        flows, timebase.Region.CENTRAL_EUROPE, baseline_week=5,
+        weeks=list(range(4, 19)),
+    )
+    result.checks["other ASes dominate after the lockdown"] = (
+        hypergiants.other_dominates_after(growth, lockdown_week=13)
+    )
+    hyper_curve = growth["hypergiants"].curve("workday", "working-hours")
+    other_curve = growth["other"].curve("workday", "working-hours")
+    result.metrics["hypergiants/week15"] = hyper_curve[15]
+    result.metrics["other/week15"] = other_curve[15]
+    # Substantial increase from week 11 to 12 for the hypergiants.
+    result.checks["hypergiant jump week 11 to 12"] = (
+        hyper_curve[12] > hyper_curve[11] * 1.05
+    )
+    # Stabilization/decline after the video-resolution reduction.
+    weekend_hyper = growth["hypergiants"].curve("weekend", "evening")
+    result.checks["hypergiant weekend decline week 12 to 13"] = (
+        weekend_hyper[13] < weekend_hyper[12] * 1.02
+    )
+    result.rendered = figrender.render_series_table(
+        {
+            "hypergiants": [hyper_curve[w] for w in sorted(hyper_curve)],
+            "other ASes": [other_curve[w] for w in sorted(other_curve)],
+        }
+    )
+    result.data = growth
+    return result

@@ -1,0 +1,102 @@
+"""Fig 5 — link utilization ECDFs."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core import linkutil
+from repro.core import stats as stats_analysis
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.report import tables as tabrender
+from repro.synth import datasets
+from repro.synth.datasets import DatasetRequest
+from repro.synth.scenario import Scenario
+
+#: Comparison days: base-week Wednesday vs. stage-2 Wednesday.
+BASE_DAY = _dt.date(2020, 2, 19)
+STAGE_DAY = _dt.date(2020, 4, 22)
+
+
+def stage_growth_factor(scenario: Scenario) -> float:
+    """The vantage-level IXP-CE growth factor for the stage-2 day.
+
+    Derived from the intensity model alone, so it is a deterministic
+    function of the scenario — cheap enough to recompute and safe to
+    embed in a dataset key (Fig 5 and §9 share the materialization).
+    """
+    series = scenario.ixp_ce.hourly_traffic(
+        _dt.date(2020, 2, 1), _dt.date(2020, 5, 1)
+    )
+    return (
+        series.slice_day(STAGE_DAY).total()
+        / series.slice_day(BASE_DAY).total()
+    )
+
+
+def utilization_requests(
+    scenario: Scenario,
+) -> Tuple[DatasetRequest, DatasetRequest]:
+    """The (base, stage-2) member-utilization keys shared with §9."""
+    return (
+        datasets.link_util_request("ixp-ce", BASE_DAY, 1.0),
+        datasets.link_util_request(
+            "ixp-ce", STAGE_DAY, stage_growth_factor(scenario),
+            shape_name="lockdown-workday",
+        ),
+    )
+
+
+def _datasets(scenario: Scenario,
+              config: PipelineConfig) -> Tuple[DatasetRequest, ...]:
+    return utilization_requests(scenario)
+
+
+@register("fig05", "Link-utilization ECDF shift", "Fig. 5",
+          datasets=_datasets)
+def run_fig05(scenario: Scenario,
+              config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Fig 5: IXP-CE port utilization before vs. during the lockdown."""
+    result = ExperimentResult("fig05", "Link-utilization ECDF shift")
+    members = scenario.members["ixp-ce"]
+    result.metrics["stage2-day-growth"] = stage_growth_factor(scenario)
+    base_request, stage_request = utilization_requests(scenario)
+    base_util = datasets.fetch(scenario, base_request)
+    stage_util = datasets.fetch(scenario, stage_request)
+    comparison = linkutil.compare_days(base_util, stage_util)
+    for stat, (base_ecdf, stage_ecdf) in comparison.items():
+        shift = linkutil.right_shift_fraction(base_ecdf, stage_ecdf)
+        result.metrics[f"{stat}/right-shift"] = shift
+        result.checks[f"{stat} ECDF shifted right"] = shift >= 0.85
+        result.metrics[f"{stat}/base-median"] = base_ecdf.quantile(0.5)
+        result.metrics[f"{stat}/stage-median"] = stage_ecdf.quantile(0.5)
+    upgrades = members.capacity_added_between(
+        _dt.date(2020, 3, 1), _dt.date(2020, 5, 1)
+    )
+    result.metrics["capacity-upgrades-gbps"] = float(upgrades)
+    result.checks["port capacity upgrades during lockdown"] = upgrades >= 1000
+    # The shift must exceed sampling noise (two-sample KS test over the
+    # member population's average utilizations).
+    ks = stats_analysis.ks_shift(
+        [float(np.mean(v)) for v in base_util.values()],
+        [float(np.mean(v)) for v in stage_util.values()],
+    )
+    result.metrics["ks-p-value"] = ks.p_value
+    result.checks["ECDF shift statistically significant"] = (
+        ks.significant() and ks.direction == "right"
+    )
+    grid = [0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8]
+    result.rendered = tabrender.render_table(
+        ["utilization", "base F(x)", "stage2 F(x)"],
+        [
+            (f"{x:.2f}",
+             comparison["average"][0].fraction_at_or_below(x),
+             comparison["average"][1].fraction_at_or_below(x))
+            for x in grid
+        ],
+        title="Fig 5 (average link usage ECDF)",
+    )
+    result.data = comparison
+    return result

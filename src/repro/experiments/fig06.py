@@ -1,0 +1,77 @@
+"""Fig 6 — remote-work AS scatter."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional, Tuple
+
+from repro import timebase
+from repro.core import remotework
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.report import tables as tabrender
+from repro.synth import datasets
+from repro.synth.datasets import DatasetRequest
+from repro.synth.scenario import Scenario
+
+BASE_WEEK = timebase.Week(_dt.date(2020, 2, 19), "base")
+LOCKDOWN_WEEK = timebase.Week(_dt.date(2020, 3, 18), "lockdown")
+
+
+def _datasets(scenario: Scenario,
+              config: PipelineConfig) -> Tuple[DatasetRequest, ...]:
+    return (
+        datasets.remote_work_request(BASE_WEEK, False),
+        datasets.remote_work_request(LOCKDOWN_WEEK, True),
+    )
+
+
+@register("fig06", "Traffic shift vs residential shift", "Fig. 6",
+          datasets=_datasets)
+def run_fig06(scenario: Scenario,
+              config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Fig 6: per-AS total vs. residential traffic shift (ISP-CE)."""
+    result = ExperimentResult("fig06", "Traffic shift vs residential shift")
+    base_request, lockdown_request = _datasets(
+        scenario, config or PipelineConfig()
+    )
+    base_flows = datasets.fetch(scenario, base_request)
+    lockdown_flows = datasets.fetch(scenario, lockdown_request)
+    eyeballs = scenario.registry.eyeball_asns(timebase.Region.CENTRAL_EUROPE)
+    points = remotework.traffic_shift_scatter(
+        base_flows, lockdown_flows, eyeballs
+    )
+    summary = remotework.summarize_scatter(points)
+    result.metrics["n-ases"] = float(summary.n_ases)
+    result.metrics["correlation"] = summary.correlation
+    result.metrics["x-axis-band"] = float(summary.x_axis_band)
+    quadrants = summary.quadrant_counts
+    result.metrics["top-left"] = float(
+        quadrants.get("total-down/residential-up", 0)
+    )
+    result.checks["majority correlated"] = summary.majority_correlated()
+    result.checks["x-axis band exists (no-residential ASes)"] = (
+        summary.x_axis_band >= 5
+    )
+    result.checks["top-left quadrant exists"] = (
+        quadrants.get("total-down/residential-up", 0) >= 3
+    )
+    result.checks["most ASes gain residential traffic"] = (
+        quadrants.get("total-up/residential-up", 0)
+        > summary.n_ases * 0.4
+    )
+    groups = remotework.group_by_workday_ratio(
+        base_flows, timebase.Region.CENTRAL_EUROPE
+    )
+    result.metrics["workday-dominated"] = float(
+        len(groups["workday-dominated"])
+    )
+    result.checks["workday-dominated group is the largest"] = len(
+        groups["workday-dominated"]
+    ) >= max(len(groups["balanced"]), len(groups["weekend-dominated"]))
+    result.rendered = tabrender.render_table(
+        ["quadrant", "ASes"],
+        sorted(quadrants.items()),
+        title="Fig 6 quadrant population",
+    )
+    result.data = {"points": points, "summary": summary, "groups": groups}
+    return result

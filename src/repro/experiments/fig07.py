@@ -1,0 +1,134 @@
+"""Fig 7 — application ports."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro import timebase
+from repro.core import ports
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.flows.table import FlowTable
+from repro.report import figures as figrender
+from repro.synth import datasets
+from repro.synth.datasets import DatasetRequest
+from repro.synth.scenario import Scenario
+
+#: Per-vantage analysis weeks (shared keys with Figs 9/10 where the
+#: paper reuses the same calendar weeks).
+WEEKS = {
+    "isp-ce": timebase.PORT_WEEKS_ISP,
+    "ixp-ce": timebase.PORT_WEEKS_IXP,
+}
+
+
+def _datasets(scenario: Scenario,
+              config: PipelineConfig) -> Tuple[DatasetRequest, ...]:
+    return tuple(
+        datasets.week_flows_request(name, week, config.flow_fidelity)
+        for name, weeks in WEEKS.items()
+        for week in weeks.values()
+    )
+
+
+def _week_flows(scenario: Scenario, config: PipelineConfig,
+                name: str) -> FlowTable:
+    tables = datasets.fetch_many(
+        scenario,
+        [
+            datasets.week_flows_request(name, week, config.flow_fidelity)
+            for week in WEEKS[name].values()
+        ],
+    )
+    return FlowTable.concat(tables)
+
+
+@register("fig07", "Top application ports by hour", "Fig. 7",
+          datasets=_datasets)
+def run_fig07(scenario: Scenario,
+              config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Fig 7: traffic by top application ports, ISP-CE and IXP-CE."""
+    config = config or PipelineConfig()
+    result = ExperimentResult("fig07", "Top application ports by hour")
+    all_patterns = {}
+    for name, weeks in WEEKS.items():
+        vantage = scenario.vantage(name)
+        flows = _week_flows(scenario, config, name)
+        region = vantage.region
+        growth = ports.port_growth(
+            flows, weeks["february"], weeks["april"], region,
+            keys=None,
+        )
+        pattern = ports.port_patterns(flows, weeks, region)
+        all_patterns[name] = (pattern, growth)
+        top = ports.top_ports(flows)
+        result.metrics[f"{name}/n-top-ports"] = float(len(top))
+        quic = growth.get("UDP/443")
+        if quic:
+            result.metrics[f"{name}/quic-growth"] = quic.workday_growth
+        nat = growth.get("UDP/4500")
+        if nat:
+            result.metrics[f"{name}/udp4500-growth"] = nat.workday_growth
+            result.metrics[f"{name}/udp4500-weekend"] = nat.weekend_growth
+        alt = growth.get("TCP/8080")
+        if alt:
+            result.metrics[f"{name}/tcp8080-growth"] = alt.workday_growth
+    isp_pattern, isp_growth = all_patterns["isp-ce"]
+    ixp_pattern, ixp_growth = all_patterns["ixp-ce"]
+    result.checks["QUIC grows 30-80% at the ISP"] = (
+        0.2 <= result.metrics["isp-ce/quic-growth"] <= 0.9
+    )
+    result.checks["QUIC grows ~50% at the IXP"] = (
+        0.25 <= result.metrics["ixp-ce/quic-growth"] <= 0.85
+    )
+    result.checks["UDP/4500 grows on workdays"] = (
+        result.metrics["isp-ce/udp4500-growth"] > 0.5
+        and result.metrics["ixp-ce/udp4500-growth"] > 0.25
+    )
+    result.checks["UDP/4500 weekend change negligible"] = (
+        result.metrics["isp-ce/udp4500-weekend"]
+        < result.metrics["isp-ce/udp4500-growth"] * 0.5
+    )
+    result.checks["TCP/8080 sees no major change"] = (
+        abs(result.metrics["isp-ce/tcp8080-growth"]) < 0.2
+        and abs(result.metrics["ixp-ce/tcp8080-growth"]) < 0.2
+    )
+    gre = ixp_growth.get("GRE")
+    esp = ixp_growth.get("ESP")
+    tunnels_down = [
+        g.workday_growth < 0.0 for g in (gre, esp) if g is not None
+    ]
+    result.checks["GRE/ESP decrease at the IXP-CE"] = (
+        bool(tunnels_down) and all(tunnels_down)
+    )
+    gre_isp = isp_growth.get("GRE")
+    if gre_isp:
+        result.metrics["isp-ce/gre-growth"] = gre_isp.workday_growth
+        result.checks["GRE slightly increases at the ISP"] = (
+            0.0 <= gre_isp.workday_growth <= 0.45
+        )
+    zoom = isp_growth.get("UDP/8801")
+    if zoom:
+        result.metrics["isp-ce/zoom-growth"] = zoom.workday_growth
+        result.checks["Zoom grows by an order of magnitude at the ISP"] = (
+            zoom.workday_growth >= 4.0
+        )
+    imap = isp_growth.get("TCP/993")
+    if imap:
+        result.metrics["isp-ce/imap-growth"] = imap.workday_growth
+        result.checks["IMAP-TLS grows ~60% during working hours"] = (
+            0.25 <= imap.workday_growth <= 1.1
+        )
+    cf = ixp_growth.get("UDP/2408")
+    if cf:
+        result.metrics["ixp-ce/cloudflare-growth"] = cf.workday_growth
+        result.checks["Cloudflare LB port flat"] = (
+            abs(cf.workday_growth) < 0.25
+        )
+    result.rendered = figrender.render_series_table(
+        {
+            key: list(p[-1].workday)
+            for key, p in list(isp_pattern.items())[:6]
+        }
+    )
+    result.data = all_patterns
+    return result

@@ -1,0 +1,93 @@
+"""Fig 11 — educational-network volume and directionality."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import timebase
+from repro.core import edu as edu_analysis
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.flows.table import FlowTable
+from repro.netbase.asdb import EDU_NETWORK_ASN
+from repro.report import figures as figrender
+from repro.synth import datasets
+from repro.synth.datasets import DatasetRequest
+from repro.synth.scenario import Scenario
+
+
+def edu_capture_request(config: PipelineConfig) -> DatasetRequest:
+    """The 72-day EDU capture key — one materialization feeds Figs 11/12."""
+    return datasets.flows_request(
+        "edu",
+        timebase.EDU_CAPTURE_START,
+        timebase.EDU_CAPTURE_END,
+        config.edu_fidelity,
+    )
+
+
+def _datasets(scenario: Scenario,
+              config: PipelineConfig) -> Tuple[DatasetRequest, ...]:
+    return (edu_capture_request(config),)
+
+
+@register("fig11", "EDU volume and directionality", "Fig. 11",
+          datasets=_datasets)
+def run_fig11(scenario: Scenario,
+              config: Optional[PipelineConfig] = None,
+              flows: Optional[FlowTable] = None) -> ExperimentResult:
+    """Fig 11: EDU traffic volume and in/out ratio across three weeks."""
+    config = config or PipelineConfig()
+    result = ExperimentResult("fig11", "EDU volume and directionality")
+    if flows is None:
+        flows = datasets.fetch(scenario, edu_capture_request(config))
+    volumes = edu_analysis.weekly_volumes(
+        flows, timebase.EDU_WEEKS, [EDU_NETWORK_ASN]
+    )
+    drop = edu_analysis.workday_drop(volumes)
+    result.metrics["max-workday-drop"] = drop
+    result.checks["workday volume drops up to ~55%"] = 0.30 <= drop <= 0.65
+    region = timebase.Region.SOUTHERN_EUROPE
+
+    def _workday_ratio(label: str) -> float:
+        week = volumes[label]
+        ratios = [
+            r
+            for day, r in zip(week.days, week.in_out_ratio)
+            if not timebase.behaves_like_weekend(day, region)
+            and np.isfinite(r)
+        ]
+        return float(np.median(ratios))
+
+    base_ratio = _workday_ratio("base")
+    transition_ratio = _workday_ratio("transition")
+    online_ratio = _workday_ratio("online-lecturing")
+    result.metrics["ratio/base"] = base_ratio
+    result.metrics["ratio/transition"] = transition_ratio
+    result.metrics["ratio/online"] = online_ratio
+    result.checks["base in/out ratio ~15x"] = 8.0 <= base_ratio <= 22.0
+    result.checks["transition ratio roughly halves"] = (
+        transition_ratio <= base_ratio * 0.65
+    )
+    result.checks["online-lecturing ratio smallest"] = (
+        online_ratio < transition_ratio
+    )
+    # Weekends increase slightly (paper: +14% Sat, +4% Sun).
+    base_week = volumes["base"]
+    online_week = volumes["online-lecturing"]
+    weekend_growths = []
+    for i, day in enumerate(base_week.days):
+        if timebase.is_weekend(day) and base_week.total[i] > 0:
+            weekend_growths.append(
+                online_week.total[i] / base_week.total[i] - 1.0
+            )
+    result.metrics["weekend-growth"] = float(np.mean(weekend_growths))
+    result.checks["weekend volume does not collapse"] = (
+        result.metrics["weekend-growth"] > -0.25
+    )
+    result.rendered = figrender.render_series_table(
+        {label: list(v.total) for label, v in volumes.items()}
+    )
+    result.data = volumes
+    return result

@@ -1,0 +1,67 @@
+"""Tables 1 and 2 — static paper artifacts (no scenario required)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import appclass
+from repro.experiments.base import ExperimentResult, PipelineConfig, register
+from repro.netbase.asdb import HYPERGIANTS
+from repro.report import tables as tabrender
+from repro.synth.scenario import Scenario
+
+#: Table 1's expected rows: class -> (filters, ASNs, ports).
+TABLE1_EXPECTED = {
+    "webconf": (7, 1, 6),
+    "vod": (5, 5, 0),
+    "gaming": (8, 5, 57),
+    "social": (4, 4, 1),
+    "messaging": (3, 0, 5),
+    "email": (1, 0, 10),
+    "educational": (9, 9, 0),
+    "collab": (8, 2, 9),
+    "cdn": (8, 8, 0),
+}
+
+
+@register("table1", "Application class filters", "Table 1",
+          needs_scenario=False)
+def run_table1(scenario: Optional[Scenario] = None,
+               config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Table 1: application-classification filter overview."""
+    result = ExperimentResult("table1", "Application class filters")
+    rows = appclass.table1_rows()
+    by_name = {name: (f, a, p) for name, f, a, p in rows}
+    for cname, expected in TABLE1_EXPECTED.items():
+        actual = by_name[cname]
+        result.checks[f"{cname} counts match Table 1"] = actual == expected
+        result.metrics[f"{cname}/filters"] = float(actual[0])
+    result.metrics["total-filters"] = float(sum(r[1] for r in rows))
+    result.checks["more than 50 filter combinations"] = (
+        result.metrics["total-filters"] > 50
+    )
+    result.rendered = tabrender.render_table1(rows)
+    result.data = rows
+    return result
+
+
+@register("table2", "Hypergiant ASes", "Table 2", needs_scenario=False)
+def run_table2(scenario: Optional[Scenario] = None,
+               config: Optional[PipelineConfig] = None) -> ExperimentResult:
+    """Table 2: the hypergiant AS list."""
+    result = ExperimentResult("table2", "Hypergiant ASes")
+    expected = {
+        ("Apple Inc", 714), ("Amazon.com", 16509), ("Facebook", 32934),
+        ("Google Inc.", 15169), ("Akamai Technologies", 20940),
+        ("Yahoo!", 10310), ("Netflix", 2906), ("Hurricane Electric", 6939),
+        ("OVH", 16276), ("Limelight Networks Global", 22822),
+        ("Microsoft", 8075), ("Twitter, Inc.", 13414), ("Twitch", 46489),
+        ("Cloudflare", 13335), ("Verizon Digital Media Services", 15133),
+    }
+    actual = {(info.name, info.asn) for info in HYPERGIANTS}
+    result.checks["15 hypergiants"] = len(HYPERGIANTS) == 15
+    result.checks["list matches the paper's Table 2"] = actual == expected
+    result.metrics["n-hypergiants"] = float(len(HYPERGIANTS))
+    result.rendered = tabrender.render_table2()
+    result.data = list(HYPERGIANTS)
+    return result

@@ -42,8 +42,14 @@ def packet_sample(table: FlowTable, rate: int, seed: int = 0) -> FlowTable:
     sampled_packets = rng.binomial(packets, 1.0 / rate)
     survives = sampled_packets > 0
     bytes_per_packet = n_bytes / np.maximum(packets, 1)
-    sampled_bytes = np.maximum(
-        np.round(bytes_per_packet * sampled_packets), sampled_packets
+    # At least one byte per sampled packet, but never more than the
+    # flow originally carried (degenerate byte/packet ratios would
+    # otherwise let sampling inflate byte totals).
+    sampled_bytes = np.minimum(
+        np.maximum(
+            np.round(bytes_per_packet * sampled_packets), sampled_packets
+        ),
+        n_bytes,
     ).astype(np.int64)
     columns: Dict[str, np.ndarray] = {
         name: table.column(name)[survives].copy() for name in COLUMNS

@@ -86,7 +86,9 @@ class FlowTable:
 
         ``connections`` defaults to one per flow if omitted.
         """
-        if "connections" not in columns and columns:
+        if not columns:
+            return cls.empty()
+        if "connections" not in columns:
             any_col = next(iter(columns.values()))
             columns["connections"] = np.ones(len(any_col), dtype=np.int64)
         return cls(dict(columns))
@@ -156,6 +158,11 @@ class FlowTable:
     def columns(self) -> Dict[str, np.ndarray]:
         """All columns (read-only views), keyed by name."""
         return {name: self.column(name) for name in COLUMNS}
+
+    @property
+    def nbytes(self) -> int:
+        """Resident memory of the column arrays (cache accounting)."""
+        return sum(col.nbytes for col in self._cols.values())
 
     # -- selection ---------------------------------------------------------
 
@@ -296,16 +303,25 @@ class FlowTable:
         return np.where(portless, 0, service)
 
     def transport_keys(self) -> np.ndarray:
-        """Per-row ``PROTO/port`` labels (Fig 7 legend convention)."""
-        protos = self._cols["proto"]
-        ports = self.service_ports()
-        labels = np.empty(len(self), dtype=object)
-        portless = np.isin(protos, (PROTO_GRE, PROTO_ESP, PROTO_ICMP))
-        for i in np.nonzero(portless)[0]:
-            labels[i] = proto_name(int(protos[i]))
-        for i in np.nonzero(~portless)[0]:
-            labels[i] = f"{proto_name(int(protos[i]))}/{int(ports[i])}"
-        return labels
+        """Per-row ``PROTO/port`` labels (Fig 7 legend convention).
+
+        Groups on the combined (proto, service port) integer key and
+        formats one label per distinct key, so the Python-level string
+        work is O(unique keys) rather than O(rows).
+        """
+        protos = self._cols["proto"].astype(np.int64)
+        ports = self.service_ports().astype(np.int64)
+        combined = protos * 65536 + ports
+        uniq, inverse = np.unique(combined, return_inverse=True)
+        uniq_labels = np.empty(len(uniq), dtype=object)
+        for j, key in enumerate(uniq):
+            proto = int(key) // 65536
+            port = int(key) % 65536
+            if proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
+                uniq_labels[j] = proto_name(proto)
+            else:
+                uniq_labels[j] = f"{proto_name(proto)}/{port}"
+        return uniq_labels[inverse]
 
     def bytes_by_transport_key(self) -> Dict[str, int]:
         """Total bytes per ``PROTO/port`` label, efficiently.

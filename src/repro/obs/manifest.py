@@ -62,6 +62,9 @@ class RunManifest:
     )
     trace: Dict[str, object] = dataclasses.field(default_factory=dict)
     metrics: Dict[str, object] = dataclasses.field(default_factory=dict)
+    #: How the run was executed ({"name": "parallel", "jobs": 4, ...});
+    #: empty for manifests written before the executor existed.
+    executor: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable representation."""
@@ -93,6 +96,7 @@ def build_manifest(
     config: Optional[object] = None,
     tracer: Optional[object] = None,
     registry: Optional[object] = None,
+    executor: Optional[Dict[str, object]] = None,
 ) -> RunManifest:
     """Assemble a manifest from experiment results and the obs globals.
 
@@ -130,6 +134,7 @@ def build_manifest(
         experiments=experiments,
         trace=tracer.to_dict(),
         metrics=registry.snapshot(),
+        executor=dict(executor) if executor else {},
     )
 
 
@@ -163,6 +168,10 @@ def format_manifest(payload: Dict[str, object], top: int = 10) -> str:
     if config:
         rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
         lines.append(f"  config     {rendered}")
+    executor = payload.get("executor") or {}
+    if executor:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(executor.items()))
+        lines.append(f"  executor   {rendered}")
     experiments = payload.get("experiments") or {}
     if experiments:
         n_passed = sum(1 for e in experiments.values() if e.get("passed"))

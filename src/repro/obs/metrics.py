@@ -14,30 +14,33 @@ Two registry implementations share one interface:
   instruments so instrumented code pays only a couple of attribute
   lookups per call when telemetry is disabled.
 
-Instruments are not thread-safe; the pipeline is single-threaded and
-sharded workers are expected to own their own registry and merge
-snapshots out of band.
+Counters and instrument creation are thread-safe (the parallel
+executor's workers all report into one registry); histogram recording
+relies on the GIL's atomic ``list.append``.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric (thread-safe)."""
 
-    __slots__ = ("name", "_value")
+    __slots__ = ("name", "_value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self._value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (default 1) to the counter."""
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> int:
@@ -167,29 +170,36 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._timers: Dict[str, Timer] = {}
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._create_lock:
+                instrument = self._counters.setdefault(name, Counter(name))
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._create_lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._create_lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name)
+                )
         return instrument
 
     def timer(self, name: str) -> Timer:
         instrument = self._timers.get(name)
         if instrument is None:
-            instrument = self._timers[name] = Timer(name)
+            with self._create_lock:
+                instrument = self._timers.setdefault(name, Timer(name))
         return instrument
 
     def top_counters(self, n: int = 10) -> List[Tuple[str, int]]:

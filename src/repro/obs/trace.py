@@ -14,6 +14,7 @@ instrumented code costs almost nothing.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Union
@@ -60,23 +61,39 @@ class Span:
 
 
 class Tracer:
-    """Collects spans into a tree; one tracer per pipeline run."""
+    """Collects spans into a tree; one tracer per pipeline run.
+
+    Span stacks are per-thread (the parallel executor opens spans from
+    worker threads), so nesting is tracked within each thread and spans
+    opened on a fresh thread become roots.  The shared ``roots`` list
+    is lock-protected.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str) -> Iterator[Span]:
         """Open a child of the currently active span (or a new root)."""
         current = Span(name)
-        if self._stack:
-            self._stack[-1].children.append(current)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(current)
         else:
-            self.roots.append(current)
-        self._stack.append(current)
+            with self._lock:
+                self.roots.append(current)
+        stack.append(current)
         t0 = time.perf_counter()
         try:
             yield current
@@ -85,7 +102,7 @@ class Tracer:
             raise
         finally:
             current.wall_s = time.perf_counter() - t0
-            self._stack.pop()
+            stack.pop()
 
     def to_dict(self) -> Dict[str, object]:
         """The whole trace tree, JSON-serializable."""

@@ -1,1277 +1,82 @@
-"""End-to-end experiment runners: one per table and figure.
+"""Compatibility shim over :mod:`repro.experiments`.
 
-Each ``run_*`` function generates the data it needs from a
-:class:`~repro.synth.scenario.Scenario`, applies the corresponding
-:mod:`repro.core` analysis, and returns an :class:`ExperimentResult`
-carrying:
+The experiment runners used to live here as one monolithic module.
+They now reside in :mod:`repro.experiments` — one module per figure or
+table, self-registered into a declarative registry
+(:data:`repro.experiments.REGISTRY`), with dataset materialization
+shared through :mod:`repro.synth.datasets` and pluggable serial /
+parallel executors in :mod:`repro.experiments.executor`.
 
-* ``metrics`` — the numbers the paper reports (for EXPERIMENTS.md's
-  paper-vs-measured comparison),
-* ``checks`` — boolean shape assertions ("who wins, by roughly what
-  factor, where crossovers fall"),
-* ``rendered`` — a text sketch of the figure.
-
-Fidelity knobs live in :class:`PipelineConfig`; ``PipelineConfig.fast()``
-is used by the test suite, the default by benchmarks.
+This module re-exports the public surface so existing imports
+(``from repro.pipeline import run_fig01, EXPERIMENTS, ...``) keep
+working unchanged.  New code should import from
+:mod:`repro.experiments` directly; this shim is kept for one
+deprecation cycle and will eventually shrink to a ``DeprecationWarning``
+before removal.
 """
 
 from __future__ import annotations
 
-import datetime as _dt
-import functools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
-
-import numpy as np
-
-import repro.obs as obs
-from repro import timebase
-from repro.core import aggregate, appclass, edu as edu_analysis
-from repro.core import hypergiants, linkutil, patterns, ports, remotework, vpn
-from repro.flows.table import FlowTable
-from repro.netbase.asdb import EDU_NETWORK_ASN, HYPERGIANTS
-from repro.report import figures as figrender
-from repro.report import tables as tabrender
-from repro.series import HourlySeries
-from repro.synth import linkutil as linkutil_synth
-from repro.synth.scenario import Scenario, build_scenario
-
-
-@dataclass(frozen=True)
-class PipelineConfig:
-    """Sampling fidelity for the flow-level experiments."""
-
-    flow_fidelity: float = 1.0  # weekly flow tables (Figs 5-10)
-    survey_fidelity: float = 0.15  # long-period flows (Figs 4, 8)
-    edu_fidelity: float = 5.0  # EDU capture (Figs 11, 12)
-
-    @classmethod
-    def fast(cls) -> "PipelineConfig":
-        """Cheaper settings for unit/integration tests."""
-        return cls(flow_fidelity=0.5, survey_fidelity=0.08, edu_fidelity=3.0)
-
-
-@dataclass
-class ExperimentResult:
-    """Outcome of one reproduced table or figure."""
-
-    experiment_id: str
-    title: str
-    metrics: Dict[str, float] = field(default_factory=dict)
-    checks: Dict[str, bool] = field(default_factory=dict)
-    rendered: str = ""
-    data: object = None
-
-    @property
-    def passed(self) -> bool:
-        """Whether checks were recorded and every one held.
-
-        An empty check dict means the experiment never got far enough
-        to assert anything (e.g. it crashed mid-run), which must not
-        read as a pass.
-        """
-        return bool(self.checks) and all(self.checks.values())
-
-    def failed_checks(self) -> List[str]:
-        """Names of checks that did not hold."""
-        return [name for name, ok in self.checks.items() if not ok]
-
-
-def traced_experiment(
-    func: Callable[..., "ExperimentResult"]
-) -> Callable[..., "ExperimentResult"]:
-    """Wrap a ``run_*`` function in a tracing span and run counters.
-
-    The experiment id is taken from the function name, so decorating a
-    runner is all it takes for it to show up in ``telemetry.json``.
-    No-op (beyond a couple of attribute lookups) while telemetry is
-    disabled.
-    """
-    experiment_id = func.__name__[len("run_"):]
-
-    @functools.wraps(func)
-    def wrapper(*args: object, **kwargs: object) -> "ExperimentResult":
-        with obs.span(f"experiment/{experiment_id}") as span:
-            result = func(*args, **kwargs)
-            span.set_metric("checks", len(result.checks))
-            span.set_metric("failed-checks", len(result.failed_checks()))
-            span.set_metric("metrics", len(result.metrics))
-        registry = obs.get_registry()
-        registry.counter("experiments.runs").inc()
-        registry.counter("experiments.checks").inc(len(result.checks))
-        if not result.passed:
-            registry.counter("experiments.failed").inc()
-        return result
-
-    return wrapper
-
-
-# ---------------------------------------------------------------------------
-# Fig 1 — weekly normalized traffic across vantage points.
-# ---------------------------------------------------------------------------
-
-FIG1_VANTAGES = ("isp-ce", "ixp-ce", "ixp-se", "ixp-us", "mobile-ce", "ipx")
-
-
-@traced_experiment
-def run_fig01(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 1: traffic changes during 2020 at multiple vantage points."""
-    curves: Dict[str, aggregate.WeeklySeries] = {}
-    for name in FIG1_VANTAGES:
-        vantage = scenario.vantage(name)
-        series = vantage.hourly_traffic(timebase.STUDY_START, timebase.STUDY_END)
-        curves[name] = aggregate.weekly_normalized(series)
-    result = ExperimentResult("fig01", "Weekly normalized traffic volume")
-    lockdown_weeks = {"isp-ce": 13, "ixp-ce": 13, "ixp-se": 12,
-                      "ixp-us": 14, "mobile-ce": 13, "ipx": 13}
-    for name, weekly in curves.items():
-        values = weekly.as_dict()
-        result.metrics[f"{name}/lockdown"] = values[lockdown_weeks[name]]
-        result.metrics[f"{name}/final"] = values[max(values)]
-    # Fixed-line and IXP curves rise after the lockdowns.
-    for name in ("isp-ce", "ixp-ce", "ixp-se"):
-        result.checks[f"{name} rises >=10% by lockdown"] = (
-            result.metrics[f"{name}/lockdown"] >= 1.10
-        )
-    result.checks["ixp-us trails the European vantage points"] = (
-        result.metrics["ixp-us/lockdown"]
-        < min(result.metrics["isp-ce/lockdown"],
-              result.metrics["ixp-ce/lockdown"])
-    )
-    result.checks["roaming (ipx) collapses"] = (
-        result.metrics["ipx/lockdown"] <= 0.75
-    )
-    isp = curves["isp-ce"].as_dict()
-    ixp = curves["ixp-ce"].as_dict()
-    last = max(isp)
-    result.checks["isp decays toward May while ixp-ce persists"] = (
-        (max(isp.values()) - isp[last]) > (max(ixp.values()) - ixp[last]) * 0.5
-        and isp[last] < max(isp.values()) - 0.05
-    )
-    # Consistency loop: the lockdown week must be recoverable from the
-    # traffic alone, and the fixed/mobile/roaming narrative must hold.
-    from repro.core import changepoint, mobility
-
-    full = {
-        name: scenario.vantage(name).hourly_traffic(
-            timebase.STUDY_START, timebase.STUDY_END
-        )
-        for name in ("isp-ce", "mobile-ce", "ipx")
-    }
-    detected = changepoint.detect_change_week(full["isp-ce"])
-    distance = changepoint.timeline_consistency(
-        detected, timebase.TIMELINE_CE
-    )
-    result.metrics["detected-shift-week"] = float(detected.week)
-    result.checks["shift week recoverable from traffic alone"] = (
-        abs(distance) <= 1
-    )
-    mob = mobility.summarize(full["isp-ce"], full["mobile-ce"], full["ipx"])
-    result.metrics["fixed-mobile-divergence"] = mob.max_divergence
-    result.metrics["roaming-floor"] = mob.roaming_floor
-    result.checks["fixed demand substitutes mobile"] = (
-        mob.substitution_detected
-    )
-    result.checks["roaming proxy shows travel collapse"] = (
-        mob.travel_collapse_detected
-    )
-    result.rendered = figrender.render_series_table(
-        {name: list(c.values) for name, c in curves.items()}
-    )
-    result.data = curves
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 2 — usage-pattern shift (hourly profiles + day classification).
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_fig02(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 2: drastic shift in Internet usage patterns."""
-    result = ExperimentResult("fig02", "Workday/weekend pattern shift")
-    isp_series = scenario.isp_ce.hourly_traffic(
-        _dt.date(2020, 1, 1), _dt.date(2020, 5, 11)
-    )
-    profiles = aggregate.day_profiles_normalized(
-        isp_series,
-        [_dt.date(2020, 2, 19), _dt.date(2020, 2, 22), _dt.date(2020, 3, 25)],
-    )
-    feb_workday = profiles[_dt.date(2020, 2, 19)]
-    feb_weekend = profiles[_dt.date(2020, 2, 22)]
-    lockdown_day = profiles[_dt.date(2020, 3, 25)]
-    # Fig 2a: the lockdown workday's morning resembles the weekend's.
-    morning = slice(9, 12)
-    result.metrics["feb-workday/morning"] = float(feb_workday[morning].mean())
-    result.metrics["feb-weekend/morning"] = float(feb_weekend[morning].mean())
-    result.metrics["lockdown-workday/morning"] = float(
-        lockdown_day[morning].mean()
-    )
-    result.checks["lockdown workday morning looks weekend-like"] = abs(
-        result.metrics["lockdown-workday/morning"]
-        - result.metrics["feb-weekend/morning"]
-    ) < abs(
-        result.metrics["lockdown-workday/morning"]
-        - result.metrics["feb-workday/morning"]
-    )
-    shifts = {}
-    for name, region in (
-        ("isp-ce", timebase.Region.CENTRAL_EUROPE),
-        ("ixp-ce", timebase.Region.CENTRAL_EUROPE),
-    ):
-        series = scenario.vantage(name).hourly_traffic(
-            _dt.date(2020, 1, 1), _dt.date(2020, 5, 11)
-        )
-        classifications = patterns.classify_days(series, region)
-        shift = patterns.summarize_shift(
-            classifications, timebase.TIMELINE_CE.lockdown
-        )
-        shifts[name] = (classifications, shift)
-        result.metrics[f"{name}/pre-agreement"] = shift.pre_lockdown_agreement
-        result.metrics[f"{name}/post-weekendlike-workdays"] = (
-            shift.post_lockdown_weekendlike_workdays
-        )
-        result.checks[f"{name} shifts to weekend-like"] = shift.shifted()
-        # The New Year holidays are the one pre-lockdown misclassification.
-        holiday = [
-            c for c in classifications
-            if c.day <= timebase.NEW_YEAR_HOLIDAY_END
-        ]
-        result.checks[f"{name} holidays classify weekend-like"] = all(
-            c.predicted == "weekend-like" for c in holiday
-        )
-    result.rendered = figrender.render_series_table(
-        {
-            "Feb 19 (Wed)": feb_workday,
-            "Feb 22 (Sat)": feb_weekend,
-            "Mar 25 (Wed)": lockdown_day,
-        }
-    )
-    result.data = {"profiles": profiles, "shifts": shifts}
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 3 — macroscopic four-week comparison (§3.1 growth numbers).
-# ---------------------------------------------------------------------------
-
-#: Target growth bands per vantage: (stage1 lo, stage1 hi, stage3 lo,
-#: stage3 hi).  Paper: >20% / 30% / 12% / ~2% at stage 1; back to 6% at
-#: the ISP, persistent at the IXPs.
-_FIG3_BANDS = {
-    "isp-ce": (0.15, 0.40, 0.02, 0.16),
-    "ixp-ce": (0.22, 0.45, 0.12, 0.40),
-    "ixp-se": (0.05, 0.25, 0.05, 0.28),
-    "ixp-us": (-0.05, 0.08, 0.05, 0.30),
-}
-
-
-@traced_experiment
-def run_fig03(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 3: normalized hourly volume for four selected weeks."""
-    result = ExperimentResult("fig03", "Four-week aggregated traffic shifts")
-    summaries: Dict[str, aggregate.GrowthSummary] = {}
-    normalized: Dict[str, Dict[str, HourlySeries]] = {}
-    for name, (s1_lo, s1_hi, s3_lo, s3_hi) in _FIG3_BANDS.items():
-        vantage = scenario.vantage(name)
-        series = vantage.hourly_traffic(
-            _dt.date(2020, 2, 1), _dt.date(2020, 5, 17)
-        )
-        summary = aggregate.growth_summary(name, series)
-        summaries[name] = summary
-        normalized[name] = aggregate.week_hourly_normalized(
-            series, timebase.MACRO_WEEKS
-        )
-        result.metrics[f"{name}/stage1"] = summary.stage1_growth
-        result.metrics[f"{name}/stage2"] = summary.stage2_growth
-        result.metrics[f"{name}/stage3"] = summary.stage3_growth
-        result.metrics[f"{name}/min-growth"] = summary.min_growth
-        result.checks[f"{name} stage1 in band"] = (
-            s1_lo <= summary.stage1_growth <= s1_hi
-        )
-        result.checks[f"{name} stage3 in band"] = (
-            s3_lo <= summary.stage3_growth <= s3_hi
-        )
-    # Minimum traffic levels also increase at the IXPs (§3.1).
-    for name in ("ixp-ce", "ixp-se"):
-        result.checks[f"{name} minimum level rises"] = (
-            summaries[name].min_growth > 0
-        )
-    # The headline growth must exceed day-level noise (bootstrap CI).
-    from repro.core import bootstrap
-
-    isp_series = scenario.isp_ce.hourly_traffic(
-        timebase.MACRO_WEEKS["base"].start,
-        timebase.MACRO_WEEKS["stage3"].end,
-    )
-    ci = bootstrap.growth_ci(
-        isp_series, timebase.MACRO_WEEKS["base"],
-        timebase.MACRO_WEEKS["stage1"],
-    )
-    result.metrics["isp-ce/stage1-ci-lower"] = ci.lower
-    result.metrics["isp-ce/stage1-ci-upper"] = ci.upper
-    result.checks["isp-ce stage1 growth exceeds day-level noise"] = (
-        ci.excludes_zero() and ci.lower > 0.05
-    )
-    result.checks["isp-ce falls back further than ixp-ce"] = (
-        summaries["isp-ce"].stage3_growth
-        < summaries["ixp-ce"].stage3_growth
-    )
-    result.checks["ixp-us increases only later"] = (
-        summaries["ixp-us"].stage1_growth
-        < summaries["ixp-us"].stage2_growth
-    )
-    result.rendered = "\n".join(
-        f"{name}: " + ", ".join(
-            f"{k}={v:+.1%}" for k, v in (
-                ("stage1", s.stage1_growth),
-                ("stage2", s.stage2_growth),
-                ("stage3", s.stage3_growth),
-            )
-        )
-        for name, s in summaries.items()
-    )
-    result.data = {"summaries": summaries, "normalized": normalized}
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 4 — hypergiants vs. other ASes.
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_fig04(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 4: normalized growth, hypergiants vs. other ASes (ISP-CE)."""
-    config = config or PipelineConfig()
-    result = ExperimentResult("fig04", "Hypergiant vs other-AS growth")
-    flows = scenario.isp_ce.generate_flows(
-        _dt.date(2020, 1, 13), _dt.date(2020, 5, 3),
-        fidelity=config.survey_fidelity,
-    )
-    share = hypergiants.hypergiant_share(flows)
-    result.metrics["hypergiant-share"] = share
-    result.checks["hypergiants carry ~75% of delivered traffic"] = (
-        0.55 <= share <= 0.85
-    )
-    growth = hypergiants.group_growth(
-        flows, timebase.Region.CENTRAL_EUROPE, baseline_week=5,
-        weeks=list(range(4, 19)),
-    )
-    result.checks["other ASes dominate after the lockdown"] = (
-        hypergiants.other_dominates_after(growth, lockdown_week=13)
-    )
-    hyper_curve = growth["hypergiants"].curve("workday", "working-hours")
-    other_curve = growth["other"].curve("workday", "working-hours")
-    result.metrics["hypergiants/week15"] = hyper_curve[15]
-    result.metrics["other/week15"] = other_curve[15]
-    # Substantial increase from week 11 to 12 for the hypergiants.
-    result.checks["hypergiant jump week 11 to 12"] = (
-        hyper_curve[12] > hyper_curve[11] * 1.05
-    )
-    # Stabilization/decline after the video-resolution reduction.
-    weekend_hyper = growth["hypergiants"].curve("weekend", "evening")
-    result.checks["hypergiant weekend decline week 12 to 13"] = (
-        weekend_hyper[13] < weekend_hyper[12] * 1.02
-    )
-    result.rendered = figrender.render_series_table(
-        {
-            "hypergiants": [hyper_curve[w] for w in sorted(hyper_curve)],
-            "other ASes": [other_curve[w] for w in sorted(other_curve)],
-        }
-    )
-    result.data = growth
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 5 — link utilization ECDFs.
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_fig05(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 5: IXP-CE port utilization before vs. during the lockdown."""
-    result = ExperimentResult("fig05", "Link-utilization ECDF shift")
-    members = scenario.members["ixp-ce"]
-    base_day = _dt.date(2020, 2, 19)  # base-week Wednesday
-    stage_day = _dt.date(2020, 4, 22)  # stage-2 Wednesday
-    base_growth = 1.0
-    # The vantage-level growth factor is taken from the traffic model.
-    series = scenario.ixp_ce.hourly_traffic(
-        _dt.date(2020, 2, 1), _dt.date(2020, 5, 1)
-    )
-    stage_growth = (
-        series.slice_day(stage_day).total()
-        / series.slice_day(base_day).total()
-    )
-    result.metrics["stage2-day-growth"] = stage_growth
-    base_util = linkutil_synth.member_day_utilization(
-        members, base_day, base_growth, seed=scenario.seed + 51
-    )
-    stage_util = linkutil_synth.member_day_utilization(
-        members, stage_day, stage_growth, seed=scenario.seed + 51,
-        shape_name="lockdown-workday",
-    )
-    comparison = linkutil.compare_days(base_util, stage_util)
-    for stat, (base_ecdf, stage_ecdf) in comparison.items():
-        shift = linkutil.right_shift_fraction(base_ecdf, stage_ecdf)
-        result.metrics[f"{stat}/right-shift"] = shift
-        result.checks[f"{stat} ECDF shifted right"] = shift >= 0.85
-        result.metrics[f"{stat}/base-median"] = base_ecdf.quantile(0.5)
-        result.metrics[f"{stat}/stage-median"] = stage_ecdf.quantile(0.5)
-    upgrades = members.capacity_added_between(
-        _dt.date(2020, 3, 1), _dt.date(2020, 5, 1)
-    )
-    result.metrics["capacity-upgrades-gbps"] = float(upgrades)
-    result.checks["port capacity upgrades during lockdown"] = upgrades >= 1000
-    # The shift must exceed sampling noise (two-sample KS test over the
-    # member population's average utilizations).
-    from repro.core import stats as stats_analysis
-
-    ks = stats_analysis.ks_shift(
-        [float(np.mean(v)) for v in base_util.values()],
-        [float(np.mean(v)) for v in stage_util.values()],
-    )
-    result.metrics["ks-p-value"] = ks.p_value
-    result.checks["ECDF shift statistically significant"] = (
-        ks.significant() and ks.direction == "right"
-    )
-    grid = [0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8]
-    result.rendered = tabrender.render_table(
-        ["utilization", "base F(x)", "stage2 F(x)"],
-        [
-            (f"{x:.2f}",
-             comparison["average"][0].fraction_at_or_below(x),
-             comparison["average"][1].fraction_at_or_below(x))
-            for x in grid
-        ],
-        title="Fig 5 (average link usage ECDF)",
-    )
-    result.data = comparison
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 6 — remote-work AS scatter.
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_fig06(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 6: per-AS total vs. residential traffic shift (ISP-CE)."""
-    result = ExperimentResult("fig06", "Traffic shift vs residential shift")
-    base_week = timebase.Week(_dt.date(2020, 2, 19), "base")
-    lockdown_week = timebase.Week(_dt.date(2020, 3, 18), "lockdown")
-    base_flows = scenario.generate_remote_work_flows(base_week, False)
-    lockdown_flows = scenario.generate_remote_work_flows(lockdown_week, True)
-    eyeballs = scenario.registry.eyeball_asns(timebase.Region.CENTRAL_EUROPE)
-    points = remotework.traffic_shift_scatter(
-        base_flows, lockdown_flows, eyeballs
-    )
-    summary = remotework.summarize_scatter(points)
-    result.metrics["n-ases"] = float(summary.n_ases)
-    result.metrics["correlation"] = summary.correlation
-    result.metrics["x-axis-band"] = float(summary.x_axis_band)
-    quadrants = summary.quadrant_counts
-    result.metrics["top-left"] = float(
-        quadrants.get("total-down/residential-up", 0)
-    )
-    result.checks["majority correlated"] = summary.majority_correlated()
-    result.checks["x-axis band exists (no-residential ASes)"] = (
-        summary.x_axis_band >= 5
-    )
-    result.checks["top-left quadrant exists"] = (
-        quadrants.get("total-down/residential-up", 0) >= 3
-    )
-    result.checks["most ASes gain residential traffic"] = (
-        quadrants.get("total-up/residential-up", 0)
-        > summary.n_ases * 0.4
-    )
-    groups = remotework.group_by_workday_ratio(
-        base_flows, timebase.Region.CENTRAL_EUROPE
-    )
-    result.metrics["workday-dominated"] = float(
-        len(groups["workday-dominated"])
-    )
-    result.checks["workday-dominated group is the largest"] = len(
-        groups["workday-dominated"]
-    ) >= max(len(groups["balanced"]), len(groups["weekend-dominated"]))
-    result.rendered = tabrender.render_table(
-        ["quadrant", "ASes"],
-        sorted(quadrants.items()),
-        title="Fig 6 quadrant population",
-    )
-    result.data = {"points": points, "summary": summary, "groups": groups}
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 7 — application ports.
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_fig07(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 7: traffic by top application ports, ISP-CE and IXP-CE."""
-    config = config or PipelineConfig()
-    result = ExperimentResult("fig07", "Top application ports by hour")
-    datasets = {
-        "isp-ce": (scenario.isp_ce, timebase.PORT_WEEKS_ISP),
-        "ixp-ce": (scenario.ixp_ce, timebase.PORT_WEEKS_IXP),
-    }
-    all_patterns = {}
-    for name, (vantage, weeks) in datasets.items():
-        tables = [
-            vantage.generate_week_flows(week, config.flow_fidelity)
-            for week in weeks.values()
-        ]
-        flows = FlowTable.concat(tables)
-        region = vantage.region
-        growth = ports.port_growth(
-            flows, weeks["february"], weeks["april"], region,
-            keys=None,
-        )
-        pattern = ports.port_patterns(flows, weeks, region)
-        all_patterns[name] = (pattern, growth)
-        top = ports.top_ports(flows)
-        result.metrics[f"{name}/n-top-ports"] = float(len(top))
-        quic = growth.get("UDP/443")
-        if quic:
-            result.metrics[f"{name}/quic-growth"] = quic.workday_growth
-        nat = growth.get("UDP/4500")
-        if nat:
-            result.metrics[f"{name}/udp4500-growth"] = nat.workday_growth
-            result.metrics[f"{name}/udp4500-weekend"] = nat.weekend_growth
-        alt = growth.get("TCP/8080")
-        if alt:
-            result.metrics[f"{name}/tcp8080-growth"] = alt.workday_growth
-    isp_pattern, isp_growth = all_patterns["isp-ce"]
-    ixp_pattern, ixp_growth = all_patterns["ixp-ce"]
-    result.checks["QUIC grows 30-80% at the ISP"] = (
-        0.2 <= result.metrics["isp-ce/quic-growth"] <= 0.9
-    )
-    result.checks["QUIC grows ~50% at the IXP"] = (
-        0.25 <= result.metrics["ixp-ce/quic-growth"] <= 0.85
-    )
-    result.checks["UDP/4500 grows on workdays"] = (
-        result.metrics["isp-ce/udp4500-growth"] > 0.5
-        and result.metrics["ixp-ce/udp4500-growth"] > 0.25
-    )
-    result.checks["UDP/4500 weekend change negligible"] = (
-        result.metrics["isp-ce/udp4500-weekend"]
-        < result.metrics["isp-ce/udp4500-growth"] * 0.5
-    )
-    result.checks["TCP/8080 sees no major change"] = (
-        abs(result.metrics["isp-ce/tcp8080-growth"]) < 0.2
-        and abs(result.metrics["ixp-ce/tcp8080-growth"]) < 0.2
-    )
-    gre = ixp_growth.get("GRE")
-    esp = ixp_growth.get("ESP")
-    tunnels_down = [
-        g.workday_growth < 0.0 for g in (gre, esp) if g is not None
-    ]
-    result.checks["GRE/ESP decrease at the IXP-CE"] = (
-        bool(tunnels_down) and all(tunnels_down)
-    )
-    gre_isp = isp_growth.get("GRE")
-    if gre_isp:
-        result.metrics["isp-ce/gre-growth"] = gre_isp.workday_growth
-        result.checks["GRE slightly increases at the ISP"] = (
-            0.0 <= gre_isp.workday_growth <= 0.45
-        )
-    zoom = isp_growth.get("UDP/8801")
-    if zoom:
-        result.metrics["isp-ce/zoom-growth"] = zoom.workday_growth
-        result.checks["Zoom grows by an order of magnitude at the ISP"] = (
-            zoom.workday_growth >= 4.0
-        )
-    imap = isp_growth.get("TCP/993")
-    if imap:
-        result.metrics["isp-ce/imap-growth"] = imap.workday_growth
-        result.checks["IMAP-TLS grows ~60% during working hours"] = (
-            0.25 <= imap.workday_growth <= 1.1
-        )
-    cf = ixp_growth.get("UDP/2408")
-    if cf:
-        result.metrics["ixp-ce/cloudflare-growth"] = cf.workday_growth
-        result.checks["Cloudflare LB port flat"] = (
-            abs(cf.workday_growth) < 0.25
-        )
-    result.rendered = figrender.render_series_table(
-        {
-            key: list(p[-1].workday)
-            for key, p in list(isp_pattern.items())[:6]
-        }
-    )
-    result.data = all_patterns
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 8 — gaming at the IXP-SE.
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_fig08(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 8: gaming class before/during lockdown at the IXP-SE."""
-    config = config or PipelineConfig()
-    result = ExperimentResult("fig08", "Gaming unique IPs and volume")
-    start = _dt.date(2020, 2, 10)  # week 7
-    end = _dt.date(2020, 4, 26)  # week 17
-    flows = scenario.ixp_se.generate_flows(
-        start, end, fidelity=max(config.survey_fidelity * 4, 0.4),
-        profiles=["gaming"],
-    )
-    gaming_class = appclass.standard_classes()["gaming"]
-    activity = appclass.class_activity(flows, gaming_class, start, end)
-    # Pre-lockdown (weeks 7-9) vs. lockdown (weeks 12-14) daily averages.
-    def _avg(metric_index: int, lo: _dt.date, hi: _dt.date) -> float:
-        values = [
-            v[metric_index]
-            for day, v in activity.daily_avg.items()
-            if lo <= day <= hi
-        ]
-        return float(np.mean(values))
-
-    pre_ips = _avg(0, _dt.date(2020, 2, 10), _dt.date(2020, 3, 1))
-    post_ips = _avg(0, _dt.date(2020, 3, 16), _dt.date(2020, 4, 5))
-    pre_vol = _avg(1, _dt.date(2020, 2, 10), _dt.date(2020, 3, 1))
-    post_vol = _avg(1, _dt.date(2020, 3, 16), _dt.date(2020, 4, 5))
-    result.metrics["unique-ip-growth"] = post_ips / pre_ips
-    result.metrics["volume-growth"] = post_vol / pre_vol
-    result.checks["unique IPs rise steeply from the lockdown week"] = (
-        post_ips / pre_ips >= 1.3
-    )
-    result.checks["volume rises steeply from the lockdown week"] = (
-        post_vol / pre_vol >= 1.3
-    )
-    # The two-day gaming-provider outage in the first lockdown week,
-    # recovered by the robust anomaly detector ("we verified that this
-    # is not a measurement artifact").
-    from repro.core import anomaly
-
-    daily_volume = {
-        day: volume for day, (_, volume) in activity.daily_avg.items()
-    }
-    drops = anomaly.detect_outage_days(daily_volume, threshold=3.0)
-    lockdown_week_days = {
-        _dt.date(2020, 3, 16) + _dt.timedelta(days=i) for i in range(7)
-    }
-    outage_days = sum(1 for d in drops if d in lockdown_week_days)
-    result.metrics["outage-days"] = float(outage_days)
-    result.checks["outage dip visible (~2 days)"] = 1 <= outage_days <= 3
-    result.checks["no spurious outages outside the event"] = (
-        len(drops) - outage_days <= 2
-    )
-    result.rendered = figrender.render_series_table(
-        {
-            "unique IPs (daily avg)": [
-                v[0] for _, v in sorted(activity.daily_avg.items())
-            ],
-            "volume (daily avg)": [
-                v[1] for _, v in sorted(activity.daily_avg.items())
-            ],
-        },
-        shared_scale=False,
-    )
-    result.data = activity
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 9 — application-class heatmaps.
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_fig09(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 9: application-class heatmaps at four vantage points."""
-    config = config or PipelineConfig()
-    result = ExperimentResult("fig09", "Application-class heatmaps")
-    datasets = {
-        "isp-ce": (scenario.isp_ce, timebase.APPCLASS_WEEKS_ISP),
-        "ixp-ce": (scenario.ixp_ce, timebase.APPCLASS_WEEKS_IXP),
-        "ixp-se": (scenario.ixp_se, timebase.APPCLASS_WEEKS_IXP),
-        "ixp-us": (scenario.ixp_us, timebase.APPCLASS_WEEKS_IXP),
-    }
-    classes = appclass.standard_classes()
-    heatmaps = {}
-    # Two growth views per (vantage, class, stage): business hours on
-    # workdays (the ">200% during business hours" statements) and whole
-    # weeks (the overall class-volume statements).
-    business: Dict[str, Dict[str, Dict[str, float]]] = {}
-    weekly: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name, (vantage, weeks) in datasets.items():
-        flows = FlowTable.concat(
-            [
-                vantage.generate_week_flows(week, config.flow_fidelity)
-                for week in weeks.values()
-            ]
-        )
-        heatmaps[name] = appclass.class_heatmaps(flows, weeks, classes)
-        business[name] = {}
-        weekly[name] = {}
-        for cname, cls in classes.items():
-            business[name][cname] = {}
-            weekly[name][cname] = {}
-            for stage in ("stage1", "stage2"):
-                try:
-                    business[name][cname][stage] = (
-                        appclass.business_hours_growth(
-                            flows, cls, weeks["base"], weeks[stage],
-                            vantage.region,
-                        )
-                    )
-                    weekly[name][cname][stage] = (
-                        appclass.weekly_class_growth(
-                            flows, cls, weeks["base"], weeks[stage]
-                        )
-                    )
-                except ValueError:
-                    business[name][cname][stage] = float("nan")
-                    weekly[name][cname][stage] = float("nan")
-    for name in datasets:
-        # The IXP stage-1 week (Mar 12-18) straddles the CE lockdown
-        # start; the dramatic webconf increase is fully visible by
-        # stage 2, so check the stronger of the two stages.
-        peak = max(business[name]["webconf"].values())
-        result.metrics[f"{name}/webconf"] = peak
-        result.checks[f"webconf >200% at {name}"] = peak >= 2.0
-    result.metrics["ixp-ce/messaging"] = weekly["ixp-ce"]["messaging"]["stage2"]
-    result.metrics["ixp-us/messaging"] = weekly["ixp-us"]["messaging"]["stage2"]
-    result.metrics["ixp-ce/email"] = weekly["ixp-ce"]["email"]["stage2"]
-    result.metrics["ixp-us/email"] = weekly["ixp-us"]["email"]["stage2"]
-    result.checks["messaging soars in Europe"] = (
-        result.metrics["ixp-ce/messaging"] >= 1.0
-    )
-    result.checks["messaging falls in the US"] = (
-        result.metrics["ixp-us/messaging"] <= 0.05
-    )
-    result.checks["email grows in the US"] = (
-        result.metrics["ixp-us/email"] >= 0.5
-    )
-    result.checks["email/messaging anti-pattern"] = (
-        result.metrics["ixp-ce/messaging"] > result.metrics["ixp-ce/email"]
-        and result.metrics["ixp-us/email"]
-        > result.metrics["ixp-us/messaging"]
-    )
-    result.metrics["ixp-ce/vod"] = weekly["ixp-ce"]["vod"]["stage2"]
-    result.metrics["isp-ce/vod"] = weekly["isp-ce"]["vod"]["stage2"]
-    # "High growth rates ... of up to 100%": the weekly aggregate is
-    # diluted by the hypergiants' own modest growth, so check both the
-    # weekly growth and the peak heatmap cell.
-    vod_peak_ce = float(
-        max(d.max() for d in heatmaps["ixp-ce"]["vod"].diffs.values())
-    )
-    result.metrics["ixp-ce/vod-peak-diff"] = vod_peak_ce
-    result.checks["VoD grows strongly at European IXPs"] = (
-        weekly["ixp-ce"]["vod"]["stage2"] >= 0.15
-        and weekly["ixp-se"]["vod"]["stage2"] >= 0.03
-        and vod_peak_ce >= 40.0
-    )
-    result.checks["VoD only ~30% at the ISP"] = (
-        0.0 <= result.metrics["isp-ce/vod"] <= 0.6
-    )
-    result.metrics["isp-ce/educational"] = (
-        weekly["isp-ce"]["educational"]["stage1"]
-    )
-    result.metrics["ixp-us/educational"] = (
-        weekly["ixp-us"]["educational"]["stage2"]
-    )
-    result.checks["educational surges at the ISP-CE"] = (
-        result.metrics["isp-ce/educational"] >= 1.0
-    )
-    result.checks["educational falls in the US"] = (
-        result.metrics["ixp-us/educational"] <= -0.1
-    )
-    result.metrics["isp-ce/gaming"] = weekly["isp-ce"]["gaming"]["stage1"]
-    result.checks["gaming grows coherently at the IXPs"] = all(
-        weekly[n]["gaming"]["stage2"] >= 0.25
-        for n in ("ixp-ce", "ixp-se", "ixp-us")
-    )
-    result.checks["gaming only ~10% at the ISP"] = (
-        -0.05 <= result.metrics["isp-ce/gaming"] <= 0.35
-    )
-    # Social media: initial increase that flattens in stage 2.
-    isp_weeks = timebase.APPCLASS_WEEKS_ISP
-    isp_flows = FlowTable.concat(
-        [
-            scenario.isp_ce.generate_week_flows(week, config.flow_fidelity)
-            for week in isp_weeks.values()
-        ]
-    )
-    social_stage1 = appclass.weekly_class_growth(
-        isp_flows, classes["social"], isp_weeks["base"], isp_weeks["stage1"]
-    )
-    social_stage2 = appclass.weekly_class_growth(
-        isp_flows, classes["social"], isp_weeks["base"], isp_weeks["stage2"]
-    )
-    result.metrics["isp-ce/social-stage1"] = social_stage1
-    result.metrics["isp-ce/social-stage2"] = social_stage2
-    result.checks["social media spike flattens"] = (
-        social_stage1 > 0.25 and social_stage2 < social_stage1
-    )
-    lines = []
-    for cname, hm in heatmaps["ixp-ce"].items():
-        for label, diff in hm.diffs.items():
-            lines.append(
-                f"{cname:12s} {label:7s} "
-                + figrender.render_heatmap_row(diff)
-            )
-    result.rendered = "\n".join(lines)
-    result.data = {
-        "heatmaps": heatmaps,
-        "business_growth": business,
-        "weekly_growth": weekly,
-    }
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Fig 10 — VPN traffic shift.
-# ---------------------------------------------------------------------------
-
-VPN_WEEKS = {
-    "february": timebase.Week(_dt.date(2020, 2, 20), "february"),
-    "march": timebase.Week(_dt.date(2020, 3, 19), "march"),
-    "april": timebase.Week(_dt.date(2020, 4, 23), "april"),
-}
-
-
-@traced_experiment
-def run_fig10(scenario: Scenario,
-              config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Fig 10: port- vs. domain-based VPN identification at the IXP-CE."""
-    config = config or PipelineConfig()
-    result = ExperimentResult("fig10", "VPN traffic shift")
-    flows = FlowTable.concat(
-        [
-            scenario.ixp_ce.generate_week_flows(week, config.flow_fidelity)
-            for week in VPN_WEEKS.values()
-        ]
-    )
-    candidates = vpn.mine_vpn_candidates(scenario.dns_corpus)
-    result.metrics["candidate-ips"] = float(candidates.n_candidates)
-    result.metrics["eliminated-shared"] = float(
-        len(candidates.eliminated_shared)
-    )
-    result.checks["www-shared addresses eliminated"] = (
-        len(candidates.eliminated_shared) > 0
-    )
-    patterns_by_week = vpn.vpn_week_patterns(
-        flows, VPN_WEEKS, timebase.Region.CENTRAL_EUROPE, candidates
-    )
-    growth_march = vpn.vpn_growth(patterns_by_week, "february", "march")
-    growth_april = vpn.vpn_growth(patterns_by_week, "february", "april")
-    result.metrics["domain/march"] = growth_march.domain_based
-    result.metrics["domain/april"] = growth_april.domain_based
-    result.metrics["port/march"] = growth_march.port_based
-    result.metrics["domain-weekend/march"] = growth_march.domain_based_weekend
-    result.checks["domain-based VPN grows >200% on workdays"] = (
-        growth_march.domain_based >= 1.5
-    )
-    result.checks["port-based VPN comparatively flat"] = (
-        growth_march.port_based < growth_march.domain_based * 0.5
-    )
-    result.checks["weekend increase less pronounced"] = (
-        growth_march.domain_based_weekend < growth_march.domain_based * 0.6
-    )
-    result.checks["April gain smaller than March"] = (
-        0.0 < growth_april.domain_based < growth_march.domain_based
-    )
-    result.rendered = figrender.render_series_table(
-        {
-            f"{label} domain workday": pattern.domain_workday
-            for label, pattern in patterns_by_week.items()
-        }
-    )
-    result.data = {
-        "patterns": patterns_by_week,
-        "growth": {"march": growth_march, "april": growth_april},
-        "candidates": candidates,
-    }
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Figs 11/12 — educational network.
-# ---------------------------------------------------------------------------
-
-
-def _edu_flows(scenario: Scenario, config: PipelineConfig) -> FlowTable:
-    return scenario.edu.generate_flows(
-        timebase.EDU_CAPTURE_START,
-        timebase.EDU_CAPTURE_END,
-        fidelity=config.edu_fidelity,
-    )
-
-
-@traced_experiment
-def run_fig11(scenario: Scenario,
-              config: Optional[PipelineConfig] = None,
-              flows: Optional[FlowTable] = None) -> ExperimentResult:
-    """Fig 11: EDU traffic volume and in/out ratio across three weeks."""
-    config = config or PipelineConfig()
-    result = ExperimentResult("fig11", "EDU volume and directionality")
-    flows = flows if flows is not None else _edu_flows(scenario, config)
-    volumes = edu_analysis.weekly_volumes(
-        flows, timebase.EDU_WEEKS, [EDU_NETWORK_ASN]
-    )
-    drop = edu_analysis.workday_drop(volumes)
-    result.metrics["max-workday-drop"] = drop
-    result.checks["workday volume drops up to ~55%"] = 0.30 <= drop <= 0.65
-    region = timebase.Region.SOUTHERN_EUROPE
-
-    def _workday_ratio(label: str) -> float:
-        week = volumes[label]
-        ratios = [
-            r
-            for day, r in zip(week.days, week.in_out_ratio)
-            if not timebase.behaves_like_weekend(day, region)
-            and np.isfinite(r)
-        ]
-        return float(np.median(ratios))
-
-    base_ratio = _workday_ratio("base")
-    transition_ratio = _workday_ratio("transition")
-    online_ratio = _workday_ratio("online-lecturing")
-    result.metrics["ratio/base"] = base_ratio
-    result.metrics["ratio/transition"] = transition_ratio
-    result.metrics["ratio/online"] = online_ratio
-    result.checks["base in/out ratio ~15x"] = 8.0 <= base_ratio <= 22.0
-    result.checks["transition ratio roughly halves"] = (
-        transition_ratio <= base_ratio * 0.65
-    )
-    result.checks["online-lecturing ratio smallest"] = (
-        online_ratio < transition_ratio
-    )
-    # Weekends increase slightly (paper: +14% Sat, +4% Sun).
-    base_week = volumes["base"]
-    online_week = volumes["online-lecturing"]
-    weekend_growths = []
-    for i, day in enumerate(base_week.days):
-        if timebase.is_weekend(day) and base_week.total[i] > 0:
-            weekend_growths.append(
-                online_week.total[i] / base_week.total[i] - 1.0
-            )
-    result.metrics["weekend-growth"] = float(np.mean(weekend_growths))
-    result.checks["weekend volume does not collapse"] = (
-        result.metrics["weekend-growth"] > -0.25
-    )
-    result.rendered = figrender.render_series_table(
-        {label: list(v.total) for label, v in volumes.items()}
-    )
-    result.data = volumes
-    return result
-
-
-@traced_experiment
-def run_fig12(scenario: Scenario,
-              config: Optional[PipelineConfig] = None,
-              flows: Optional[FlowTable] = None) -> ExperimentResult:
-    """Fig 12: EDU daily connection growth per traffic class."""
-    config = config or PipelineConfig()
-    result = ExperimentResult("fig12", "EDU connection-level analysis")
-    flows = flows if flows is not None else _edu_flows(scenario, config)
-    internal = [EDU_NETWORK_ASN]
-    split = _dt.date(2020, 3, 11)
-    summary = edu_analysis.directionality_summary(
-        flows, internal, timebase.EDU_CAPTURE_START,
-        timebase.EDU_CAPTURE_END, split,
-    )
-    result.metrics["unknown-fraction"] = summary.unknown_fraction
-    result.metrics["incoming-growth"] = summary.incoming_growth
-    result.metrics["outgoing-growth"] = summary.outgoing_growth
-    result.metrics["total-growth"] = summary.total_growth
-    result.checks["~39% of flows undeterminable"] = (
-        0.15 <= summary.unknown_fraction <= 0.55
-    )
-    result.checks["incoming connections double"] = (
-        1.6 <= summary.incoming_growth <= 3.2
-    )
-    result.checks["outgoing connections nearly halve"] = (
-        0.25 <= summary.outgoing_growth <= 0.65
-    )
-    result.checks["total daily connections grow ~24%"] = (
-        0.95 <= summary.total_growth <= 1.6
-    )
-    #: Paper's per-class incoming growth: web 1.7x, email 1.8x, VPN
-    #: 4.8x, remote desktop 5.9x, SSH 9.1x.
-    class_targets = {
-        "web": (1.3, 2.3, "in"),
-        "email": (1.3, 2.5, "in"),
-        "vpn": (2.5, 6.5, "in"),
-        "remote-desktop": (3.5, 8.0, "in"),
-        "ssh": (5.5, 12.0, "in"),
-        "spotify": (0.05, 0.6, "out"),
-        "push": (0.1, 0.6, "out"),
-    }
-    growths = {}
-    for cname, (lo, hi, direction) in class_targets.items():
-        series = edu_analysis.daily_connections(
-            flows, internal, cname, direction,
-            timebase.EDU_CAPTURE_START, timebase.EDU_CAPTURE_END,
-        )
-        growth = series.growth_after(split)
-        growths[cname] = series
-        result.metrics[f"{cname}/{direction}-growth"] = growth
-        result.checks[f"{cname} {direction} growth in band"] = (
-            lo <= growth <= hi
-        )
-    result.checks["remote-access ordering ssh > rdp > vpn > email"] = (
-        result.metrics["ssh/in-growth"]
-        > result.metrics["remote-desktop/in-growth"]
-        > result.metrics["vpn/in-growth"]
-        > result.metrics["email/in-growth"]
-    )
-    # §7 origin analysis: overseas students produce out-of-hours
-    # connections ("peak from midnight until 7 am"); national users
-    # keep working-hour patterns with a lunch valley.
-    from repro.netbase.asdb import ASCategory
-
-    overseas_asns = [
-        info.asn
-        for info in scenario.registry.by_category(ASCategory.EYEBALL)
-        if info.region is timebase.Region.US_EAST
-    ]
-    national_asns = scenario.registry.eyeball_asns(
-        timebase.Region.SOUTHERN_EUROPE
-    )
-    post_start, post_end = _dt.date(2020, 4, 13), _dt.date(2020, 4, 26)
-    national_profile = edu_analysis.hourly_connection_profile(
-        flows, internal, "web", "in", post_start, post_end,
-        src_asns=national_asns,
-    )
-    overseas_profile = edu_analysis.hourly_connection_profile(
-        flows, internal, "web", "in", post_start, post_end,
-        src_asns=overseas_asns,
-    )
-    result.metrics["national/night-share"] = (
-        edu_analysis.out_of_hours_share(national_profile)
-    )
-    result.metrics["overseas/night-share"] = (
-        edu_analysis.out_of_hours_share(overseas_profile)
-    )
-    result.checks["overseas connections land out of hours"] = (
-        result.metrics["overseas/night-share"]
-        > result.metrics["national/night-share"] * 2
-    )
-    result.checks["national users keep working-hour patterns"] = (
-        9 <= int(np.argmax(national_profile)) <= 20
-    )
-    result.checks["overseas peak after midnight"] = (
-        int(np.argmax(overseas_profile)) <= 7
-        or int(np.argmax(overseas_profile)) >= 23
-    )
-    result.rendered = figrender.render_series_table(
-        {
-            name: list(series.relative_to_first())
-            for name, series in growths.items()
-        },
-        shared_scale=False,
-    )
-    result.data = {"summary": summary, "series": growths}
-    return result
-
-
-# ---------------------------------------------------------------------------
-# §9 discussion: peak-vs-valley decomposition.
-# ---------------------------------------------------------------------------
-
-
-@traced_experiment
-def run_disc09(scenario: Scenario,
-               config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """§9: the pandemic fills the valleys; single links grow far more."""
-    result = ExperimentResult(
-        "disc09", "Peak vs valley growth decomposition"
-    )
-    from repro.core import peaks
-
-    series = scenario.isp_ce.hourly_traffic(
-        _dt.date(2020, 2, 1), _dt.date(2020, 5, 17)
-    )
-    summary = peaks.peak_valley_summary(
-        series, timebase.MACRO_WEEKS["base"], timebase.MACRO_WEEKS["stage1"]
-    )
-    result.metrics["total-growth"] = summary.total_growth
-    result.metrics["peak-growth"] = summary.peak_growth
-    result.metrics["valley-growth"] = summary.valley_growth
-    result.checks["valleys filled (off-peak grows more than peak)"] = (
-        summary.valleys_filled
-    )
-    result.checks["peak growth stays within provisioning margins"] = (
-        summary.peak_growth <= 0.30
-    )
-    # Per-member growth dispersion at the IXP-CE.
-    members = scenario.members["ixp-ce"]
-    base_day = _dt.date(2020, 2, 19)
-    stage_day = _dt.date(2020, 4, 22)
-    ixp_series = scenario.ixp_ce.hourly_traffic(
-        _dt.date(2020, 2, 1), _dt.date(2020, 5, 1)
-    )
-    growth_factor = (
-        ixp_series.slice_day(stage_day).total()
-        / ixp_series.slice_day(base_day).total()
-    )
-    base_util = linkutil_synth.member_day_utilization(
-        members, base_day, 1.0, seed=scenario.seed + 51
-    )
-    stage_util = linkutil_synth.member_day_utilization(
-        members, stage_day, growth_factor, seed=scenario.seed + 51,
-        shape_name="lockdown-workday",
-    )
-    distribution = peaks.member_growth_distribution(base_util, stage_util)
-    result.metrics["aggregate-member-growth"] = (
-        distribution.aggregate_growth
-    )
-    result.metrics["p95-member-growth"] = distribution.quantile(0.95)
-    result.metrics["max-member-growth"] = distribution.max_growth
-    result.checks["individual links grow way beyond the aggregate"] = (
-        distribution.max_growth > distribution.aggregate_growth * 2
-    )
-    headroom = peaks.headroom_exceeded(stage_util, threshold=0.8)
-    pressured = sum(1 for frac in headroom.values() if frac > 0.05)
-    result.metrics["members-over-80pct-threshold"] = float(pressured)
-    result.checks["some members pushed past the planning threshold"] = (
-        pressured >= 3
-    )
-    result.rendered = tabrender.render_table(
-        ["quantity", "growth"],
-        [
-            ("total (stage1 vs base)", f"{summary.total_growth:+.1%}"),
-            ("peak hour", f"{summary.peak_growth:+.1%}"),
-            ("working-hour valley", f"{summary.valley_growth:+.1%}"),
-            ("median member", f"{distribution.quantile(0.5):+.1%}"),
-            ("p95 member", f"{distribution.quantile(0.95):+.1%}"),
-            ("max member", f"{distribution.max_growth:+.1%}"),
-        ],
-        title="§9 growth decomposition",
-    )
-    result.data = {"summary": summary, "distribution": distribution}
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Tables.
-# ---------------------------------------------------------------------------
-
-#: Table 1's expected rows: class -> (filters, ASNs, ports).
-TABLE1_EXPECTED = {
-    "webconf": (7, 1, 6),
-    "vod": (5, 5, 0),
-    "gaming": (8, 5, 57),
-    "social": (4, 4, 1),
-    "messaging": (3, 0, 5),
-    "email": (1, 0, 10),
-    "educational": (9, 9, 0),
-    "collab": (8, 2, 9),
-    "cdn": (8, 8, 0),
-}
-
-
-@traced_experiment
-def run_table1(scenario: Optional[Scenario] = None,
-               config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Table 1: application-classification filter overview."""
-    result = ExperimentResult("table1", "Application class filters")
-    rows = appclass.table1_rows()
-    by_name = {name: (f, a, p) for name, f, a, p in rows}
-    for cname, expected in TABLE1_EXPECTED.items():
-        actual = by_name[cname]
-        result.checks[f"{cname} counts match Table 1"] = actual == expected
-        result.metrics[f"{cname}/filters"] = float(actual[0])
-    result.metrics["total-filters"] = float(sum(r[1] for r in rows))
-    result.checks["more than 50 filter combinations"] = (
-        result.metrics["total-filters"] > 50
-    )
-    result.rendered = tabrender.render_table1(rows)
-    result.data = rows
-    return result
-
-
-@traced_experiment
-def run_table2(scenario: Optional[Scenario] = None,
-               config: Optional[PipelineConfig] = None) -> ExperimentResult:
-    """Table 2: the hypergiant AS list."""
-    result = ExperimentResult("table2", "Hypergiant ASes")
-    expected = {
-        ("Apple Inc", 714), ("Amazon.com", 16509), ("Facebook", 32934),
-        ("Google Inc.", 15169), ("Akamai Technologies", 20940),
-        ("Yahoo!", 10310), ("Netflix", 2906), ("Hurricane Electric", 6939),
-        ("OVH", 16276), ("Limelight Networks Global", 22822),
-        ("Microsoft", 8075), ("Twitter, Inc.", 13414), ("Twitch", 46489),
-        ("Cloudflare", 13335), ("Verizon Digital Media Services", 15133),
-    }
-    actual = {(info.name, info.asn) for info in HYPERGIANTS}
-    result.checks["15 hypergiants"] = len(HYPERGIANTS) == 15
-    result.checks["list matches the paper's Table 2"] = actual == expected
-    result.metrics["n-hypergiants"] = float(len(HYPERGIANTS))
-    result.rendered = tabrender.render_table2()
-    result.data = list(HYPERGIANTS)
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Runner.
-# ---------------------------------------------------------------------------
-
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig01": run_fig01,
-    "fig02": run_fig02,
-    "fig03": run_fig03,
-    "fig04": run_fig04,
-    "fig05": run_fig05,
-    "fig06": run_fig06,
-    "fig07": run_fig07,
-    "fig08": run_fig08,
-    "fig09": run_fig09,
-    "fig10": run_fig10,
-    "fig11": run_fig11,
-    "fig12": run_fig12,
-    "table1": run_table1,
-    "table2": run_table2,
-    "disc09": run_disc09,
-}
-
-
-def run_experiment(
-    experiment_id: str,
-    scenario: Optional[Scenario] = None,
-    config: Optional[PipelineConfig] = None,
-) -> ExperimentResult:
-    """Run one experiment by id (``fig01`` ... ``fig12``, ``table1``/``2``)."""
-    try:
-        runner = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {experiment_id!r}; "
-            f"have {sorted(EXPERIMENTS)}"
-        ) from None
-    if scenario is None and experiment_id not in ("table1", "table2"):
-        scenario = build_scenario()
-    return runner(scenario, config)
-
-
-def run_all(
-    scenario: Optional[Scenario] = None,
-    config: Optional[PipelineConfig] = None,
-) -> List[ExperimentResult]:
-    """Run every experiment in paper order."""
-    scenario = scenario or build_scenario()
-    return [
-        run_experiment(experiment_id, scenario, config)
-        for experiment_id in EXPERIMENTS
-    ]
+from repro.experiments import (
+    EXPERIMENTS,
+    REGISTRY,
+    ExperimentResult,
+    ExperimentSpec,
+    PipelineConfig,
+    all_specs,
+    get_spec,
+    resolve_specs,
+    run_all,
+    run_disc09,
+    run_experiment,
+    run_fig01,
+    run_fig02,
+    run_fig03,
+    run_fig04,
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_table1,
+    run_table2,
+    traced_experiment,
+)
+from repro.experiments.fig01 import FIG1_VANTAGES
+from repro.experiments.fig10 import VPN_WEEKS
+from repro.experiments.tables import TABLE1_EXPECTED
+
+__all__ = [
+    "EXPERIMENTS",
+    "REGISTRY",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FIG1_VANTAGES",
+    "PipelineConfig",
+    "TABLE1_EXPECTED",
+    "VPN_WEEKS",
+    "all_specs",
+    "get_spec",
+    "resolve_specs",
+    "run_all",
+    "run_disc09",
+    "run_experiment",
+    "run_fig01",
+    "run_fig02",
+    "run_fig03",
+    "run_fig04",
+    "run_fig05",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_table1",
+    "run_table2",
+    "traced_experiment",
+]

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.obs.manifest import RunManifest, build_manifest
-from repro.pipeline import ExperimentResult
+from repro.experiments import ExperimentResult
 
 PathLike = Union[str, Path]
 

@@ -1,0 +1,346 @@
+"""Dataset materialization: keyed requests and a shared cache.
+
+Experiments do not call the synthesizers directly for their heavyweight
+inputs; they *declare* what they need as :class:`DatasetRequest` values
+(vantage, date range, fidelity, profile subset, extras) and fetch them
+through the active :class:`DatasetCache`.  Because requests are plain
+hashable keys derived only from deterministic inputs, the cache can
+memoize the expensive materializations — the EDU capture shared by
+Figs 11/12, the ISP-CE/IXP-CE analysis weeks shared by Figs 7/9/10,
+the per-member link utilizations shared by Fig 5 and §9 — so one
+``run_all`` generates each of them exactly once.
+
+Three request kinds are understood:
+
+* ``flows`` — :meth:`repro.synth.vantage.VantagePoint.generate_flows`
+  over an inclusive date range,
+* ``remote-work`` — :meth:`repro.synth.scenario.Scenario.generate_remote_work_flows`
+  for one analysis week (Fig 6),
+* ``link-util`` — :func:`repro.synth.linkutil.member_day_utilization`
+  for one IXP member roster and day (Fig 5, §9).
+
+Cache hits, misses, bypasses, and resident bytes flow into the
+:mod:`repro.obs` registry under ``dataset-cache.*``.  The cache is
+thread-safe: concurrent fetches of the same key materialize once, which
+is what lets the parallel executor share it across workers.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+import repro.obs as obs
+from repro import timebase
+
+#: Extra request parameters as a hashable (name, value) tuple.
+Params = Tuple[Tuple[str, object], ...]
+
+#: Request kinds the cache knows how to materialize.
+KINDS = ("flows", "remote-work", "link-util")
+
+
+@dataclass(frozen=True)
+class DatasetRequest:
+    """One keyed, deterministic data requirement of an experiment.
+
+    Equality *is* cache identity: two requests with the same fields
+    (on scenarios with the same fingerprint) materialize to identical
+    data, so everything in the key must be a deterministic input of the
+    synthesizer — never a derived object.
+    """
+
+    kind: str
+    vantage: str
+    start: _dt.date
+    end: _dt.date
+    fidelity: float = 1.0
+    profiles: Tuple[str, ...] = ()
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown dataset kind {self.kind!r}; have {KINDS}"
+            )
+        if self.end < self.start:
+            raise ValueError("dataset range end precedes start")
+
+    def param(self, name: str, default: object = None) -> object:
+        """Look up one extra parameter by name."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def describe(self) -> str:
+        """Short human-readable form (span names, logs)."""
+        extra = f"@{self.fidelity:g}" if self.kind == "flows" else ""
+        return f"{self.kind}/{self.vantage}/{self.start}..{self.end}{extra}"
+
+
+def flows_request(
+    vantage: str,
+    start: _dt.date,
+    end: _dt.date,
+    fidelity: float = 1.0,
+    profiles: Optional[Iterable[str]] = None,
+) -> DatasetRequest:
+    """A flow-table request over an inclusive date range."""
+    return DatasetRequest(
+        kind="flows",
+        vantage=vantage,
+        start=start,
+        end=end,
+        fidelity=float(fidelity),
+        profiles=tuple(sorted(profiles)) if profiles is not None else (),
+    )
+
+
+def week_flows_request(
+    vantage: str,
+    week: timebase.Week,
+    fidelity: float = 1.0,
+    profiles: Optional[Iterable[str]] = None,
+) -> DatasetRequest:
+    """A flow-table request for one named analysis week."""
+    return flows_request(vantage, week.start, week.end, fidelity, profiles)
+
+
+def remote_work_request(
+    week: timebase.Week, lockdown_active: bool
+) -> DatasetRequest:
+    """An enterprise remote-work flow request (Fig 6)."""
+    return DatasetRequest(
+        kind="remote-work",
+        vantage="isp-ce",
+        start=week.start,
+        end=week.end,
+        params=(("label", week.label), ("lockdown", bool(lockdown_active))),
+    )
+
+
+def link_util_request(
+    ixp: str,
+    day: _dt.date,
+    growth: float,
+    shape_name: str = "workday",
+    seed_offset: int = 51,
+) -> DatasetRequest:
+    """A per-member day-utilization request (Fig 5, §9).
+
+    ``growth`` is the vantage-level traffic multiplier for ``day``; it
+    is part of the key, so it must be derived deterministically (it is:
+    from the intensity model).
+    """
+    return DatasetRequest(
+        kind="link-util",
+        vantage=ixp,
+        start=day,
+        end=day,
+        params=(
+            ("growth", float(growth)),
+            ("shape", shape_name),
+            ("seed-offset", int(seed_offset)),
+        ),
+    )
+
+
+def _scenario_fingerprint(scenario) -> Tuple[int, int]:
+    """Deterministic identity of a scenario's synthetic world.
+
+    Scenarios are pure functions of (seed, population sizes); flows
+    from two scenarios with the same fingerprint are bit-identical, so
+    they may share cache entries.
+    """
+    return (scenario.seed, len(scenario.registry.all_asns()))
+
+
+def _materialize(scenario, request: DatasetRequest):
+    """Generate the data behind one request (cache miss path)."""
+    if request.kind == "flows":
+        vantage = scenario.vantage(request.vantage)
+        return vantage.generate_flows(
+            request.start,
+            request.end,
+            fidelity=request.fidelity,
+            profiles=request.profiles or None,
+        )
+    if request.kind == "remote-work":
+        week = timebase.Week(request.start, str(request.param("label", "")))
+        return scenario.generate_remote_work_flows(
+            week, bool(request.param("lockdown", False))
+        )
+    if request.kind == "link-util":
+        from repro.synth import linkutil as linkutil_synth
+
+        members = scenario.members[request.vantage]
+        return linkutil_synth.member_day_utilization(
+            members,
+            request.start,
+            float(request.param("growth", 1.0)),
+            seed=scenario.seed + int(request.param("seed-offset", 51)),
+            shape_name=str(request.param("shape", "workday")),
+        )
+    raise ValueError(f"unknown dataset kind {request.kind!r}")
+
+
+def _sizeof(value) -> int:
+    """Approximate resident bytes of a materialized dataset."""
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, dict):
+        return sum(
+            int(getattr(v, "nbytes", 0)) for v in value.values()
+        )
+    return 0
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one cache's lifetime activity."""
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    entries: int = 0
+    resident_bytes: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "entries": self.entries,
+            "resident_bytes": self.resident_bytes,
+        }
+
+
+class DatasetCache:
+    """Memoizes dataset materializations, keyed by request.
+
+    ``enabled=False`` turns the cache into a pass-through that still
+    counts traffic (as bypasses) — useful for A/B timing and for the
+    equivalence tests.  Fetches are thread-safe, and concurrent misses
+    on the same key materialize exactly once (per-key locks).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: Dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self._key_locks: Dict[tuple, threading.Lock] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, scenario, request: DatasetRequest) -> tuple:
+        return (_scenario_fingerprint(scenario), request)
+
+    def _record_hit(self) -> None:
+        with self._lock:
+            self.stats.hits += 1
+        obs.get_registry().counter("dataset-cache.hits").inc()
+
+    def fetch(self, scenario, request: DatasetRequest):
+        """The data for ``request``, materializing on first use."""
+        if not self.enabled:
+            self.stats.bypasses += 1
+            obs.get_registry().counter("dataset-cache.bypasses").inc()
+            return _materialize(scenario, request)
+        key = self._key(scenario, request)
+        with self._lock:
+            if key in self._entries:
+                entry = self._entries[key]
+                hit = True
+            else:
+                hit = False
+                key_lock = self._key_locks.setdefault(key, threading.Lock())
+        if hit:
+            self._record_hit()
+            return entry
+        with key_lock:
+            with self._lock:
+                if key in self._entries:
+                    entry = self._entries[key]
+                    hit = True
+            if hit:
+                self._record_hit()
+                return entry
+            with obs.span(f"dataset/{request.describe()}"):
+                value = _materialize(scenario, request)
+            nbytes = _sizeof(value)
+            with self._lock:
+                self._entries[key] = value
+                self.stats.misses += 1
+                self.stats.entries = len(self._entries)
+                self.stats.resident_bytes += nbytes
+            registry = obs.get_registry()
+            registry.counter("dataset-cache.misses").inc()
+            registry.counter("dataset-cache.bytes").inc(nbytes)
+            registry.gauge("dataset-cache.entries").set(len(self._entries))
+            return value
+
+    def fetch_many(self, scenario, requests: Iterable[DatasetRequest]) -> list:
+        """Fetch several requests in order."""
+        return [self.fetch(scenario, request) for request in requests]
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._key_locks.clear()
+            self.stats.entries = 0
+            self.stats.resident_bytes = 0
+
+
+#: The process-default cache used when none is explicitly active.
+_DEFAULT_CACHE = DatasetCache()
+_ACTIVE_CACHE: DatasetCache = _DEFAULT_CACHE
+
+
+def default_cache() -> DatasetCache:
+    """The process-default shared cache."""
+    return _DEFAULT_CACHE
+
+
+def get_cache() -> DatasetCache:
+    """The currently active cache (default unless overridden)."""
+    return _ACTIVE_CACHE
+
+
+def set_cache(cache: DatasetCache) -> None:
+    """Install ``cache`` as the active cache for subsequent fetches."""
+    global _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+
+
+@contextmanager
+def use_cache(cache: DatasetCache) -> Iterator[DatasetCache]:
+    """Temporarily make ``cache`` the active cache.
+
+    The active cache is process-global (worker threads spawned inside
+    the block inherit it); nesting restores the previous cache on exit.
+    """
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE = previous
+
+
+def fetch(scenario, request: DatasetRequest):
+    """Fetch one request through the active cache."""
+    return _ACTIVE_CACHE.fetch(scenario, request)
+
+
+def fetch_many(scenario, requests: Iterable[DatasetRequest]) -> list:
+    """Fetch several requests in order through the active cache."""
+    return _ACTIVE_CACHE.fetch_many(scenario, requests)

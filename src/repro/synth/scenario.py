@@ -12,6 +12,8 @@ import datetime as _dt
 from dataclasses import dataclass
 from typing import Dict, List
 
+import numpy as _np
+
 from repro import timebase
 from repro.dns.corpus import DNSCorpus, VPNGroundTruth, build_vpn_corpus
 from repro.netbase.asdb import (
@@ -107,8 +109,6 @@ class Scenario:
             series = vantage.hourly_traffic(probe_day, probe_day)
             if series.total() <= 0:
                 problems.append(f"vantage {name} generates no traffic")
-        import numpy as _np
-
         flows = self.isp_ce.generate_flows(probe_day, probe_day, 0.2)
         src_owner = self.prefix_map.asn_for_many(flows.column("src_ip"))
         if not _np.array_equal(src_owner, flows.column("src_asn")):

@@ -1,0 +1,179 @@
+"""Dataset cache: keying, stats, and cold/warm/parallel equivalence."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timebase
+from repro.experiments import PipelineConfig, run_all
+from repro.flows.table import FlowTable
+from repro.synth import datasets
+from repro.synth.datasets import DatasetCache, DatasetRequest
+
+
+class TestRequests:
+    def test_requests_are_hashable_value_keys(self):
+        a = datasets.flows_request(
+            "isp-ce", dt.date(2020, 2, 19), dt.date(2020, 2, 25), 0.5
+        )
+        b = datasets.flows_request(
+            "isp-ce", dt.date(2020, 2, 19), dt.date(2020, 2, 25), 0.5
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != datasets.flows_request(
+            "ixp-ce", dt.date(2020, 2, 19), dt.date(2020, 2, 25), 0.5
+        )
+
+    def test_week_request_matches_flows_request(self):
+        week = timebase.Week(dt.date(2020, 2, 19), "base")
+        assert datasets.week_flows_request("isp-ce", week, 0.5) == (
+            datasets.flows_request("isp-ce", week.start, week.end, 0.5)
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            DatasetRequest(
+                kind="nope", vantage="isp-ce",
+                start=dt.date(2020, 2, 19), end=dt.date(2020, 2, 19),
+            )
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError, match="end precedes start"):
+            datasets.flows_request(
+                "isp-ce", dt.date(2020, 2, 25), dt.date(2020, 2, 19)
+            )
+
+    def test_profiles_normalized_to_sorted_tuple(self):
+        a = datasets.flows_request(
+            "ixp-se", dt.date(2020, 3, 18), dt.date(2020, 3, 18),
+            profiles=["vod", "gaming"],
+        )
+        b = datasets.flows_request(
+            "ixp-se", dt.date(2020, 3, 18), dt.date(2020, 3, 18),
+            profiles=("gaming", "vod"),
+        )
+        assert a == b
+
+
+class TestCacheBehavior:
+    @pytest.fixture
+    def request_base(self):
+        return datasets.flows_request(
+            "isp-ce", dt.date(2020, 2, 19), dt.date(2020, 2, 19), 0.2
+        )
+
+    def test_second_fetch_hits_and_returns_same_object(
+        self, scenario, request_base
+    ):
+        cache = DatasetCache()
+        first = cache.fetch(scenario, request_base)
+        second = cache.fetch(scenario, request_base)
+        assert second is first
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.entries == 1
+        assert cache.stats.resident_bytes == first.nbytes > 0
+
+    def test_disabled_cache_counts_bypasses(self, scenario, request_base):
+        cache = DatasetCache(enabled=False)
+        first = cache.fetch(scenario, request_base)
+        second = cache.fetch(scenario, request_base)
+        assert first is not second
+        assert first == second
+        assert cache.stats.to_dict() == {
+            "hits": 0, "misses": 0, "bypasses": 2,
+            "entries": 0, "resident_bytes": 0,
+        }
+
+    def test_clear_drops_entries(self, scenario, request_base):
+        cache = DatasetCache()
+        cache.fetch(scenario, request_base)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.resident_bytes == 0
+        cache.fetch(scenario, request_base)
+        assert cache.stats.misses == 2
+
+    def test_use_cache_restores_previous(self):
+        outer = datasets.get_cache()
+        inner = DatasetCache()
+        with datasets.use_cache(inner):
+            assert datasets.get_cache() is inner
+        assert datasets.get_cache() is outer
+
+    def test_materialized_flows_match_direct_generation(
+        self, scenario, request_base
+    ):
+        cached = DatasetCache().fetch(scenario, request_base)
+        direct = scenario.isp_ce.generate_flows(
+            request_base.start, request_base.end, fidelity=0.2
+        )
+        assert isinstance(cached, FlowTable)
+        assert cached == direct
+
+    def test_link_util_materialization_is_deterministic(self, scenario):
+        request = datasets.link_util_request(
+            "ixp-ce", dt.date(2020, 2, 19), 1.0
+        )
+        a = DatasetCache().fetch(scenario, request)
+        b = DatasetCache().fetch(scenario, request)
+        assert set(a) == set(b)
+        for member in a:
+            np.testing.assert_array_equal(a[member], b[member])
+
+
+def _signature(results):
+    """Comparable (id, metrics, checks) rows, order included."""
+    return [
+        (r.experiment_id, sorted(r.metrics.items()), sorted(r.checks.items()))
+        for r in results
+    ]
+
+
+class TestRunEquivalence:
+    """Cold/warm/disabled caches and serial/parallel executors must all
+    produce bit-identical metrics and checks."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, scenario, fast_config):
+        cache = DatasetCache()
+        with datasets.use_cache(cache):
+            results = run_all(scenario, fast_config)
+        assert cache.stats.hits > 0, "run_all should share datasets"
+        return _signature(results)
+
+    def test_warm_cache_equivalent(self, scenario, fast_config, reference):
+        cache = DatasetCache()
+        with datasets.use_cache(cache):
+            run_all(scenario, fast_config)
+            warm = run_all(scenario, fast_config)
+        assert cache.stats.hits > cache.stats.misses
+        assert _signature(warm) == reference
+
+    def test_disabled_cache_equivalent(
+        self, scenario, fast_config, reference
+    ):
+        cache = DatasetCache(enabled=False)
+        with datasets.use_cache(cache):
+            results = run_all(scenario, fast_config)
+        assert cache.stats.bypasses > 0
+        assert cache.stats.misses == 0
+        assert _signature(results) == reference
+
+    def test_parallel_jobs_equivalent(
+        self, scenario, fast_config, reference
+    ):
+        with datasets.use_cache(DatasetCache()):
+            results = run_all(scenario, fast_config, jobs=4)
+        assert _signature(results) == reference
+
+    def test_parallel_without_cache_equivalent(
+        self, scenario, fast_config, reference
+    ):
+        with datasets.use_cache(DatasetCache(enabled=False)):
+            results = run_all(scenario, fast_config, jobs=4)
+        assert _signature(results) == reference
