@@ -5,7 +5,8 @@ Subcommands:
 * ``list`` — show available experiments,
 * ``run [EXPERIMENT ...]`` — run experiments (default: all) and print
   metrics, checks, and the figure sketch; ``--telemetry PATH``
-  additionally records spans/metrics and writes a run manifest,
+  additionally records spans/metrics and writes a run manifest, and
+  ``--cache-dir DIR`` persists materialized datasets across runs,
 * ``telemetry PATH`` — pretty-print a previously written manifest
   (span tree with self/total times, top counters),
 * ``report`` — run everything and emit a Markdown paper-vs-measured
@@ -129,16 +130,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.cache_dir and args.no_dataset_cache:
+        print("--cache-dir requires the dataset cache; drop "
+              "--no-dataset-cache", file=sys.stderr)
+        return 2
     if args.telemetry:
         obs.configure(telemetry=True)
     logger = obs.get_logger("cli")
     config = PipelineConfig.fast() if args.fast else PipelineConfig()
     scenario = build_scenario(seed=args.seed)
-    run_cache = (
-        datasets.DatasetCache(enabled=False)
-        if args.no_dataset_cache
-        else datasets.get_cache()
-    )
+    if args.no_dataset_cache:
+        run_cache = datasets.DatasetCache(enabled=False)
+    elif args.cache_dir:
+        run_cache = datasets.DatasetCache(cache_dir=args.cache_dir)
+    else:
+        run_cache = datasets.get_cache()
     with datasets.use_cache(run_cache):
         if args.jobs > 1:
             results = run_all(
@@ -170,7 +176,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "name": "parallel" if args.jobs > 1 else "serial",
                 "jobs": args.jobs,
                 "dataset_cache": dict(
-                    run_cache.stats.to_dict(), enabled=run_cache.enabled
+                    run_cache.stats.to_dict(),
+                    enabled=run_cache.enabled,
+                    cache_dir=(
+                        str(run_cache.cache_dir)
+                        if run_cache.cache_dir is not None
+                        else None
+                    ),
                 ),
             },
         )
@@ -408,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dataset-cache", action="store_true",
         help="materialize every dataset per experiment instead of "
              "sharing them through the cache",
+    )
+    run_parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist materialized datasets as .npz archives under DIR "
+             "and reuse them across runs (invalidated by scenario seed, "
+             "request parameters, and cache format version)",
     )
     run_parser.add_argument(
         "-v", "--verbose", action="store_true",

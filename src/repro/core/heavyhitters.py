@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
+from repro.flows import groupby
 from repro.flows.table import FlowTable
 
 
@@ -92,12 +93,14 @@ class SpaceSaving:
         numpy-sized batches cheap.
         """
         keys = np.asarray(keys)
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights)
         if keys.shape != weights.shape:
             raise ValueError("keys and weights must align")
-        uniq, inverse = np.unique(keys, return_inverse=True)
-        sums = np.bincount(inverse, weights=weights)
-        for key, weight in zip(uniq, sums):
+        # Sums accumulate in the weights' own dtype: int64 byte
+        # counters pre-aggregate exactly (float64 bincount weights
+        # round above 2**53) before the tracker's float arithmetic.
+        uniq, sums = groupby.group_sums(keys, weights)
+        for key, weight in zip(uniq.tolist(), sums.tolist()):
             self.update(int(key), float(weight))
 
     def top(self, n: int) -> List[HeavyHitter]:

@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 import numpy as np
 
 from repro import timebase
+from repro.flows import groupby
 from repro.flows.table import FlowTable
 
 
@@ -27,14 +28,14 @@ def _per_as_bytes(
     """Per source AS: (total bytes, bytes exchanged with eyeball ASes)."""
     src = flows.column("src_asn")
     dst = flows.column("dst_asn")
-    n_bytes = flows.column("n_bytes").astype(np.float64)
+    n_bytes = flows.column("n_bytes")
     eyeball_arr = np.asarray(sorted(eyeballs), dtype=np.int64)
     to_eyeball = np.isin(dst, eyeball_arr)
     result: Dict[int, Tuple[float, float]] = {}
-    uniq, inverse = np.unique(src, return_inverse=True)
-    totals = np.bincount(inverse, weights=n_bytes)
-    residential = np.bincount(
-        inverse, weights=n_bytes * to_eyeball, minlength=uniq.size
+    # integer-exact per-AS sums; floats only at the API boundary
+    uniq, totals = groupby.group_sums(src, n_bytes)
+    _, residential = groupby.group_sums(
+        src, np.where(to_eyeball, n_bytes, 0)
     )
     for asn, total, res in zip(uniq, totals, residential):
         if int(asn) in eyeballs:
@@ -166,7 +167,7 @@ def group_by_workday_ratio(
     """
     src = flows.column("src_asn")
     hours = flows.column("hour")
-    n_bytes = flows.column("n_bytes").astype(np.float64)
+    n_bytes = flows.column("n_bytes")
     day_indices = hours // 24
     weekend_days = set()
     workday_count: Dict[int, int] = {"workday": 0, "weekend": 0}  # type: ignore[assignment]
@@ -182,12 +183,11 @@ def group_by_workday_ratio(
     if n_workdays == 0 or n_weekends == 0:
         raise ValueError("flows must span both workdays and weekend days")
     is_weekend = np.isin(day_indices, np.asarray(sorted(weekend_days)))
-    uniq, inverse = np.unique(src, return_inverse=True)
-    weekend_bytes = np.bincount(
-        inverse, weights=n_bytes * is_weekend, minlength=uniq.size
+    uniq, weekend_bytes = groupby.group_sums(
+        src, np.where(is_weekend, n_bytes, 0)
     )
-    workday_bytes = np.bincount(
-        inverse, weights=n_bytes * ~is_weekend, minlength=uniq.size
+    _, workday_bytes = groupby.group_sums(
+        src, np.where(is_weekend, 0, n_bytes)
     )
     groups: Dict[str, List[int]] = {
         "workday-dominated": [],

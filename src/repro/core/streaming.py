@@ -23,6 +23,8 @@ from typing import Dict, Iterable
 import numpy as np
 
 import repro.obs as obs
+from repro.flows import groupby
+from repro.flows.groupby import GroupIndex
 from repro.flows.hll import HyperLogLog
 from repro.flows.table import FlowTable
 from repro.series import HourlySeries
@@ -70,37 +72,40 @@ class StreamingAggregator:
             return
         chunk = chunk.filter(in_range)
         rel = chunk.column("hour") - self._start
-        n = self._stop - self._start
-        self._bytes += np.bincount(
-            rel, weights=chunk.column("n_bytes"), minlength=n
-        ).astype(np.int64)
-        self._packets += np.bincount(
-            rel, weights=chunk.column("n_packets"), minlength=n
-        ).astype(np.int64)
-        self._connections += np.bincount(
-            rel, weights=chunk.column("connections"), minlength=n
-        ).astype(np.int64)
-        ports = chunk.service_ports()
-        port_values, port_inverse = np.unique(ports, return_inverse=True)
-        port_sums = np.bincount(
-            port_inverse, weights=chunk.column("n_bytes")
+        # One factorization of the relative hour serves the three
+        # hourly accumulators and the per-hour sketch segments;
+        # integer-exact sums, unlike float64 bincount weights.
+        hour_index = GroupIndex.from_values(rel)
+        hours_seen = hour_index.values.astype(np.intp)
+        self._bytes[hours_seen] += hour_index.sum(chunk.column("n_bytes"))
+        self._packets[hours_seen] += hour_index.sum(
+            chunk.column("n_packets")
         )
-        for port, volume in zip(port_values, port_sums):
-            key = int(port)
-            self._port_bytes[key] = self._port_bytes.get(key, 0) + int(volume)
-        asns = chunk.column("src_asn")
-        asn_values, asn_inverse = np.unique(asns, return_inverse=True)
-        asn_sums = np.bincount(asn_inverse, weights=chunk.column("n_bytes"))
-        for asn, volume in zip(asn_values, asn_sums):
-            key = int(asn)
-            self._asn_bytes[key] = self._asn_bytes.get(key, 0) + int(volume)
-        ips = chunk.column(f"{self._ip_side}_ip")
-        for rel_hour in np.unique(rel):
-            sketch = self._ip_sketches.get(int(rel_hour))
+        self._connections[hours_seen] += hour_index.sum(
+            chunk.column("connections")
+        )
+        port_values, port_sums = groupby.group_sums(
+            chunk.service_ports(), chunk.column("n_bytes")
+        )
+        for key, volume in zip(port_values.tolist(), port_sums.tolist()):
+            self._port_bytes[key] = self._port_bytes.get(key, 0) + volume
+        asn_values, asn_sums = groupby.group_sums(
+            chunk.column("src_asn"), chunk.column("n_bytes")
+        )
+        for key, volume in zip(asn_values.tolist(), asn_sums.tolist()):
+            self._asn_bytes[key] = self._asn_bytes.get(key, 0) + volume
+        ips = chunk.column(f"{self._ip_side}_ip")[hour_index.order]
+        stops = np.append(hour_index.starts[1:], hour_index.n_rows)
+        for rel_hour, start, stop in zip(
+            hour_index.values.tolist(),
+            hour_index.starts.tolist(),
+            stops.tolist(),
+        ):
+            sketch = self._ip_sketches.get(rel_hour)
             if sketch is None:
                 sketch = HyperLogLog(self._hll_precision, salt=7)
-                self._ip_sketches[int(rel_hour)] = sketch
-            sketch.add_many(ips[rel == rel_hour])
+                self._ip_sketches[rel_hour] = sketch
+            sketch.add_many(ips[start:stop])
         self._flows_seen += len(chunk)
         registry.counter("streaming.flows-ingested").inc(len(chunk))
         if obs.enabled():

@@ -17,6 +17,8 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 import numpy as np
 
 import repro.obs as obs
+from repro.flows import groupby
+from repro.flows.groupby import GroupIndex
 from repro.flows.record import (
     PROTO_ESP,
     PROTO_GRE,
@@ -40,6 +42,13 @@ COLUMNS: Mapping[str, np.dtype] = {
     "connections": np.dtype(np.int64),
 }
 
+#: Derived group-by keys the table knows how to compute from its
+#: columns (in addition to the columns themselves).
+DERIVED_KEYS = ("service_port", "transport")
+
+#: Radix packing (proto, service port) into one integer transport key.
+_PORT_RADIX = 65536
+
 
 class FlowTable:
     """A columnar collection of flow summaries.
@@ -48,7 +57,7 @@ class FlowTable:
     :meth:`from_records` (tests and examples).
     """
 
-    __slots__ = ("_cols",)
+    __slots__ = ("_cols", "_derived", "_indexes")
 
     def __init__(self, columns: Dict[str, np.ndarray]):
         missing = set(COLUMNS) - set(columns)
@@ -72,6 +81,12 @@ class FlowTable:
                 )
             cols[name] = col
         self._cols = cols
+        # Lazily memoized derived key arrays and group indexes.  The
+        # table is immutable by convention, so both caches are valid
+        # for its whole lifetime; ``dict.setdefault`` keeps concurrent
+        # builds safe (worst case the race wastes one computation).
+        self._derived: Dict[str, np.ndarray] = {}
+        self._indexes: Dict[str, GroupIndex] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -187,10 +202,11 @@ class FlowTable:
 
             table.where(proto=17, dst_port=[443, 4500])
         """
-        mask = np.ones(len(self), dtype=bool)
-        for name, wanted in conditions.items():
+        for name in conditions:
             if name not in self._cols:
                 raise KeyError(f"unknown column: {name!r}")
+        mask = np.ones(len(self), dtype=bool)
+        for name, wanted in conditions.items():
             col = self._cols[name]
             if isinstance(wanted, (set, frozenset, list, tuple, np.ndarray)):
                 values = np.asarray(sorted(wanted) if isinstance(
@@ -198,12 +214,80 @@ class FlowTable:
                 mask &= np.isin(col, values)
             else:
                 mask &= col == wanted
+            if not mask.any():
+                # No row can match anymore; skip the remaining columns.
+                break
         return self.filter(mask)
 
     def between_hours(self, start: int, stop: int) -> "FlowTable":
         """Select flows with ``start <= hour < stop``."""
         hours = self._cols["hour"]
         return self.filter((hours >= start) & (hours < stop))
+
+    # -- group indexes -----------------------------------------------------
+
+    def key_array(self, key: str) -> np.ndarray:
+        """The integer key array for ``key``: a column or a derived key.
+
+        Derived keys (``service_port``, ``transport``) are computed once
+        and memoized.
+        """
+        if key in COLUMNS:
+            return self._cols[key]
+        arr = self._derived.get(key)
+        if arr is not None:
+            return arr
+        if key == "service_port":
+            arr = self._compute_service_ports()
+        elif key == "transport":
+            protos = self._cols["proto"].astype(np.int64)
+            arr = protos * _PORT_RADIX + self.key_array("service_port")
+        else:
+            raise KeyError(
+                f"unknown group key {key!r}; columns are {sorted(COLUMNS)} "
+                f"and derived keys are {DERIVED_KEYS}"
+            )
+        arr.flags.writeable = False
+        return self._derived.setdefault(key, arr)
+
+    def group_index(self, key: str) -> GroupIndex:
+        """The memoized :class:`~repro.flows.groupby.GroupIndex` for ``key``.
+
+        Computed on first use and reused by every aggregation over the
+        same key — the engine behind :meth:`bytes_by`,
+        :meth:`connections_by`, :meth:`bytes_by_transport_key`,
+        :meth:`hourly_bytes`, and :meth:`unique_ips_per_hour`.
+        """
+        index = self._indexes.get(key)
+        if index is not None:
+            groupby.record_reuse()
+            return index
+        index = GroupIndex.from_values(self.key_array(key))
+        groupby.record_build(key, len(self))
+        return self._indexes.setdefault(key, index)
+
+    def _pair_index(self, left: str, right: str) -> Tuple[GroupIndex, int]:
+        """Memoized composed index over the ``(left, right)`` pair key."""
+        name = f"{left}×{right}"
+        index = self._indexes.get(name)
+        radix = max(self.group_index(right).n_groups, 1)
+        if index is not None:
+            groupby.record_reuse()
+            return index, radix
+        index, radix = self.group_index(left).compose(self.group_index(right))
+        groupby.record_build(name, len(self))
+        return self._indexes.setdefault(name, index), radix
+
+    def _grouped_sums(
+        self, key: str, value_column: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted unique keys and exact per-group sums of a column."""
+        values = self._cols[value_column]
+        if groupby.engine_enabled():
+            index = self.group_index(key)
+            return index.values, index.sum(values)
+        groupby.record_fallback()
+        return groupby.group_sums(self.key_array(key), values)
 
     # -- aggregation -------------------------------------------------------
 
@@ -228,31 +312,29 @@ class FlowTable:
         return self._bin_by_hour("connections", start, stop)
 
     def _bin_by_hour(self, value_col: str, start: int, stop: int) -> np.ndarray:
+        """Exact per-hour sums of ``value_col`` over ``[start, stop)``.
+
+        Groups once over the full hour column (the index is shared by
+        every range) and scatters the in-range group sums into the
+        requested window.  Integer-exact: the old float64
+        ``np.bincount`` weights rounded totals above 2**53.
+        """
         if stop <= start:
             raise ValueError("stop must be greater than start")
-        hours = self._cols["hour"]
-        values = self._cols[value_col]
+        hours, sums = self._grouped_sums("hour", value_col)
+        out = np.zeros(stop - start, dtype=np.int64)
         in_range = (hours >= start) & (hours < stop)
-        return np.bincount(
-            hours[in_range] - start,
-            weights=values[in_range],
-            minlength=stop - start,
-        ).astype(np.int64)
+        out[hours[in_range] - start] = sums[in_range]
+        return out
 
     def bytes_by(self, key_column: str) -> Dict[int, int]:
         """Total bytes grouped by the values of ``key_column``."""
-        keys = self._cols[key_column]
-        values = self._cols["n_bytes"]
-        uniq, inverse = np.unique(keys, return_inverse=True)
-        sums = np.bincount(inverse, weights=values)
+        uniq, sums = self._grouped_sums(key_column, "n_bytes")
         return {int(k): int(v) for k, v in zip(uniq, sums)}
 
     def connections_by(self, key_column: str) -> Dict[int, int]:
         """Total connections grouped by the values of ``key_column``."""
-        keys = self._cols[key_column]
-        values = self._cols["connections"]
-        uniq, inverse = np.unique(keys, return_inverse=True)
-        sums = np.bincount(inverse, weights=values)
+        uniq, sums = self._grouped_sums(key_column, "connections")
         return {int(k): int(v) for k, v in zip(uniq, sums)}
 
     def unique_ips(self, side: str = "src") -> int:
@@ -267,6 +349,18 @@ class FlowTable:
         """Distinct addresses per hourly bin over ``[start, stop)``."""
         if side not in ("src", "dst"):
             raise ValueError("side must be 'src' or 'dst'")
+        if groupby.engine_enabled():
+            # One distinct (hour, ip) pair per composed group; the pair
+            # index is shared across ranges and with other aggregations
+            # over the same columns.
+            pair, radix = self._pair_index("hour", f"{side}_ip")
+            hour_codes = (pair.values // radix).astype(np.intp)
+            pair_hours = self.group_index("hour").values[hour_codes]
+            in_range = (pair_hours >= start) & (pair_hours < stop)
+            return np.bincount(
+                pair_hours[in_range] - start, minlength=stop - start
+            ).astype(np.int64)
+        groupby.record_fallback()
         hours = self._cols["hour"]
         ips = self._cols[f"{side}_ip"]
         in_range = (hours >= start) & (hours < stop)
@@ -283,14 +377,7 @@ class FlowTable:
 
     # -- transport keys ----------------------------------------------------
 
-    def service_ports(self) -> np.ndarray:
-        """Per-row service port: the well-known side of the flow.
-
-        Flow exporters record ports on both sides; the service sits on
-        whichever side carries a non-ephemeral port (below 49152).  When
-        both or neither side is below the boundary, the destination port
-        is used.  Port-less protocols report zero.
-        """
+    def _compute_service_ports(self) -> np.ndarray:
         src = self._cols["src_port"].astype(np.int64)
         dst = self._cols["dst_port"].astype(np.int64)
         ephemeral = 49152
@@ -302,6 +389,30 @@ class FlowTable:
         )
         return np.where(portless, 0, service)
 
+    def service_ports(self) -> np.ndarray:
+        """Per-row service port: the well-known side of the flow.
+
+        Flow exporters record ports on both sides; the service sits on
+        whichever side carries a non-ephemeral port (below 49152).  When
+        both or neither side is below the boundary, the destination port
+        is used.  Port-less protocols report zero.  The array is
+        computed once per table and returned read-only.
+        """
+        return self.key_array("service_port")
+
+    @staticmethod
+    def _transport_labels(transport_keys: np.ndarray) -> np.ndarray:
+        """``PROTO/port`` labels for unique combined transport keys."""
+        labels = np.empty(len(transport_keys), dtype=object)
+        for j, key in enumerate(transport_keys):
+            proto = int(key) // _PORT_RADIX
+            port = int(key) % _PORT_RADIX
+            if proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
+                labels[j] = proto_name(proto)
+            else:
+                labels[j] = f"{proto_name(proto)}/{port}"
+        return labels
+
     def transport_keys(self) -> np.ndarray:
         """Per-row ``PROTO/port`` labels (Fig 7 legend convention).
 
@@ -309,39 +420,26 @@ class FlowTable:
         formats one label per distinct key, so the Python-level string
         work is O(unique keys) rather than O(rows).
         """
-        protos = self._cols["proto"].astype(np.int64)
-        ports = self.service_ports().astype(np.int64)
-        combined = protos * 65536 + ports
-        uniq, inverse = np.unique(combined, return_inverse=True)
-        uniq_labels = np.empty(len(uniq), dtype=object)
-        for j, key in enumerate(uniq):
-            proto = int(key) // 65536
-            port = int(key) % 65536
-            if proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
-                uniq_labels[j] = proto_name(proto)
-            else:
-                uniq_labels[j] = f"{proto_name(proto)}/{port}"
-        return uniq_labels[inverse]
+        if groupby.engine_enabled():
+            index = self.group_index("transport")
+            return self._transport_labels(index.values)[index.codes]
+        groupby.record_fallback()
+        uniq, inverse = np.unique(
+            self.key_array("transport"), return_inverse=True
+        )
+        return self._transport_labels(uniq)[inverse]
 
     def bytes_by_transport_key(self) -> Dict[str, int]:
         """Total bytes per ``PROTO/port`` label, efficiently.
 
         Avoids materializing per-row label strings by grouping on the
-        combined (proto, service port) integer key first.
+        combined (proto, service port) integer key first; the grouping
+        itself reuses the memoized transport index.
         """
-        protos = self._cols["proto"].astype(np.int64)
-        ports = self.service_ports().astype(np.int64)
-        combined = protos * 65536 + ports
-        uniq, inverse = np.unique(combined, return_inverse=True)
-        sums = np.bincount(inverse, weights=self._cols["n_bytes"])
+        uniq, sums = self._grouped_sums("transport", "n_bytes")
+        labels = self._transport_labels(uniq)
         result: Dict[str, int] = {}
-        for key, total in zip(uniq, sums):
-            proto = int(key) // 65536
-            port = int(key) % 65536
-            if proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
-                label = proto_name(proto)
-            else:
-                label = f"{proto_name(proto)}/{port}"
+        for label, total in zip(labels, sums):
             result[label] = result.get(label, 0) + int(total)
         return result
 
@@ -363,9 +461,16 @@ class FlowTable:
         return FlowTable({name: col[:n] for name, col in self._cols.items()})
 
     def sample(self, n: int, seed: int = 0) -> "FlowTable":
-        """A uniform random sample of ``n`` rows (without replacement)."""
+        """A uniform random sample of ``n`` rows (without replacement).
+
+        When ``n`` covers the whole table the result is a *copy* with
+        its own column arrays — never an alias of ``self`` — so callers
+        can rely on the sample being independent of the source table.
+        """
         if n >= len(self):
-            return self
+            return FlowTable(
+                {name: col.copy() for name, col in self._cols.items()}
+            )
         rng = np.random.default_rng(seed)
         idx = rng.choice(len(self), size=n, replace=False)
         idx.sort()

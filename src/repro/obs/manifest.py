@@ -62,8 +62,11 @@ class RunManifest:
     )
     trace: Dict[str, object] = dataclasses.field(default_factory=dict)
     metrics: Dict[str, object] = dataclasses.field(default_factory=dict)
-    #: How the run was executed ({"name": "parallel", "jobs": 4, ...});
-    #: empty for manifests written before the executor existed.
+    #: How the run was executed ({"name": "parallel", "jobs": 4, ...},
+    #: with a nested ``dataset_cache`` dict carrying the cache stats —
+    #: including the disk tier's ``disk_*`` counters and ``cache_dir``
+    #: when ``run --cache-dir`` was active); empty for manifests
+    #: written before the executor existed.
     executor: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -170,8 +173,15 @@ def format_manifest(payload: Dict[str, object], top: int = 10) -> str:
         lines.append(f"  config     {rendered}")
     executor = payload.get("executor") or {}
     if executor:
-        rendered = ", ".join(f"{k}={v}" for k, v in sorted(executor.items()))
+        flat = {k: v for k, v in executor.items() if not isinstance(v, dict)}
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(flat.items()))
         lines.append(f"  executor   {rendered}")
+        for key, nested in sorted(executor.items()):
+            if isinstance(nested, dict):
+                rendered = ", ".join(
+                    f"{k}={v}" for k, v in sorted(nested.items())
+                )
+                lines.append(f"    {key}: {rendered}")
     experiments = payload.get("experiments") or {}
     if experiments:
         n_passed = sum(1 for e in experiments.values() if e.get("passed"))

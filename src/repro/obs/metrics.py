@@ -5,6 +5,19 @@ paths account for themselves: flow counts, rows generated, bytes
 aggregated, RNG draws, and per-experiment wall time all flow into a
 process-global :class:`MetricsRegistry` (see :mod:`repro.obs`).
 
+Well-known counter families (all created lazily on first use):
+
+* ``flowgen.*`` — synthesis volume and RNG draw accounting,
+* ``table.*`` — :class:`~repro.flows.table.FlowTable` concat/filter
+  traffic,
+* ``groupby.*`` — the aggregation engine's ``index-builds``,
+  ``index-rows``, ``index-reuses``, and (with
+  ``REPRO_NO_GROUP_INDEX`` set) ``fallbacks``,
+* ``dataset-cache.*`` — memory-tier ``hits``/``misses``/``bypasses``/
+  ``bytes`` plus the disk tier's ``disk-hits``/``disk-misses``/
+  ``disk-writes``/``disk-bytes``,
+* ``experiments.*`` — per-experiment runs and wall time.
+
 Two registry implementations share one interface:
 
 * :class:`MetricsRegistry` — the real thing; instruments are created on

@@ -19,19 +19,38 @@ Three request kinds are understood:
 * ``link-util`` — :func:`repro.synth.linkutil.member_day_utilization`
   for one IXP member roster and day (Fig 5, §9).
 
-Cache hits, misses, bypasses, and resident bytes flow into the
-:mod:`repro.obs` registry under ``dataset-cache.*``.  The cache is
-thread-safe: concurrent fetches of the same key materialize once, which
-is what lets the parallel executor share it across workers.
+The cache has two tiers.  The **memory tier** memoizes materialized
+objects for the life of the process.  The optional **disk tier**
+(``DatasetCache(cache_dir=...)``, ``lockdown-effect run --cache-dir``)
+persists each entry as one ``.npz`` archive under the cache directory,
+keyed by the request, the scenario fingerprint, and a format version —
+so a second process (or a second day of iterating on the same analysis
+weeks) skips flow generation entirely.  Disk writes are atomic
+(temp file + rename); loads are corruption-tolerant: an unreadable,
+truncated, or version-mismatched archive counts as a disk miss and is
+regenerated and rewritten in place.
+
+Cache hits, misses, bypasses, resident bytes, and the disk tier's
+``disk-{hits,misses,writes,bytes}`` flow into the :mod:`repro.obs`
+registry under ``dataset-cache.*``.  The cache is thread-safe:
+concurrent fetches of the same key materialize once, which is what
+lets the parallel executor share it across workers.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import hashlib
+import json
+import os
 import threading
+import zipfile
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+
+import numpy as np
 
 import repro.obs as obs
 from repro import timebase
@@ -41,6 +60,12 @@ Params = Tuple[Tuple[str, object], ...]
 
 #: Request kinds the cache knows how to materialize.
 KINDS = ("flows", "remote-work", "link-util")
+
+#: Version of the on-disk archive layout.  Bumping it invalidates every
+#: previously written archive (the version is part of the entry key).
+DISK_FORMAT = 1
+
+PathLike = Union[str, Path]
 
 
 @dataclass(frozen=True)
@@ -200,24 +225,116 @@ def _sizeof(value) -> int:
     return 0
 
 
+# -- disk-tier serialization ------------------------------------------------
+
+_COL_PREFIX = "col/"
+_MEMBER_PREFIX = "member/"
+
+#: Archive member holding the entry's identity token.
+_TOKEN_KEY = "__token__"
+
+
+def entry_token(fingerprint: Tuple[int, ...], request: DatasetRequest) -> str:
+    """Canonical identity string of one disk-cache entry.
+
+    Everything that determines the materialized bytes is in here — the
+    archive format version, the scenario fingerprint, and every request
+    field — so the token doubles as the hash input for the file name
+    *and* as the verification record stored inside the archive (a stale
+    or colliding file whose recorded token differs is simply a miss).
+    """
+    return json.dumps(
+        {
+            "format": DISK_FORMAT,
+            "fingerprint": list(fingerprint),
+            "kind": request.kind,
+            "vantage": request.vantage,
+            "start": request.start.isoformat(),
+            "end": request.end.isoformat(),
+            "fidelity": request.fidelity,
+            "profiles": list(request.profiles),
+            "params": [[name, value] for name, value in request.params],
+        },
+        sort_keys=True,
+    )
+
+
+def _disk_arrays(value) -> Dict[str, np.ndarray]:
+    """Flatten a materialized dataset into named arrays for ``np.savez``."""
+    from repro.flows.table import COLUMNS, FlowTable
+
+    if isinstance(value, FlowTable):
+        return {
+            f"{_COL_PREFIX}{name}": value.column(name) for name in COLUMNS
+        }
+    if isinstance(value, dict):
+        return {
+            f"{_MEMBER_PREFIX}{int(member)}": np.asarray(series)
+            for member, series in value.items()
+        }
+    raise TypeError(
+        f"cannot persist dataset of type {type(value).__name__}"
+    )
+
+
+def _rebuild_from_arrays(kind: str, arrays: Dict[str, np.ndarray]):
+    """Inverse of :func:`_disk_arrays` for one request kind."""
+    from repro.flows.table import FlowTable
+
+    if kind in ("flows", "remote-work"):
+        columns = {
+            name[len(_COL_PREFIX):]: arr
+            for name, arr in arrays.items()
+            if name.startswith(_COL_PREFIX)
+        }
+        return FlowTable(columns)  # validates missing/extra columns
+    if kind == "link-util":
+        return {
+            int(name[len(_MEMBER_PREFIX):]): arr
+            for name, arr in arrays.items()
+            if name.startswith(_MEMBER_PREFIX)
+        }
+    raise ValueError(f"unknown dataset kind {kind!r}")
+
+
 @dataclass
 class CacheStats:
-    """Counters describing one cache's lifetime activity."""
+    """Counters describing one cache's lifetime activity.
+
+    ``hits`` and ``misses`` describe the memory tier (``misses`` counts
+    actual materializations).  The ``disk_*`` counters describe the
+    optional disk tier: a ``disk_hit`` serves a fetch from an archive
+    without materializing; a ``disk_miss`` is a fetch that had to
+    materialize despite a configured disk tier (absent, corrupt, or
+    version-mismatched archive).
+    """
 
     hits: int = 0
     misses: int = 0
     bypasses: int = 0
     entries: int = 0
     resident_bytes: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_writes: int = 0
+    disk_bytes: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        return {
+        base = {
             "hits": self.hits,
             "misses": self.misses,
             "bypasses": self.bypasses,
             "entries": self.entries,
             "resident_bytes": self.resident_bytes,
         }
+        if self.disk_hits or self.disk_misses or self.disk_writes:
+            base.update(
+                disk_hits=self.disk_hits,
+                disk_misses=self.disk_misses,
+                disk_writes=self.disk_writes,
+                disk_bytes=self.disk_bytes,
+            )
+        return base
 
 
 class DatasetCache:
@@ -227,10 +344,21 @@ class DatasetCache:
     counts traffic (as bypasses) — useful for A/B timing and for the
     equivalence tests.  Fetches are thread-safe, and concurrent misses
     on the same key materialize exactly once (per-key locks).
+
+    ``cache_dir`` adds the persistent disk tier: memory misses probe
+    one ``.npz`` archive per entry before materializing, and every
+    materialization is written back (atomic temp-file + rename, so
+    concurrent processes sharing the directory never observe a torn
+    archive).  The disk tier only serves the enabled cache — a
+    pass-through cache never touches it — and :meth:`clear` drops the
+    memory tier only.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self, enabled: bool = True, cache_dir: Optional[PathLike] = None
+    ):
         self.enabled = enabled
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._entries: Dict[tuple, object] = {}
         self._lock = threading.Lock()
         self._key_locks: Dict[tuple, threading.Lock] = {}
@@ -246,6 +374,71 @@ class DatasetCache:
         with self._lock:
             self.stats.hits += 1
         obs.get_registry().counter("dataset-cache.hits").inc()
+
+    # -- disk tier ---------------------------------------------------------
+
+    def entry_path(
+        self, scenario, request: DatasetRequest
+    ) -> Optional[Path]:
+        """Where the disk tier stores (or would store) one entry.
+
+        The file name carries the kind and vantage for humans and a
+        hash of the full :func:`entry_token` for identity; the token
+        itself is also recorded inside the archive and verified on
+        load, so hash collisions and stale files degrade to misses.
+        """
+        if self.cache_dir is None:
+            return None
+        token = entry_token(_scenario_fingerprint(scenario), request)
+        digest = hashlib.sha256(token.encode("utf-8")).hexdigest()[:20]
+        name = f"{request.kind}-{request.vantage}-{digest}.npz"
+        return self.cache_dir / name
+
+    def _disk_load(self, path: Path, token: str, kind: str):
+        """The entry stored at ``path``, or ``None`` on any defect.
+
+        Missing file, truncated or corrupt archive, wrong/absent
+        token (format-version bump, fingerprint change, hash
+        collision), and rebuild failures all count as one disk miss —
+        the caller regenerates and rewrites in place.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if _TOKEN_KEY not in archive.files:
+                    return None
+                if str(archive[_TOKEN_KEY][()]) != token:
+                    return None
+                arrays = {
+                    name: archive[name]
+                    for name in archive.files
+                    if name != _TOKEN_KEY
+                }
+            return _rebuild_from_arrays(kind, arrays)
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile):
+            return None
+
+    def _disk_store(self, path: Path, token: str, value) -> int:
+        """Atomically persist ``value`` at ``path``; bytes written.
+
+        A failed write (read-only directory, disk full) is not an
+        error — the run simply proceeds without the disk entry.
+        """
+        arrays = _disk_arrays(value)
+        arrays[_TOKEN_KEY] = np.array(token)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, path)
+            return int(path.stat().st_size)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return 0
 
     def fetch(self, scenario, request: DatasetRequest):
         """The data for ``request``, materializing on first use."""
@@ -272,16 +465,44 @@ class DatasetCache:
             if hit:
                 self._record_hit()
                 return entry
-            with obs.span(f"dataset/{request.describe()}"):
-                value = _materialize(scenario, request)
+            registry = obs.get_registry()
+            value = None
+            path = self.entry_path(scenario, request)
+            if path is not None:
+                token = entry_token(
+                    _scenario_fingerprint(scenario), request
+                )
+                with obs.span(f"dataset-disk/{request.describe()}"):
+                    value = self._disk_load(path, token, request.kind)
+                if value is not None:
+                    with self._lock:
+                        self.stats.disk_hits += 1
+                    registry.counter("dataset-cache.disk-hits").inc()
+                else:
+                    with self._lock:
+                        self.stats.disk_misses += 1
+                    registry.counter("dataset-cache.disk-misses").inc()
+            if value is None:
+                with obs.span(f"dataset/{request.describe()}"):
+                    value = _materialize(scenario, request)
+                with self._lock:
+                    self.stats.misses += 1
+                registry.counter("dataset-cache.misses").inc()
+                if path is not None:
+                    written = self._disk_store(path, token, value)
+                    if written:
+                        with self._lock:
+                            self.stats.disk_writes += 1
+                            self.stats.disk_bytes += written
+                        registry.counter("dataset-cache.disk-writes").inc()
+                        registry.counter(
+                            "dataset-cache.disk-bytes"
+                        ).inc(written)
             nbytes = _sizeof(value)
             with self._lock:
                 self._entries[key] = value
-                self.stats.misses += 1
                 self.stats.entries = len(self._entries)
                 self.stats.resident_bytes += nbytes
-            registry = obs.get_registry()
-            registry.counter("dataset-cache.misses").inc()
             registry.counter("dataset-cache.bytes").inc(nbytes)
             registry.gauge("dataset-cache.entries").set(len(self._entries))
             return value

@@ -190,15 +190,29 @@ class FlowSampler:
             idx = self._rng.integers(0, len(addresses), size=count)
             return addresses[idx]
         result = np.empty(count, dtype=np.uint32)
-        for asn in np.unique(asns):
-            mask = asns == asn
-            n = int(mask.sum())
+        if count == 0:
+            return result
+        # One argsort groups the rows by AS; each AS's rows are then a
+        # contiguous segment of ``order``, replacing the per-AS
+        # full-length boolean masks (O(ASes × rows)) with a single
+        # grouped pass.  Segments ascend by ASN, exactly like the
+        # ``np.unique`` iteration this replaces, so the RNG stream —
+        # and therefore every generated table — is unchanged.
+        order = np.argsort(asns, kind="stable")
+        sorted_asns = asns[order]
+        boundaries = np.flatnonzero(sorted_asns[1:] != sorted_asns[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [count]))
+        for start, stop in zip(starts, stops):
+            asn = int(sorted_asns[start])
+            rows = order[start:stop]
+            n = stop - start
             if spec.kind == "client":
-                prefixes = self._prefix_map.prefixes_of(int(asn))
-                result[mask] = random_addresses_in(prefixes, n, self._rng)
+                prefixes = self._prefix_map.prefixes_of(asn)
+                result[rows] = random_addresses_in(prefixes, n, self._rng)
             else:
-                pool = self._server_pool_for(int(asn))
-                result[mask] = pool[self._rng.integers(0, len(pool), size=n)]
+                pool = self._server_pool_for(asn)
+                result[rows] = pool[self._rng.integers(0, len(pool), size=n)]
         return result
 
     # -- sampling ---------------------------------------------------------------
@@ -297,10 +311,13 @@ class FlowSampler:
         # The EPHEMERAL_PORT marker (-1) asks for a random high port on
         # the service side too — P2P-like traffic with no well-known
         # port on either end (the EDU network's unknown-direction share).
-        unmarked = service_ports < 0
-        if unmarked.any():
+        # Whether any row can carry the marker is a property of the
+        # template's port list, so the common no-marker case skips both
+        # the full-length scan and the full-size ephemeral re-draw.
+        has_marker = bool((ports < 0).any())
+        if has_marker:
             service_ports = np.where(
-                unmarked,
+                service_ports < 0,
                 self._rng.integers(
                     EPHEMERAL_START, 65536, size=total, dtype=np.int32
                 ),
@@ -328,7 +345,7 @@ class FlowSampler:
             draws = total * 3
             draws += total * (1 if src_spec.kind == "gateway" else 2)
             draws += total * (1 if dst_spec.kind == "gateway" else 2)
-            if unmarked.any():
+            if has_marker:
                 draws += total
             obs.get_registry().counter("flowgen.rng-draws").inc(draws)
 

@@ -123,6 +123,21 @@ class TestSelection:
         with pytest.raises(KeyError):
             small_table.where(nonexistent=1)
 
+    def test_where_short_circuits_on_empty_mask(self, small_table,
+                                                monkeypatch):
+        # Once no row can match, the remaining conditions are skipped.
+        calls = []
+        original = np.isin
+
+        def counting_isin(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(np, "isin", counting_isin)
+        result = small_table.where(proto=999, src_asn=[15169, 2906])
+        assert len(result) == 0
+        assert calls == [], "membership test after all-False mask"
+
     def test_between_hours(self, small_table):
         assert len(small_table.between_hours(0, 2)) == 3
 
@@ -219,8 +234,13 @@ class TestOrderingHelpers:
         sampled = small_table.sample(2, seed=1)
         assert len(sampled) == 2
 
-    def test_sample_larger_returns_self(self, small_table):
-        assert small_table.sample(100) is small_table
+    def test_sample_larger_returns_independent_copy(self, small_table):
+        sampled = small_table.sample(100)
+        assert sampled is not small_table
+        assert sampled == small_table
+        assert not np.shares_memory(
+            sampled.column("n_bytes"), small_table.column("n_bytes")
+        )
 
     def test_sample_deterministic(self, small_table):
         assert small_table.sample(2, seed=3) == small_table.sample(2, seed=3)
