@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Benchmark the concurrent query engine over a partitioned flow store.
+
+Builds one day-partitioned :class:`~repro.flows.store.FlowStore` from a
+synthetic vantage trace, then times a mixed query batch (per-transport
+tables, hourly volume series, distinct-IP estimates, predicate scans)
+three ways —
+
+* ``cold-w1`` — fresh service, one worker (the serial floor),
+* ``cold-w4`` — fresh service, four workers (partition- and
+  query-level parallelism),
+* ``warm`` — the same batch replayed on the warm service (every query
+  served from the LRU result cache),
+
+and appends one entry to ``BENCH_results.json`` in the repo's
+``{"runs": [...]}`` history format.  The script exits non-zero — and
+records ``exit_status`` — if the one-worker and four-worker sweeps
+disagree on any result row, if any partition fails, or if the warm
+replay misses the cache, so a concurrency-induced wrong answer cannot
+be recorded as a "fast" result.  ``--fail-on-regression`` additionally
+compares the warm-cache sweep against the latest recorded baseline at
+the same fidelity and fails on a slowdown beyond the threshold.
+
+Usage::
+
+    python benchmarks/query_bench.py            # default fidelity
+    python benchmarks/query_bench.py --fast --fail-on-regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.flows.store import FlowStore  # noqa: E402
+from repro.query import QueryService, QuerySpec  # noqa: E402
+from repro.synth.scenario import build_scenario  # noqa: E402
+
+#: wall_s key prefix, matching the pytest-style keys already in the file.
+KEY = "benchmarks/query_bench.py::query"
+
+VANTAGE = "isp-ce"
+START = _dt.date(2020, 2, 10)
+END = _dt.date(2020, 3, 29)
+
+
+def _batch(n_repeats: int) -> List[QuerySpec]:
+    """A mixed batch of distinct query shapes over the stored range."""
+    specs: List[QuerySpec] = []
+    day = START
+    for _ in range(n_repeats):
+        week_end = min(day + _dt.timedelta(days=6), END)
+        specs.extend(
+            [
+                QuerySpec.build(
+                    VANTAGE, day, week_end,
+                    group_by=["transport"], aggregates=["bytes", "flows"],
+                ),
+                QuerySpec.build(
+                    VANTAGE, day, week_end,
+                    aggregates=["bytes", "connections"], bucket="hour",
+                ),
+                QuerySpec.build(
+                    VANTAGE, day, week_end,
+                    aggregates=["distinct_dst_ips"], bucket="day",
+                ),
+                QuerySpec.build(
+                    VANTAGE, day, week_end,
+                    where={"proto": 17}, group_by=["service_port"],
+                    aggregates=["bytes"],
+                ),
+            ]
+        )
+        day += _dt.timedelta(days=7)
+        if day > END:
+            day = START + _dt.timedelta(days=1)
+    return specs
+
+
+def _run_batch(service: QueryService, specs: List[QuerySpec]):
+    """Submit the whole batch, then collect results in order."""
+    t0 = time.perf_counter()
+    tickets = [service.submit(spec, timeout=600.0) for spec in specs]
+    results = [ticket.result() for ticket in tickets]
+    return results, time.perf_counter() - t0
+
+
+def _rows(results) -> List[List[dict]]:
+    return [r.rows for r in results]
+
+
+def _latest_baseline(
+    history: Dict[str, list], key: str, fast: bool
+) -> Optional[float]:
+    """The most recent recorded wall time for ``key`` at this fidelity."""
+    for run in reversed(history.get("runs", [])):
+        if bool(run.get("fast")) != fast:
+            continue
+        baseline = (run.get("wall_s") or {}).get(key)
+        if baseline:
+            return float(baseline)
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller store and batch (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_results.json"),
+        help="benchmark history file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero if the warm-cache sweep is slower than the "
+             "latest recorded baseline by more than the threshold",
+    )
+    parser.add_argument(
+        "--regression-threshold", type=float, default=0.50,
+        metavar="FRACTION",
+        help="allowed warm-cache slowdown vs. the recorded baseline "
+             "(default: %(default)s; warm sweeps are short, so the "
+             "gate is looser than run_all's)",
+    )
+    args = parser.parse_args(argv)
+
+    fidelity = 0.2 if args.fast else 1.0
+    n_repeats = 4 if args.fast else 12
+    scenario = build_scenario()
+    vantage = scenario.vantage(VANTAGE)
+    walls: Dict[str, float] = {}
+    problems: List[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="query-bench-") as tmp:
+        t0 = time.perf_counter()
+        flows = vantage.generate_flows(START, END, fidelity=fidelity)
+        store = FlowStore(Path(tmp) / VANTAGE)
+        n_partitions = store.write_range(flows, START, END)
+        walls[f"{KEY}[build-store]"] = time.perf_counter() - t0
+        print(
+            f"store: {len(flows)} flows in {n_partitions} partitions "
+            f"({walls[f'{KEY}[build-store]']:.3f} s to build)"
+        )
+
+        specs = _batch(n_repeats)
+        with QueryService({VANTAGE: store}, workers=1,
+                          queue_capacity=len(specs)) as service:
+            serial, walls[f"{KEY}[cold-w1]"] = _run_batch(service, specs)
+        with QueryService({VANTAGE: store}, workers=4,
+                          queue_capacity=len(specs)) as service:
+            parallel_results, walls[f"{KEY}[cold-w4]"] = _run_batch(
+                service, specs
+            )
+            warm, walls[f"{KEY}[warm]"] = _run_batch(service, specs)
+            stats = service.stats
+
+        failed = sum(r.n_failed for r in serial + parallel_results + warm)
+        if failed:
+            problems.append(f"{failed} failed partition(s)")
+        if _rows(serial) != _rows(parallel_results):
+            problems.append("workers=4 rows differ from workers=1")
+        if _rows(serial) != _rows(warm):
+            problems.append("warm-cache rows differ from workers=1")
+        misses_expected = 2 * len(specs)  # the two cold sweeps
+        if stats.cache_hits < len(specs):
+            problems.append(
+                f"warm replay hit the cache only {stats.cache_hits}/"
+                f"{len(specs)} times"
+            )
+        if stats.cache_misses > misses_expected:
+            problems.append(
+                f"{stats.cache_misses} cache misses for "
+                f"{misses_expected} distinct executions"
+            )
+
+    for key, wall in walls.items():
+        print(f"{key:55s} {wall:8.3f} s")
+    w1 = walls[f"{KEY}[cold-w1]"]
+    w4 = walls[f"{KEY}[cold-w4]"]
+    warm_wall = walls[f"{KEY}[warm]"]
+    print(
+        f"{len(specs)} queries: workers=4 runs {w1 / w4:.2f}x the "
+        f"serial sweep; warm cache replays at "
+        f"{len(specs) / warm_wall:.0f} q/s ({w1 / warm_wall:.0f}x)"
+    )
+
+    history_path = Path(args.output)
+    if history_path.exists():
+        payload = json.loads(history_path.read_text())
+    else:
+        payload = {"runs": []}
+
+    if args.fail_on_regression:
+        warm_key = f"{KEY}[warm]"
+        recorded = _latest_baseline(payload, warm_key, args.fast)
+        if recorded is None:
+            print("no recorded warm-cache baseline at this fidelity; "
+                  "skipping regression gate")
+        else:
+            limit = recorded * (1.0 + args.regression_threshold)
+            print(
+                f"regression gate: warm {warm_wall:.3f} s vs. recorded "
+                f"{recorded:.3f} s (limit {limit:.3f} s)"
+            )
+            if warm_wall > limit:
+                problems.append(
+                    f"warm-cache sweep {warm_wall:.3f} s exceeds recorded "
+                    f"baseline {recorded:.3f} s by more than "
+                    f"{args.regression_threshold:.0%}"
+                )
+
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    status = 1 if problems else 0
+
+    payload["runs"].append(
+        {
+            "timestamp": round(time.time(), 3),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "fast": bool(args.fast),
+            "exit_status": status,
+            "wall_s": {k: round(v, 4) for k, v in sorted(walls.items())},
+        }
+    )
+    history_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"appended run to {history_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,12 @@ Subcommands:
   (span tree with self/total times, top counters),
 * ``report`` — run everything and emit a Markdown paper-vs-measured
   report (the generator behind EXPERIMENTS.md),
-* ``generate`` — write a synthetic flow trace to disk (CSV or NPZ).
+* ``generate`` — write a synthetic flow trace to disk (CSV, NPZ, or a
+  day-partitioned ``FlowStore`` directory with ``--store``),
+* ``query`` — one-shot filter/group/aggregate query against a
+  partitioned flow store,
+* ``serve`` — run a :class:`~repro.query.service.QueryService` over a
+  JSONL batch of queries, emulating a multi-user analytics load.
 
 ``--log-level`` (global) routes structured JSON log events — e.g.
 failed experiment checks — to stderr.
@@ -24,7 +29,9 @@ import datetime as _dt
 import json
 import logging
 import sys
-from typing import List, Optional, Sequence
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 import repro.obs as obs
 from repro.flows import io as flow_io
@@ -366,17 +373,243 @@ def _cmd_vpn_scan(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if bool(args.output) == bool(args.store):
+        print("generate needs exactly one of -o/--output or --store",
+              file=sys.stderr)
+        return 2
     scenario = build_scenario(seed=args.seed)
     vantage = scenario.vantage(args.vantage)
     start = _dt.date.fromisoformat(args.start)
     end = _dt.date.fromisoformat(args.end)
     flows = vantage.generate_flows(start, end, fidelity=args.fidelity)
+    if args.store:
+        from repro.flows.store import FlowStore
+
+        written = FlowStore(args.store).write_range(flows, start, end)
+        print(
+            f"wrote {len(flows)} flows into {written} day partition(s) "
+            f"under {args.store}"
+        )
+        return 0
     if args.output.endswith(".npz"):
         flow_io.write_npz(flows, args.output)
     else:
         flow_io.write_csv(flows, args.output)
     print(f"wrote {len(flows)} flows to {args.output}")
     return 0
+
+
+def _parse_where(items: Optional[Sequence[str]]) -> Dict[str, object]:
+    """``--where COLUMN=SPEC`` conditions as a build() mapping.
+
+    SPEC is a single integer (equality), a comma list (membership), or
+    ``LO..HI`` (inclusive range).
+    """
+    conditions: Dict[str, object] = {}
+    for item in items or ():
+        column, sep, value = item.partition("=")
+        if not sep or not column or not value:
+            raise ValueError(
+                f"--where needs COLUMN=VALUES, got {item!r}"
+            )
+        if column in conditions:
+            raise ValueError(f"duplicate --where column {column!r}")
+        if ".." in value:
+            lo, _, hi = value.partition("..")
+            conditions[column] = {"min": int(lo), "max": int(hi)}
+        elif "," in value:
+            conditions[column] = [
+                int(v) for v in value.split(",") if v
+            ]
+        else:
+            conditions[column] = int(value)
+    return conditions
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.query import QueryError, QueryService, QuerySpec
+    from repro.report.tables import render_table
+
+    vantage = args.vantage or Path(args.store).name
+    try:
+        spec = QuerySpec.build(
+            vantage, args.start, args.end,
+            where=_parse_where(args.where),
+            group_by=[k for k in (args.group_by or "").split(",") if k],
+            aggregates=[a for a in args.agg.split(",") if a],
+            bucket=args.bucket,
+            hll_p=args.hll_p,
+        )
+    except (ValueError, QueryError) as exc:
+        print(f"invalid query: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with QueryService(
+            {vantage: args.store}, workers=args.workers
+        ) as service:
+            result = service.run(spec, timeout=args.timeout)
+    except QueryError as exc:
+        print(f"query failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    for failure in result.partitions_failed:
+        print(f"failed partition {failure.day}: {failure.error}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 1 if result.n_failed else 0
+    from repro.flows.record import proto_name
+    from repro.flows.table import transport_label
+
+    renderers = {"transport": transport_label, "proto": proto_name}
+    header = list(result.key_names) + list(result.aggregates)
+    rows = [
+        [
+            renderers[name](int(row[name]))
+            if name in renderers else row[name]
+            for name in header
+        ]
+        for row in result.rows
+    ]
+    shown = rows[: args.limit] if args.limit else rows
+    if shown:
+        print(render_table(header, shown, title=spec.describe()))
+    else:
+        print(f"{spec.describe()}: no matching rows")
+    if args.limit and len(rows) > args.limit:
+        print(f"... {len(rows) - args.limit} more row(s); "
+              f"use --limit 0 to print all")
+    print(
+        f"{result.partitions_scanned} partition(s) scanned, "
+        f"{result.partitions_pruned} pruned, {result.n_failed} failed; "
+        f"{result.rows_matched}/{result.rows_scanned} rows matched "
+        f"in {result.wall_s:.3f}s"
+    )
+    if result.hll_error:
+        print(
+            f"distinct counts are HyperLogLog estimates "
+            f"(~{result.hll_error:.1%} relative standard error)"
+        )
+    return 1 if result.n_failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.query import (
+        QueryError,
+        QueryRejected,
+        QueryService,
+        QuerySpec,
+    )
+
+    stores: Dict[str, str] = {}
+    for item in args.store:
+        name, sep, path = item.partition("=")
+        if not sep:
+            name, path = Path(item).name, item
+        if not name or not path:
+            print(f"--store needs NAME=DIR or DIR, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        if name in stores:
+            print(f"duplicate store name {name!r}", file=sys.stderr)
+            return 2
+        stores[name] = path
+    if args.telemetry:
+        obs.configure(telemetry=True)
+    if args.batch == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.batch) as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            print(f"cannot read batch {args.batch}: {exc}",
+                  file=sys.stderr)
+            return 2
+    t0 = time.perf_counter()
+    outcomes: List[Dict[str, object]] = []
+    failed_partitions = 0
+    with QueryService(
+        stores,
+        workers=args.workers,
+        queue_capacity=args.queue,
+        default_timeout=args.timeout,
+        cache_entries=args.cache,
+    ) as service:
+        # Submit the whole batch up front (many tickets in flight at
+        # once — the multi-user shape), then collect results in order.
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            entry: Dict[str, object] = {"line": lineno, "id": None}
+            outcomes.append(entry)
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                entry["status"] = "error"
+                entry["error"] = f"invalid JSON: {exc}"
+                continue
+            timeout = None
+            if isinstance(payload, dict):
+                entry["id"] = payload.pop("id", None)
+                timeout = payload.pop("timeout_s", None)
+            try:
+                spec = QuerySpec.from_dict(payload)
+                entry["ticket"] = service.submit(spec, timeout=timeout)
+            except QueryRejected as exc:
+                entry["status"] = "rejected"
+                entry["error"] = str(exc)
+            except QueryError as exc:
+                entry["status"] = "error"
+                entry["error"] = str(exc)
+        for entry in outcomes:
+            ticket = entry.pop("ticket", None)
+            if ticket is None:
+                continue
+            try:
+                result = ticket.result()
+            except QueryError as exc:
+                entry["status"] = "error"
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+            else:
+                failed_partitions += result.n_failed
+                entry["status"] = "ok"
+                entry["result"] = result.to_dict()
+        stats = service.stats
+        described = service.describe()
+    wall = time.perf_counter() - t0
+    if args.output:
+        with open(args.output, "w") as handle:
+            for entry in outcomes:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"per-query results written to {args.output}")
+    n_errors = sum(1 for e in outcomes if e["status"] == "error")
+    rate = len(outcomes) / wall if wall > 0 else 0.0
+    print(
+        f"served {stats.served}/{len(outcomes)} queries in {wall:.2f}s "
+        f"({rate:.1f} q/s) — {stats.rejected} rejected, "
+        f"{n_errors} errored, {stats.timeouts} timed out"
+    )
+    print(
+        f"cache: {stats.cache_hits} hit(s) / {stats.cache_misses} "
+        f"miss(es); max queue depth {stats.max_queue_depth}/"
+        f"{args.queue}; failed partitions: {failed_partitions}"
+    )
+    if args.telemetry:
+        from repro.obs.manifest import build_manifest
+
+        manifest = build_manifest(
+            [], seed=args.seed, executor=described
+        )
+        try:
+            manifest.write(args.telemetry)
+        except OSError as exc:
+            print(f"cannot write telemetry to {args.telemetry}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"telemetry written to {args.telemetry}")
+    return 1 if n_errors else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -517,9 +750,113 @@ def build_parser() -> argparse.ArgumentParser:
     gen_parser.add_argument("--end", default="2020-02-25")
     gen_parser.add_argument("--fidelity", type=float, default=1.0)
     gen_parser.add_argument(
-        "-o", "--output", required=True, help=".csv or .npz path"
+        "-o", "--output", help=".csv or .npz path"
+    )
+    gen_parser.add_argument(
+        "--store", metavar="DIR",
+        help="write a day-partitioned FlowStore directory instead of "
+             "a flat trace file (for repro query / repro serve)",
     )
     gen_parser.set_defaults(func=_cmd_generate)
+
+    query_parser = sub.add_parser(
+        "query",
+        help="run one filter/group/aggregate query against a flow store",
+    )
+    query_parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="FlowStore directory (as written by generate --store)",
+    )
+    query_parser.add_argument(
+        "--vantage",
+        help="vantage name (default: the store directory's name)",
+    )
+    query_parser.add_argument("--start", required=True, metavar="DATE")
+    query_parser.add_argument("--end", required=True, metavar="DATE")
+    query_parser.add_argument(
+        "--where", action="append", metavar="COLUMN=SPEC",
+        help="row predicate: COLUMN=V (equality), COLUMN=V1,V2 "
+             "(membership), or COLUMN=LO..HI (inclusive range); "
+             "repeatable",
+    )
+    query_parser.add_argument(
+        "--group-by", metavar="KEY[,KEY...]",
+        help="comma-separated group keys (e.g. transport,proto)",
+    )
+    query_parser.add_argument(
+        "--agg", default="bytes", metavar="AGG[,AGG...]",
+        help="comma-separated aggregates: bytes, packets, connections, "
+             "flows, distinct_src_ips, distinct_dst_ips "
+             "(default: %(default)s)",
+    )
+    query_parser.add_argument(
+        "--bucket", choices=("hour", "day"),
+        help="also split result rows by time bucket",
+    )
+    query_parser.add_argument(
+        "--hll-p", type=int, default=12, metavar="P",
+        help="HyperLogLog precision for distinct counts "
+             "(default: %(default)s)",
+    )
+    query_parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="parallel partition scanners (default: %(default)s)",
+    )
+    query_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="S",
+        help="per-query deadline in seconds (default: %(default)s)",
+    )
+    query_parser.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="result rows printed (0 = all; default: %(default)s)",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full result as JSON instead of a table",
+    )
+    query_parser.set_defaults(func=_cmd_query)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve a JSONL batch of queries through a QueryService",
+    )
+    serve_parser.add_argument(
+        "batch",
+        help="JSONL file of QuerySpec objects ('-' = stdin); each "
+             "line may carry an extra 'id' and per-query 'timeout_s'",
+    )
+    serve_parser.add_argument(
+        "--store", action="append", required=True, metavar="NAME=DIR",
+        help="vantage store to serve (repeatable; bare DIR uses the "
+             "directory name as the vantage)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="service worker threads (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--queue", type=int, default=64, metavar="N",
+        help="admission queue capacity; a full queue rejects new "
+             "queries (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=30.0, metavar="S",
+        help="default per-query deadline in seconds "
+             "(default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--cache", type=int, default=128, metavar="N",
+        help="LRU result-cache entries (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="write per-query JSONL results to PATH",
+    )
+    serve_parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="collect query.* metrics and write a run manifest to PATH",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

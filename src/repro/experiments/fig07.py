@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 from repro import timebase
 from repro.core import ports
 from repro.experiments.base import ExperimentResult, PipelineConfig, register
-from repro.flows.table import FlowTable
+from repro.flows.store import FlowStore
+from repro.flows.table import FlowTable, transport_label
+from repro.query import QueryService, QuerySpec
 from repro.report import figures as figrender
 from repro.synth import datasets
 from repro.synth.datasets import DatasetRequest
@@ -30,16 +34,49 @@ def _datasets(scenario: Scenario,
     )
 
 
-def _week_flows(scenario: Scenario, config: PipelineConfig,
-                name: str) -> FlowTable:
+def _week_flows(
+    scenario: Scenario, config: PipelineConfig, name: str
+) -> Tuple[FlowTable, List[Tuple[timebase.Week, FlowTable]]]:
+    """The vantage's analysis weeks: concatenated plus per-week tables."""
+    weeks = list(WEEKS[name].values())
     tables = datasets.fetch_many(
         scenario,
         [
             datasets.week_flows_request(name, week, config.flow_fidelity)
-            for week in WEEKS[name].values()
+            for week in weeks
         ],
     )
-    return FlowTable.concat(tables)
+    return FlowTable.concat(tables), list(zip(weeks, tables))
+
+
+def _query_port_mix(
+    name: str, week_tables: List[Tuple[timebase.Week, FlowTable]]
+) -> Tuple[Dict[str, int], int]:
+    """The vantage's port-mix table served through the query subsystem.
+
+    Writes each analysis week into one day-partitioned store (the
+    weeks are disjoint, so the store has gaps the planner must skip)
+    and runs a single ``group_by=("transport",)`` query across the
+    whole span.  Returns (bytes per PROTO/port label, failed
+    partitions).
+    """
+    with tempfile.TemporaryDirectory(prefix="fig07-store-") as tmp:
+        store = FlowStore(Path(tmp) / name)
+        for week, table in week_tables:
+            store.write_range(table, week.start, week.end)
+        spec = QuerySpec.build(
+            name,
+            min(week.start for week, _ in week_tables),
+            max(week.end for week, _ in week_tables),
+            group_by=["transport"], aggregates=["bytes"],
+        )
+        with QueryService({name: store}, workers=2) as service:
+            outcome = service.run(spec, timeout=300.0)
+    mix: Dict[str, int] = {}
+    for row in outcome.rows:
+        label = transport_label(int(row["transport"]))
+        mix[label] = mix.get(label, 0) + int(row["bytes"])
+    return mix, outcome.n_failed
 
 
 @register("fig07", "Top application ports by hour", "Fig. 7",
@@ -50,9 +87,17 @@ def run_fig07(scenario: Scenario,
     config = config or PipelineConfig()
     result = ExperimentResult("fig07", "Top application ports by hour")
     all_patterns = {}
+    query_parity = True
+    query_failed_partitions = 0
     for name, weeks in WEEKS.items():
         vantage = scenario.vantage(name)
-        flows = _week_flows(scenario, config, name)
+        flows, week_tables = _week_flows(scenario, config, name)
+        # Port-mix table through the query subsystem: the engine's
+        # grouped byte sums are exact, so they must equal the batch
+        # table bit-for-bit.
+        engine_mix, n_failed = _query_port_mix(name, week_tables)
+        query_parity &= engine_mix == flows.bytes_by_transport_key()
+        query_failed_partitions += n_failed
         region = vantage.region
         growth = ports.port_growth(
             flows, weeks["february"], weeks["april"], region,
@@ -72,6 +117,12 @@ def run_fig07(scenario: Scenario,
         alt = growth.get("TCP/8080")
         if alt:
             result.metrics[f"{name}/tcp8080-growth"] = alt.workday_growth
+    result.checks["query engine: port mix matches batch exactly"] = (
+        query_parity
+    )
+    result.checks["query engine: no failed partitions"] = (
+        query_failed_partitions == 0
+    )
     isp_pattern, isp_growth = all_patterns["isp-ce"]
     ixp_pattern, ixp_growth = all_patterns["ixp-ce"]
     result.checks["QUIC grows 30-80% at the ISP"] = (

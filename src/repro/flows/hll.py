@@ -115,13 +115,42 @@ class HyperLogLog:
                 return m * float(np.log(m / zeros))
         return float(estimate)
 
+    def _check_mergeable(self, other: "HyperLogLog") -> None:
+        """Raise unless ``other`` shares this sketch's parameters.
+
+        Mismatched precisions mean different register counts; taking an
+        elementwise maximum would silently misalign registers and
+        produce a garbage estimate, so both mismatches are an explicit
+        error.
+        """
+        if other._p != self._p:
+            raise ValueError(
+                f"cannot merge HyperLogLog sketches with different "
+                f"precisions (p={self._p} vs p={other._p}); registers "
+                f"would misalign"
+            )
+        if other._salt != self._salt:
+            raise ValueError(
+                f"cannot merge HyperLogLog sketches with different "
+                f"hash salts ({self._salt} vs {other._salt})"
+            )
+
     def merge(self, other: "HyperLogLog") -> "HyperLogLog":
         """Union with another sketch (same precision and salt)."""
-        if other._p != self._p or other._salt != self._salt:
-            raise ValueError("sketches are not mergeable")
+        self._check_mergeable(other)
         merged = HyperLogLog(self._p, self._salt)
         merged._registers = np.maximum(self._registers, other._registers)
         return merged
+
+    def union_update(self, other: "HyperLogLog") -> None:
+        """In-place union — the allocation-free form of :meth:`merge`.
+
+        The query engine merges one sketch per partition per group;
+        updating the accumulator in place avoids a fresh register array
+        per merge.
+        """
+        self._check_mergeable(other)
+        np.maximum(self._registers, other._registers, out=self._registers)
 
     def relative_error(self) -> float:
         """The theoretical relative standard error of the sketch."""

@@ -12,13 +12,21 @@ queries load only the partitions they need:
 
 Writes are append-only at day granularity; re-writing a day replaces
 its partition atomically (write to a temp name, then rename).
+
+Every partition's manifest entry records a SHA-256 of the archive
+bytes.  Reads verify it, so a truncated or corrupted ``.npz`` raises a
+:class:`FlowStoreError` instead of surfacing as a numpy/zipfile
+internal error (or, worse, as silently wrong data); the query planner
+turns that into a per-partition failure rather than a crashed query.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Union
 
@@ -31,6 +39,24 @@ from repro.flows.table import FlowTable
 PathLike = Union[str, Path]
 
 _MANIFEST = "manifest.json"
+
+
+class FlowStoreError(Exception):
+    """A partition that exists in the manifest cannot be served.
+
+    Raised for missing partition files, checksum mismatches, and
+    archives that fail to parse — all the ways a store directory can
+    rot underneath its manifest.
+    """
+
+
+def _file_sha256(path: Path) -> str:
+    """Hex SHA-256 of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 class FlowStore:
@@ -52,6 +78,18 @@ class FlowStore:
         """The store's directory."""
         return self._root
 
+    def state_token(self) -> str:
+        """Hex digest identifying the store's current contents.
+
+        Derived from the manifest (day set, flow/byte totals, and the
+        per-partition checksums), so any write, delete, or re-write
+        changes it.  The query service keys its result cache on
+        ``(query fingerprint, state token)`` — a mutated store can
+        never serve stale cached results.
+        """
+        payload = json.dumps(self._manifest, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def _partition_path(self, day: _dt.date) -> Path:
         return self._root / f"{day.isoformat()}.npz"
 
@@ -72,6 +110,13 @@ class FlowStore:
 
     def __len__(self) -> int:
         return len(self._manifest)
+
+    def day_flows(self, day: _dt.date) -> int:
+        """Flow records in one day's partition (from the manifest)."""
+        entry = self._manifest.get(day.isoformat())
+        if entry is None:
+            raise KeyError(f"no partition for {day}")
+        return int(entry["flows"])
 
     def total_flows(self) -> int:
         """Flow records across all partitions (from the manifest)."""
@@ -101,10 +146,12 @@ class FlowStore:
         # The temp name must end in .npz or numpy appends the suffix.
         temp = final.with_suffix(".tmp.npz")
         write_npz(flows, temp)
+        checksum = _file_sha256(temp)
         os.replace(temp, final)
         self._manifest[day.isoformat()] = {
             "flows": len(flows),
             "bytes": flows.total_bytes(),
+            "sha256": checksum,
         }
         self._save_manifest()
 
@@ -142,10 +189,36 @@ class FlowStore:
     # -- reads ---------------------------------------------------------------------
 
     def read_day(self, day: _dt.date) -> FlowTable:
-        """Load one day's partition; raises KeyError if absent."""
+        """Load one day's partition, verifying its content checksum.
+
+        Raises ``KeyError`` if the day has no manifest entry and
+        :class:`FlowStoreError` if the partition file is missing,
+        fails its checksum, or cannot be parsed.
+        """
         if day not in self:
             raise KeyError(f"no partition for {day}")
-        return read_npz(self._partition_path(day))
+        path = self._partition_path(day)
+        if not path.exists():
+            raise FlowStoreError(
+                f"partition file for {day} is missing from {self._root}"
+            )
+        expected = self._manifest[day.isoformat()].get("sha256")
+        if expected is not None:
+            actual = _file_sha256(path)
+            if actual != expected:
+                raise FlowStoreError(
+                    f"partition for {day} is corrupt: checksum "
+                    f"{actual[:12]}… does not match the manifest's "
+                    f"{expected[:12]}…"
+                )
+        try:
+            return read_npz(path)
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile) as exc:
+            raise FlowStoreError(
+                f"partition for {day} cannot be read: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     def read_range(
         self, start_day: _dt.date, end_day: _dt.date,

@@ -50,6 +50,21 @@ DERIVED_KEYS = ("service_port", "transport")
 _PORT_RADIX = 65536
 
 
+def transport_label(key: int) -> str:
+    """``PROTO/port`` label for one combined transport key.
+
+    The inverse presentation of the ``transport`` derived key
+    (``proto * 65536 + service_port``); port-less protocols render as
+    the bare protocol name.  Shared by the table's label formatting and
+    the query layer, which returns raw transport keys in result rows.
+    """
+    proto = int(key) // _PORT_RADIX
+    port = int(key) % _PORT_RADIX
+    if proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
+        return proto_name(proto)
+    return f"{proto_name(proto)}/{port}"
+
+
 class FlowTable:
     """A columnar collection of flow summaries.
 
@@ -405,12 +420,7 @@ class FlowTable:
         """``PROTO/port`` labels for unique combined transport keys."""
         labels = np.empty(len(transport_keys), dtype=object)
         for j, key in enumerate(transport_keys):
-            proto = int(key) // _PORT_RADIX
-            port = int(key) % _PORT_RADIX
-            if proto in (PROTO_GRE, PROTO_ESP, PROTO_ICMP):
-                labels[j] = proto_name(proto)
-            else:
-                labels[j] = f"{proto_name(proto)}/{port}"
+            labels[j] = transport_label(key)
         return labels
 
     def transport_keys(self) -> np.ndarray:

@@ -1,0 +1,82 @@
+"""Concurrent analytics query engine and service over flow stores.
+
+The paper's analyses — hourly volume shifts, hypergiant shares,
+port/application mixes, distinct-IP "household" proxies — are all
+filter → group → aggregate queries over months of per-vantage flow
+captures, re-cut repeatedly per lockdown phase.  This package serves
+that access pattern as a subsystem:
+
+* :mod:`repro.query.spec` — :class:`QuerySpec`, the declarative query
+  form with a canonical fingerprint;
+* :mod:`repro.query.engine` — manifest-driven partition pruning,
+  predicate pushdown, parallel per-partition scans, and exact/HLL
+  partial-aggregate merging;
+* :mod:`repro.query.service` — :class:`QueryService`, the bounded
+  concurrent front end with per-query deadlines, cancellation, an LRU
+  result cache, and ``query.*`` telemetry.
+
+Quickstart::
+
+    from repro.query import QueryService, QuerySpec
+
+    service = QueryService({"isp-ce": "/data/isp-ce-store"}, workers=4)
+    spec = QuerySpec.build(
+        "isp-ce", "2020-02-19", "2020-03-24",
+        where={"proto": 17}, group_by=["transport"],
+        aggregates=["bytes", "connections"],
+    )
+    result = service.run(spec)
+    for row in result.rows:
+        print(row)
+    service.close()
+"""
+
+from repro.query.engine import (
+    PartitionFailure,
+    QueryPlan,
+    QueryResult,
+    execute_plan,
+    execute_query,
+    plan_query,
+    scan_partition,
+)
+from repro.query.errors import (
+    QueryCancelled,
+    QueryError,
+    QueryRejected,
+    QueryTimeout,
+)
+from repro.query.service import (
+    QueryService,
+    QueryTicket,
+    ServiceStats,
+)
+from repro.query.spec import (
+    AGGREGATES,
+    GROUP_KEYS,
+    SKETCH_AGGREGATES,
+    Predicate,
+    QuerySpec,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "GROUP_KEYS",
+    "SKETCH_AGGREGATES",
+    "PartitionFailure",
+    "Predicate",
+    "QueryCancelled",
+    "QueryError",
+    "QueryPlan",
+    "QueryRejected",
+    "QueryResult",
+    "QueryService",
+    "QuerySpec",
+    "QueryTicket",
+    "QueryTimeout",
+    "ServiceStats",
+    "execute_plan",
+    "execute_query",
+    "plan_query",
+    "scan_partition",
+]

@@ -1,0 +1,528 @@
+"""Query planning and execution over partitioned flow stores.
+
+The engine turns one :class:`~repro.query.spec.QuerySpec` into a
+:class:`QueryPlan` — the minimal set of :class:`~repro.flows.store.FlowStore`
+day partitions that can contribute rows — and executes the plan one
+partition at a time, in parallel when given a worker pool.  Each
+partition scan pushes the spec's predicates into a single boolean mask,
+groups the surviving rows through the table's memoized
+:class:`~repro.flows.groupby.GroupIndex` machinery, and produces
+*partial aggregates*: exact int64 sums per group plus one HyperLogLog
+sketch per distinct-count aggregate.  Partials merge associatively
+(integer addition, register-wise sketch union), so the full date range
+is never materialized in memory — the resident set is one partition
+plus the accumulated group dictionary.
+
+Partition failures are data, not crashes: a partition that raises
+:class:`~repro.flows.store.FlowStoreError` (missing file, checksum
+mismatch, unreadable archive) is recorded in
+:attr:`QueryResult.partitions_failed` and the scan continues.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, wait
+from dataclasses import dataclass, field, replace
+from threading import Event
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro import timebase
+from repro.flows.groupby import GroupIndex
+from repro.flows.hll import HyperLogLog
+from repro.flows.store import FlowStore, FlowStoreError
+from repro.flows.table import FlowTable
+from repro.query.errors import QueryCancelled, QueryTimeout
+from repro.query.spec import (
+    EXACT_AGGREGATE_COLUMNS,
+    SKETCH_AGGREGATES,
+    QuerySpec,
+)
+
+#: Group tuple → aggregate name → exact integer value.
+Sums = Dict[Tuple[int, ...], Dict[str, int]]
+
+#: Group tuple → aggregate name → HyperLogLog sketch.
+Sketches = Dict[Tuple[int, ...], Dict[str, HyperLogLog]]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The partitions one query will touch, after manifest pruning.
+
+    ``days`` are the partitions to scan; ``pruned_out_of_range`` counts
+    store partitions outside the query's date range,
+    ``pruned_empty`` partitions inside the range whose manifest reports
+    zero flows, and ``pruned_by_hour`` partitions whose 24-hour window
+    cannot intersect an ``hour`` predicate.  ``missing_days`` are range
+    days with no partition at all (informational — a sparse store is
+    not an error).
+    """
+
+    spec: QuerySpec
+    days: Tuple[_dt.date, ...]
+    missing_days: Tuple[_dt.date, ...]
+    pruned_out_of_range: int
+    pruned_empty: int
+    pruned_by_hour: int
+
+    @property
+    def n_pruned(self) -> int:
+        """Store partitions skipped without being read."""
+        return self.pruned_out_of_range + self.pruned_empty + \
+            self.pruned_by_hour
+
+
+@dataclass
+class PartitionFailure:
+    """One partition the engine could not serve."""
+
+    day: str
+    error: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"day": self.day, "error": self.error}
+
+
+@dataclass
+class QueryResult:
+    """The merged outcome of one executed query.
+
+    ``rows`` is a list of dicts carrying the spec's key columns (the
+    time bucket first, then group keys) and one entry per aggregate,
+    ordered by key.  Distinct-count aggregates are HyperLogLog
+    estimates (rounded to int) with relative standard error
+    ``hll_error``; all other aggregates are exact int64 sums.
+    """
+
+    fingerprint: str
+    vantage: str
+    key_names: Tuple[str, ...]
+    aggregates: Tuple[str, ...]
+    rows: List[Dict[str, object]]
+    partitions_planned: int
+    partitions_scanned: int
+    partitions_pruned: int
+    partitions_failed: List[PartitionFailure] = field(default_factory=list)
+    rows_scanned: int = 0
+    rows_matched: int = 0
+    hll_error: float = 0.0
+    wall_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.partitions_failed)
+
+    def column(self, name: str) -> List[object]:
+        """One key or aggregate column across all rows, in row order."""
+        return [row[name] for row in self.rows]
+
+    def hourly(self, aggregate: str, start: int, stop: int) -> np.ndarray:
+        """A dense per-hour series for a ``bucket="hour"`` query.
+
+        Hours in ``[start, stop)`` with no matching flows are zero.
+        """
+        if not self.key_names or self.key_names[0] != "hour":
+            raise ValueError("hourly() needs a bucket='hour' query result")
+        if len(self.key_names) != 1:
+            raise ValueError("hourly() needs a query with no group keys")
+        out = np.zeros(stop - start, dtype=np.int64)
+        for row in self.rows:
+            hour = int(row["hour"])
+            if start <= hour < stop:
+                out[hour - start] = int(row[aggregate])
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (CLI output, JSONL batch results)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "vantage": self.vantage,
+            "key_names": list(self.key_names),
+            "aggregates": list(self.aggregates),
+            "rows": self.rows,
+            "partitions": {
+                "planned": self.partitions_planned,
+                "scanned": self.partitions_scanned,
+                "pruned": self.partitions_pruned,
+                "failed": [f.to_dict() for f in self.partitions_failed],
+            },
+            "rows_scanned": self.rows_scanned,
+            "rows_matched": self.rows_matched,
+            "hll_error": round(self.hll_error, 6),
+            "wall_s": round(self.wall_s, 6),
+            "from_cache": self.from_cache,
+        }
+
+
+def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
+    """Choose the partitions to scan using only the store manifest.
+
+    Pruning never opens a partition file: the manifest carries the day
+    set and per-day flow counts, and each day's hour window is implied
+    by its date, which is enough to drop out-of-range, empty, and
+    hour-disjoint partitions up front.
+    """
+    hour_windows: List[Tuple[int, int]] = []
+    for predicate in spec.where:
+        if predicate.column != "hour":
+            continue
+        if predicate.op == "range":
+            hour_windows.append((predicate.values[0], predicate.values[1]))
+        else:
+            hour_windows.append(
+                (predicate.values[0], predicate.values[-1])
+            )
+    days: List[_dt.date] = []
+    pruned_out_of_range = 0
+    pruned_empty = 0
+    pruned_by_hour = 0
+    present = set()
+    for day in store.days():
+        present.add(day)
+        if not spec.start <= day <= spec.end:
+            pruned_out_of_range += 1
+            continue
+        if store.day_flows(day) == 0:
+            pruned_empty += 1
+            continue
+        day_start = timebase.hour_index(day, 0)
+        day_stop = day_start + 24
+        if any(hi < day_start or lo >= day_stop for lo, hi in hour_windows):
+            pruned_by_hour += 1
+            continue
+        days.append(day)
+    missing = tuple(
+        day
+        for day in timebase.iter_days(spec.start, spec.end)
+        if day not in present
+    )
+    return QueryPlan(
+        spec=spec,
+        days=tuple(days),
+        missing_days=missing,
+        pruned_out_of_range=pruned_out_of_range,
+        pruned_empty=pruned_empty,
+        pruned_by_hour=pruned_by_hour,
+    )
+
+
+# -- partition scans ---------------------------------------------------------
+
+
+def _predicate_mask(table: FlowTable, spec: QuerySpec) -> np.ndarray:
+    """One boolean row mask combining every pushed-down predicate."""
+    mask = np.ones(len(table), dtype=bool)
+    for predicate in spec.where:
+        keys = table.key_array(predicate.column)
+        if predicate.op == "range":
+            lo, hi = predicate.values
+            mask &= (keys >= lo) & (keys <= hi)
+        elif len(predicate.values) == 1:
+            mask &= keys == predicate.values[0]
+        else:
+            mask &= np.isin(keys, np.asarray(predicate.values))
+        if not mask.any():
+            break
+    return mask
+
+
+def _group_layout(
+    table: FlowTable, keys: Sequence[str]
+) -> Tuple[GroupIndex, List[np.ndarray]]:
+    """A combined :class:`GroupIndex` over ``keys`` plus decoded values.
+
+    Mixed-radix composition of the per-key code arrays (never tuple
+    keys); the returned list holds, per key, the actual key value of
+    each combined group.
+    """
+    indexes = [table.group_index(key) for key in keys]
+    combined = indexes[0].codes
+    radices: List[int] = []
+    for index in indexes[1:]:
+        radix = max(index.n_groups, 1)
+        combined = combined * radix + index.codes
+        radices.append(radix)
+    layout = GroupIndex.from_values(combined)
+    codes = layout.values.copy()
+    decoded_rev: List[np.ndarray] = []
+    for index, radix in zip(reversed(indexes[1:]), reversed(radices)):
+        decoded_rev.append(index.values[(codes % radix).astype(np.intp)])
+        codes //= radix
+    decoded_rev.append(indexes[0].values[codes.astype(np.intp)])
+    return layout, list(reversed(decoded_rev))
+
+
+def scan_partition(
+    store: FlowStore, day: _dt.date, spec: QuerySpec
+) -> Tuple[Sums, Sketches, int, int]:
+    """Scan one partition into partial aggregates.
+
+    Returns ``(sums, sketches, rows_scanned, rows_matched)``.  Group
+    tuples carry the bucket value first (absolute hour index, or the
+    day's ordinal for day bucketing), then the group-by key values.
+    """
+    table = store.read_day(day)
+    rows_scanned = len(table)
+    mask = _predicate_mask(table, spec) if spec.where else None
+    if mask is not None:
+        table = table.filter(mask)
+    rows_matched = len(table)
+    sums: Sums = {}
+    sketches: Sketches = {}
+    if rows_matched == 0:
+        return sums, sketches, rows_scanned, rows_matched
+    day_ordinal = day.toordinal()
+    keys: List[str] = []
+    if spec.bucket == "hour":
+        keys.append("hour")
+    keys.extend(spec.group_by)
+    if keys:
+        layout, decoded = _group_layout(table, keys)
+    else:
+        # One group covering the whole partition.
+        layout = GroupIndex.from_values(
+            np.zeros(rows_matched, dtype=np.int64)
+        )
+        decoded = []
+    exact_sums: Dict[str, np.ndarray] = {}
+    for aggregate in spec.aggregates:
+        if aggregate == "flows":
+            exact_sums[aggregate] = layout.counts()
+        elif aggregate in EXACT_AGGREGATE_COLUMNS:
+            exact_sums[aggregate] = layout.sum(
+                table.column(EXACT_AGGREGATE_COLUMNS[aggregate])
+            )
+    sketch_columns = {
+        aggregate: table.column(
+            "src_ip" if aggregate == "distinct_src_ips" else "dst_ip"
+        )
+        for aggregate in spec.aggregates
+        if aggregate in SKETCH_AGGREGATES
+    }
+    segment_ends = np.append(layout.starts[1:], layout.n_rows)
+    for g in range(layout.n_groups):
+        group: Tuple[int, ...] = tuple(
+            int(values[g]) for values in decoded
+        )
+        if spec.bucket == "day":
+            group = (day_ordinal,) + group
+        sums[group] = {
+            aggregate: int(values[g])
+            for aggregate, values in exact_sums.items()
+        }
+        if sketch_columns:
+            segment = layout.order[layout.starts[g]:segment_ends[g]]
+            group_sketches: Dict[str, HyperLogLog] = {}
+            for aggregate, column in sketch_columns.items():
+                sketch = HyperLogLog(p=spec.hll_p)
+                sketch.add_many(column[segment])
+                group_sketches[aggregate] = sketch
+            sketches[group] = group_sketches
+    return sums, sketches, rows_scanned, rows_matched
+
+
+def _merge_partial(
+    total_sums: Sums,
+    total_sketches: Sketches,
+    sums: Sums,
+    sketches: Sketches,
+) -> None:
+    """Fold one partition's partials into the accumulators (in place)."""
+    for group, values in sums.items():
+        accumulator = total_sums.setdefault(group, {})
+        for aggregate, value in values.items():
+            accumulator[aggregate] = accumulator.get(aggregate, 0) + value
+    for group, group_sketches in sketches.items():
+        accumulator_sketches = total_sketches.setdefault(group, {})
+        for aggregate, sketch in group_sketches.items():
+            existing = accumulator_sketches.get(aggregate)
+            if existing is None:
+                accumulator_sketches[aggregate] = sketch
+            else:
+                existing.union_update(sketch)
+
+
+def _finalize(
+    spec: QuerySpec,
+    plan: QueryPlan,
+    total_sums: Sums,
+    total_sketches: Sketches,
+    failures: List[PartitionFailure],
+    scanned: int,
+    rows_scanned: int,
+    rows_matched: int,
+    t0: float,
+) -> QueryResult:
+    """Assemble sorted result rows from the merged accumulators."""
+    key_names = spec.key_names
+    rows: List[Dict[str, object]] = []
+    for group in sorted(set(total_sums) | set(total_sketches)):
+        row: Dict[str, object] = {}
+        for name, value in zip(key_names, group):
+            if name == "day":
+                row[name] = _dt.date.fromordinal(value).isoformat()
+            else:
+                row[name] = value
+        values = total_sums.get(group, {})
+        group_sketches = total_sketches.get(group, {})
+        for aggregate in spec.aggregates:
+            if aggregate in SKETCH_AGGREGATES:
+                sketch = group_sketches.get(aggregate)
+                row[aggregate] = (
+                    int(round(sketch.count())) if sketch is not None else 0
+                )
+            else:
+                row[aggregate] = values.get(aggregate, 0)
+        rows.append(row)
+    uses_sketches = any(a in SKETCH_AGGREGATES for a in spec.aggregates)
+    return QueryResult(
+        fingerprint=spec.fingerprint(),
+        vantage=spec.vantage,
+        key_names=key_names,
+        aggregates=spec.aggregates,
+        rows=rows,
+        partitions_planned=len(plan.days),
+        partitions_scanned=scanned,
+        partitions_pruned=plan.n_pruned,
+        partitions_failed=failures,
+        rows_scanned=rows_scanned,
+        rows_matched=rows_matched,
+        hll_error=(
+            HyperLogLog(p=spec.hll_p).relative_error()
+            if uses_sketches else 0.0
+        ),
+        wall_s=time.perf_counter() - t0,
+    )
+
+
+def execute_plan(
+    store: FlowStore,
+    plan: QueryPlan,
+    pool: Optional[Executor] = None,
+    deadline: Optional[float] = None,
+    cancel: Optional[Event] = None,
+) -> QueryResult:
+    """Run a plan, merging per-partition partials as they complete.
+
+    ``pool`` scans partitions concurrently (each worker handles whole
+    partitions, so partials stay thread-local until the single-threaded
+    merge).  ``deadline`` is a ``time.monotonic()`` timestamp enforced
+    between partitions — on expiry pending scans are cancelled and
+    :class:`QueryTimeout` is raised.  ``cancel`` aborts the same way
+    with :class:`QueryCancelled`.
+    """
+    spec = plan.spec
+    t0 = time.perf_counter()
+    registry = obs.get_registry()
+    total_sums: Sums = {}
+    total_sketches: Sketches = {}
+    failures: List[PartitionFailure] = []
+    scanned = 0
+    rows_scanned = 0
+    rows_matched = 0
+
+    def _check_interrupts() -> None:
+        if cancel is not None and cancel.is_set():
+            raise QueryCancelled(f"query {spec.describe()} cancelled")
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueryTimeout(
+                f"query {spec.describe()} exceeded its deadline after "
+                f"{scanned}/{len(plan.days)} partitions"
+            )
+
+    def _absorb(day: _dt.date, outcome, error: Optional[str]) -> None:
+        nonlocal scanned, rows_scanned, rows_matched
+        if error is not None:
+            failures.append(PartitionFailure(day.isoformat(), error))
+            registry.counter("query.partitions-failed").inc()
+            return
+        sums, sketches, n_scanned, n_matched = outcome
+        _merge_partial(total_sums, total_sketches, sums, sketches)
+        scanned += 1
+        rows_scanned += n_scanned
+        rows_matched += n_matched
+        registry.counter("query.partitions-scanned").inc()
+
+    with obs.span(f"query/{spec.describe()}") as span:
+        if pool is None or len(plan.days) <= 1:
+            for day in plan.days:
+                _check_interrupts()
+                try:
+                    outcome = scan_partition(store, day, spec)
+                except FlowStoreError as exc:
+                    _absorb(day, None, str(exc))
+                else:
+                    _absorb(day, outcome, None)
+        else:
+            futures = {
+                pool.submit(scan_partition, store, day, spec): day
+                for day in plan.days
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = max(0.0, deadline - time.monotonic())
+                    done, pending = wait(
+                        pending, timeout=remaining,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        raise QueryTimeout(
+                            f"query {spec.describe()} exceeded its "
+                            f"deadline after {scanned}/{len(plan.days)} "
+                            f"partitions"
+                        )
+                    for future in done:
+                        day = futures[future]
+                        try:
+                            outcome = future.result()
+                        except FlowStoreError as exc:
+                            _absorb(day, None, str(exc))
+                        else:
+                            _absorb(day, outcome, None)
+                    if cancel is not None and cancel.is_set():
+                        raise QueryCancelled(
+                            f"query {spec.describe()} cancelled"
+                        )
+            finally:
+                for future in pending:
+                    future.cancel()
+        registry.counter("query.rows-scanned").inc(rows_scanned)
+        registry.counter("query.rows-matched").inc(rows_matched)
+        registry.counter("query.partitions-pruned").inc(plan.n_pruned)
+        result = _finalize(
+            spec, plan, total_sums, total_sketches, failures,
+            scanned, rows_scanned, rows_matched, t0,
+        )
+        span.set_metric("partitions", scanned)
+        span.set_metric("failed", len(failures))
+        span.set_metric("rows", rows_matched)
+        span.set_metric("groups", len(result.rows))
+    return result
+
+
+def execute_query(
+    store: FlowStore,
+    spec: QuerySpec,
+    pool: Optional[Executor] = None,
+    deadline: Optional[float] = None,
+    cancel: Optional[Event] = None,
+) -> QueryResult:
+    """Plan and execute ``spec`` against ``store`` in one call."""
+    return execute_plan(
+        store, plan_query(store, spec), pool=pool, deadline=deadline,
+        cancel=cancel,
+    )
+
+
+def cached_copy(result: QueryResult) -> QueryResult:
+    """A cache-hit view of ``result`` (shared rows, flagged)."""
+    return replace(result, from_cache=True)

@@ -1,0 +1,30 @@
+"""Typed failures of the query subsystem.
+
+Everything the engine or service can raise deliberately derives from
+:class:`QueryError`, so callers (the CLI, the JSONL batch runner, the
+experiments) can distinguish "this query was bad / shed / late" from a
+genuine bug and report it as a per-query outcome instead of crashing
+the batch.
+"""
+
+from __future__ import annotations
+
+
+class QueryError(Exception):
+    """Base class: an invalid, rejected, or failed query."""
+
+
+class QueryRejected(QueryError):
+    """Admission control shed this query: the queue was full.
+
+    Raised synchronously by :meth:`QueryService.submit` — a saturated
+    service pushes back immediately instead of buffering without bound.
+    """
+
+
+class QueryTimeout(QueryError):
+    """The query's deadline passed before it finished (or started)."""
+
+
+class QueryCancelled(QueryError):
+    """The caller cancelled the query while it was running."""

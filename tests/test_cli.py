@@ -77,6 +77,162 @@ class TestGenerate:
         assert len(read_npz(out_path)) > 0
 
 
+class TestQueryServe:
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-query") / "ixp-se"
+        code = cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-02-19", "--end", "2020-02-22",
+                "--fidelity", "0.2", "--store", str(root),
+            ]
+        )
+        assert code == 0
+        return root
+
+    def test_generate_store_writes_partitions(self, store_dir):
+        from repro.flows.store import FlowStore
+
+        store = FlowStore(store_dir)
+        assert len(store) == 4
+        assert store.total_flows() > 0
+
+    def test_generate_needs_one_destination(self, tmp_path, capsys):
+        code = cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-02-19", "--end", "2020-02-19",
+                "-o", str(tmp_path / "t.csv"), "--store", str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_query_prints_table(self, store_dir, capsys):
+        code = cli.main(
+            [
+                "query", "--store", str(store_dir),
+                "--start", "2020-02-19", "--end", "2020-02-22",
+                "--group-by", "transport", "--agg", "bytes,flows",
+                "--where", "proto=6,17",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transport" in out
+        assert "4 partition(s) scanned" in out
+
+    def test_query_json_output(self, store_dir, capsys):
+        code = cli.main(
+            [
+                "query", "--store", str(store_dir),
+                "--start", "2020-02-20", "--end", "2020-02-20",
+                "--agg", "bytes,distinct_dst_ips", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vantage"] == "ixp-se"
+        assert payload["partitions"]["scanned"] == 1
+        assert payload["partitions"]["pruned"] == 3
+        assert payload["rows"][0]["bytes"] > 0
+        assert payload["hll_error"] > 0
+
+    def test_query_rejects_bad_where(self, store_dir, capsys):
+        code = cli.main(
+            [
+                "query", "--store", str(store_dir),
+                "--start", "2020-02-19", "--end", "2020-02-22",
+                "--where", "proto",
+            ]
+        )
+        assert code == 2
+        assert "invalid query" in capsys.readouterr().err
+
+    def test_serve_batch(self, store_dir, tmp_path, capsys):
+        batch = tmp_path / "batch.jsonl"
+        lines = [
+            json.dumps(
+                {
+                    "id": f"q{i}",
+                    "vantage": "ixp-se",
+                    "start": "2020-02-19",
+                    "end": "2020-02-22",
+                    "group_by": ["transport"],
+                    "aggregates": ["bytes"],
+                    "where": {"proto": proto},
+                }
+            )
+            for i, proto in enumerate([6, 17, 6, 17])
+        ]
+        batch.write_text("\n".join(lines) + "\n")
+        out_path = tmp_path / "results.jsonl"
+        telemetry = tmp_path / "telemetry.json"
+        code = cli.main(
+            [
+                "serve", str(batch), "--store", str(store_dir),
+                "--workers", "2", "-o", str(out_path),
+                "--telemetry", str(telemetry),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4/4 queries" in out
+        assert "failed partitions: 0" in out
+        results = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        assert [r["id"] for r in results] == ["q0", "q1", "q2", "q3"]
+        assert all(r["status"] == "ok" for r in results)
+        assert results[0]["result"]["rows"] == results[2]["result"]["rows"]
+        manifest = json.loads(telemetry.read_text())
+        assert manifest["executor"]["name"] == "query-service"
+        assert manifest["metrics"]["counters"]["query.served"] == 4
+
+    def test_serve_reports_bad_lines(self, store_dir, tmp_path, capsys):
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text(
+            "not json\n"
+            + json.dumps(
+                {
+                    "vantage": "nowhere",
+                    "start": "2020-02-19",
+                    "end": "2020-02-22",
+                }
+            )
+            + "\n"
+            + json.dumps(
+                {
+                    "vantage": "ixp-se",
+                    "start": "2020-02-19",
+                    "end": "2020-02-22",
+                }
+            )
+            + "\n"
+        )
+        out_path = tmp_path / "results.jsonl"
+        code = cli.main(
+            [
+                "serve", str(batch), "--store", str(store_dir),
+                "-o", str(out_path),
+            ]
+        )
+        assert code == 1
+        statuses = [
+            json.loads(line)["status"]
+            for line in out_path.read_text().splitlines()
+        ]
+        assert statuses == ["error", "error", "ok"]
+
+    def test_serve_rejects_missing_batch(self, store_dir, capsys):
+        code = cli.main(
+            ["serve", "/nonexistent/batch.jsonl", "--store", str(store_dir)]
+        )
+        assert code == 2
+
+
 class TestReport:
     def test_report_to_file(self, tmp_path, capsys):
         # Restrict cost: report runs everything, so use the fast path.

@@ -7,7 +7,7 @@ import pytest
 
 from repro import timebase
 from repro.core.streaming import StreamingAggregator
-from repro.flows.store import FlowStore
+from repro.flows.store import FlowStore, FlowStoreError
 from repro.flows.table import FlowTable
 
 
@@ -124,6 +124,109 @@ class TestManifest:
             three_day_flows, dt.date(2020, 2, 19), dt.date(2020, 2, 21)
         )
         assert store.total_flows() == len(three_day_flows)
+
+
+class TestRangeEdgeCases:
+    def test_same_day_start_and_stop(self, store, three_day_flows):
+        day = dt.date(2020, 2, 19)
+        store.write_range(three_day_flows, dt.date(2020, 2, 19),
+                          dt.date(2020, 2, 21))
+        loaded = store.read_range(day, day)
+        start = timebase.hour_index(day, 0)
+        assert loaded == three_day_flows.between_hours(start, start + 24)
+
+    def test_range_with_no_partitions_is_empty(self, store):
+        loaded = store.read_range(
+            dt.date(2020, 1, 1), dt.date(2020, 1, 7)
+        )
+        assert len(loaded) == 0
+
+    def test_missing_interior_day_skipped(self, store, three_day_flows):
+        store.write_range(three_day_flows, dt.date(2020, 2, 19),
+                          dt.date(2020, 2, 21))
+        store.delete_day(dt.date(2020, 2, 20))
+        loaded = store.read_range(
+            dt.date(2020, 2, 19), dt.date(2020, 2, 21)
+        )
+        middle = timebase.hour_index(dt.date(2020, 2, 20), 0)
+        hours = loaded.column("hour")
+        assert len(loaded) > 0
+        assert not ((hours >= middle) & (hours < middle + 24)).any()
+
+    def test_rewrite_is_atomic_replacement(self, store, three_day_flows):
+        # A re-written day must never leave a stale temp file behind or
+        # a partition/manifest mismatch: the partition is fully replaced
+        # and immediately readable with a fresh checksum.
+        day = dt.date(2020, 2, 19)
+        start = timebase.hour_index(day, 0)
+        day_flows = three_day_flows.between_hours(start, start + 24)
+        store.write_day(day, day_flows)
+        before = store.state_token()
+        store.write_day(day, day_flows.head(7))
+        assert store.read_day(day) == day_flows.head(7)
+        assert store.state_token() != before
+        assert list(store.root.glob("*.tmp.npz")) == []
+
+    def test_day_flows_tracks_manifest(self, store, three_day_flows):
+        day = dt.date(2020, 2, 19)
+        start = timebase.hour_index(day, 0)
+        store.write_day(day, three_day_flows.between_hours(
+            start, start + 24
+        ))
+        assert store.day_flows(day) == len(store.read_day(day))
+        with pytest.raises(KeyError):
+            store.day_flows(dt.date(2020, 1, 1))
+
+
+class TestIntegrity:
+    @pytest.fixture
+    def populated(self, store, three_day_flows):
+        store.write_range(three_day_flows, dt.date(2020, 2, 19),
+                          dt.date(2020, 2, 21))
+        return store
+
+    def test_manifest_records_checksums(self, populated):
+        for entry in populated._manifest.values():
+            assert len(entry["sha256"]) == 64
+
+    def test_corrupt_partition_raises_flow_store_error(self, populated):
+        victim = populated.root / "2020-02-20.npz"
+        payload = bytearray(victim.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        victim.write_bytes(bytes(payload))
+        with pytest.raises(FlowStoreError, match="corrupt"):
+            populated.read_day(dt.date(2020, 2, 20))
+
+    def test_truncated_partition_raises_flow_store_error(self, populated):
+        victim = populated.root / "2020-02-20.npz"
+        victim.write_bytes(victim.read_bytes()[:100])
+        with pytest.raises(FlowStoreError, match="corrupt"):
+            populated.read_day(dt.date(2020, 2, 20))
+
+    def test_missing_partition_file_raises(self, populated):
+        (populated.root / "2020-02-20.npz").unlink()
+        with pytest.raises(FlowStoreError, match="missing"):
+            populated.read_day(dt.date(2020, 2, 20))
+
+    def test_unverifiable_archive_without_checksum_raises(
+        self, populated
+    ):
+        # Legacy manifests have no checksum; a broken archive must
+        # still surface as FlowStoreError (from the parse), not as a
+        # zipfile internal error.
+        del populated._manifest["2020-02-20"]["sha256"]
+        (populated.root / "2020-02-20.npz").write_bytes(b"not a zip")
+        with pytest.raises(FlowStoreError, match="cannot be read"):
+            populated.read_day(dt.date(2020, 2, 20))
+
+    def test_state_token_stable_across_reopen(self, populated):
+        reopened = FlowStore(populated.root)
+        assert reopened.state_token() == populated.state_token()
+
+    def test_state_token_changes_on_delete(self, populated):
+        before = populated.state_token()
+        populated.delete_day(dt.date(2020, 2, 20))
+        assert populated.state_token() != before
 
 
 class TestStreamingIntegration:

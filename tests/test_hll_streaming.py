@@ -50,6 +50,41 @@ class TestHyperLogLog:
         with pytest.raises(ValueError):
             HyperLogLog(salt=1).merge(HyperLogLog(salt=2))
 
+    def test_precision_mismatch_message_is_explicit(self):
+        with pytest.raises(ValueError, match="precisions.*p=10 vs p=12"):
+            HyperLogLog(p=10).merge(HyperLogLog(p=12))
+        with pytest.raises(ValueError, match="salt"):
+            HyperLogLog(salt=1).union_update(HyperLogLog(salt=2))
+
+    def test_union_update_matches_merge(self):
+        a, b = HyperLogLog(salt=7), HyperLogLog(salt=7)
+        a.add_many(np.arange(0, 30_000, dtype=np.uint64))
+        b.add_many(np.arange(20_000, 60_000, dtype=np.uint64))
+        merged = a.merge(b)
+        a.union_update(b)
+        assert a.count() == merged.count()
+
+    def test_union_update_requires_same_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            HyperLogLog(p=10).union_update(HyperLogLog(p=12))
+
+    def test_chunked_stream_merge_equals_one_shot(self):
+        # The query engine's access pattern: each partition sketches its
+        # own chunk, and partials are union-merged.  The result must be
+        # register-identical to sketching the whole stream at once.
+        rng = np.random.default_rng(42)
+        stream = rng.integers(0, 2**32, size=120_000, dtype=np.uint64)
+        one_shot = HyperLogLog(p=12)
+        one_shot.add_many(stream)
+        merged = HyperLogLog(p=12)
+        for chunk in np.array_split(stream, 17):
+            partial = HyperLogLog(p=12)
+            partial.add_many(chunk)
+            merged.union_update(partial)
+        assert merged.count() == one_shot.count()
+        true_count = len(np.unique(stream))
+        assert merged.count() == pytest.approx(true_count, rel=0.05)
+
     def test_precision_bounds(self):
         with pytest.raises(ValueError):
             HyperLogLog(p=3)

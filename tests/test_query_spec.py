@@ -1,0 +1,205 @@
+"""Unit tests for the declarative query specification."""
+
+import datetime as dt
+
+import pytest
+
+from repro.query import Predicate, QueryError, QuerySpec
+
+
+class TestBuild:
+    def test_minimal(self):
+        spec = QuerySpec.build("isp-ce", "2020-02-19", "2020-02-25")
+        assert spec.vantage == "isp-ce"
+        assert spec.start == dt.date(2020, 2, 19)
+        assert spec.end == dt.date(2020, 2, 25)
+        assert spec.aggregates == ("bytes",)
+        assert spec.where == ()
+        assert spec.bucket is None
+
+    def test_accepts_date_objects(self):
+        spec = QuerySpec.build(
+            "isp-ce", dt.date(2020, 2, 19), dt.date(2020, 2, 25)
+        )
+        assert spec.start == dt.date(2020, 2, 19)
+
+    def test_scalar_condition_is_equality(self):
+        spec = QuerySpec.build(
+            "isp-ce", "2020-02-19", "2020-02-25", where={"proto": 17}
+        )
+        assert spec.where == (Predicate("proto", "in", (17,)),)
+
+    def test_sequence_condition_is_membership(self):
+        spec = QuerySpec.build(
+            "isp-ce", "2020-02-19", "2020-02-25",
+            where={"service_port": [443, 80, 443]},
+        )
+        assert spec.where == (
+            Predicate("service_port", "in", (80, 443)),
+        )
+
+    def test_min_max_condition_is_range(self):
+        spec = QuerySpec.build(
+            "isp-ce", "2020-02-19", "2020-02-25",
+            where={"hour": {"min": 100, "max": 200}},
+        )
+        assert spec.where == (Predicate("hour", "range", (100, 200)),)
+
+    def test_key_names_put_bucket_first(self):
+        spec = QuerySpec.build(
+            "isp-ce", "2020-02-19", "2020-02-25",
+            group_by=["transport"], bucket="hour",
+        )
+        assert spec.key_names == ("hour", "transport")
+
+
+class TestValidation:
+    def test_bad_date(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build("isp-ce", "not-a-date", "2020-02-25")
+
+    def test_backwards_range(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build("isp-ce", "2020-02-25", "2020-02-19")
+
+    def test_unknown_group_key(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25", group_by=["nope"]
+            )
+
+    def test_too_many_group_keys(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25",
+                group_by=["proto", "src_asn", "dst_asn", "service_port"],
+            )
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25", aggregates=["mean"]
+            )
+
+    def test_no_aggregates(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25", aggregates=[]
+            )
+
+    def test_unknown_bucket(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25", bucket="week"
+            )
+
+    def test_hll_precision_bounds(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build("isp-ce", "2020-02-19", "2020-02-25", hll_p=3)
+
+    def test_unknown_predicate_column(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25", where={"nope": 1}
+            )
+
+    def test_empty_range_predicate(self):
+        with pytest.raises(QueryError):
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25",
+                where={"hour": {"min": 10, "max": 5}},
+            )
+
+    def test_hand_built_unsorted_in_predicate_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate("proto", "in", (17, 6))
+
+
+class TestFingerprint:
+    def test_equal_specs_share_fingerprints(self):
+        a = QuerySpec.build(
+            "isp-ce", "2020-02-19", dt.date(2020, 2, 25),
+            where={"proto": [17, 6], "service_port": 443},
+        )
+        b = QuerySpec.build(
+            "isp-ce", dt.date(2020, 2, 19), "2020-02-25",
+            where={"service_port": [443], "proto": {6, 17}},
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_specs_differ(self):
+        base = QuerySpec.build("isp-ce", "2020-02-19", "2020-02-25")
+        for other in (
+            QuerySpec.build("ixp-ce", "2020-02-19", "2020-02-25"),
+            QuerySpec.build("isp-ce", "2020-02-19", "2020-02-26"),
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25", bucket="hour"
+            ),
+            QuerySpec.build(
+                "isp-ce", "2020-02-19", "2020-02-25", where={"proto": 6}
+            ),
+        ):
+            assert base.fingerprint() != other.fingerprint()
+
+    def test_describe_is_compact(self):
+        spec = QuerySpec.build(
+            "isp-ce", "2020-02-19", "2020-02-25",
+            group_by=["transport"], bucket="hour",
+            aggregates=["bytes", "flows"],
+        )
+        text = spec.describe()
+        assert "isp-ce" in text
+        assert "per-hour" in text
+        assert "transport" in text
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        spec = QuerySpec.build(
+            "isp-ce", "2020-02-19", "2020-02-25",
+            where={"proto": 17, "hour": {"min": 100, "max": 150}},
+            group_by=["service_port"], aggregates=["bytes", "flows"],
+            bucket="day",
+        )
+        assert QuerySpec.from_dict(spec.to_dict()) == spec
+
+    def test_mapping_where_accepted(self):
+        spec = QuerySpec.from_dict(
+            {
+                "vantage": "isp-ce",
+                "start": "2020-02-19",
+                "end": "2020-02-25",
+                "where": {"proto": [6, 17]},
+            }
+        )
+        assert spec.where == (Predicate("proto", "in", (6, 17)),)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(QueryError):
+            QuerySpec.from_dict(
+                {
+                    "vantage": "isp-ce",
+                    "start": "2020-02-19",
+                    "end": "2020-02-25",
+                    "filter": {"proto": 6},
+                }
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(QueryError):
+            QuerySpec.from_dict({"vantage": "isp-ce"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(QueryError):
+            QuerySpec.from_dict(["isp-ce"])
+
+    def test_bad_predicate_entry_rejected(self):
+        with pytest.raises(QueryError):
+            QuerySpec.from_dict(
+                {
+                    "vantage": "isp-ce",
+                    "start": "2020-02-19",
+                    "end": "2020-02-25",
+                    "where": ["proto=6"],
+                }
+            )
