@@ -12,14 +12,26 @@ three ways —
 * ``warm`` — the same batch replayed on the warm service (every query
   served from the LRU result cache),
 
-and appends one entry to ``BENCH_results.json`` in the repo's
+then times a **projection sweep**: one narrow query shape (``proto``
+grouping over ``n_bytes`` — 10 of a row's 66 bytes) replayed directly
+through the engine against the same flows stored as v1 ``.npz``
+archives (``narrow-v1``) and as a migrated v2 columnar store
+(``narrow-v2``, mmap + column projection), with the migration itself
+timed as ``migrate-v2``.  Both narrow sweeps are warm (a cold pass
+primes the page cache first), so the ratio isolates partition I/O:
+decompress-everything versus map-two-columns.
+
+The script appends one entry to ``BENCH_results.json`` in the repo's
 ``{"runs": [...]}`` history format.  The script exits non-zero — and
 records ``exit_status`` — if the one-worker and four-worker sweeps
-disagree on any result row, if any partition fails, or if the warm
-replay misses the cache, so a concurrency-induced wrong answer cannot
-be recorded as a "fast" result.  ``--fail-on-regression`` additionally
-compares the warm-cache sweep against the latest recorded baseline at
-the same fidelity and fails on a slowdown beyond the threshold.
+disagree on any result row, if any partition fails, if the warm
+replay misses the cache, or if the v1 and v2 narrow sweeps disagree
+on rows or the v2 sweep reads more than its referenced columns, so a
+concurrency- or format-induced wrong answer cannot be recorded as a
+"fast" result.  ``--fail-on-regression`` additionally compares the
+warm-cache and narrow-v2 sweeps against the latest recorded baselines
+at the same fidelity, and requires the v2 narrow sweep to run at
+least twice as fast as the v1 one.
 
 Usage::
 
@@ -45,8 +57,16 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro.flows.store import FlowStore  # noqa: E402
-from repro.query import QueryService, QuerySpec  # noqa: E402
+from repro.flows.store import (  # noqa: E402
+    FORMAT_V1,
+    FORMAT_V2,
+    FlowStore,
+)
+from repro.query import (  # noqa: E402
+    QueryService,
+    QuerySpec,
+    execute_query,
+)
 from repro.synth.scenario import build_scenario  # noqa: E402
 
 #: wall_s key prefix, matching the pytest-style keys already in the file.
@@ -88,6 +108,37 @@ def _batch(n_repeats: int) -> List[QuerySpec]:
         if day > END:
             day = START + _dt.timedelta(days=1)
     return specs
+
+
+#: The narrow shape: 2 of 11 columns, so a projected v2 scan maps
+#: ~10 of each row's 66 bytes.  Results report loaded columns in
+#: sorted order.
+NARROW_COLUMNS = ("n_bytes", "proto")
+
+
+def _narrow_batch(n_repeats: int) -> List[QuerySpec]:
+    """Per-week per-protocol byte totals — the projection-friendly shape."""
+    specs: List[QuerySpec] = []
+    day = START
+    for _ in range(4 * n_repeats):
+        week_end = min(day + _dt.timedelta(days=6), END)
+        specs.append(
+            QuerySpec.build(
+                VANTAGE, day, week_end,
+                group_by=["proto"], aggregates=["bytes"],
+            )
+        )
+        day += _dt.timedelta(days=7)
+        if day > END:
+            day = START + _dt.timedelta(days=1)
+    return specs
+
+
+def _direct_sweep(store: FlowStore, specs: List[QuerySpec]):
+    """Run a batch straight through the engine — no service, no LRU."""
+    t0 = time.perf_counter()
+    results = [execute_query(store, spec) for spec in specs]
+    return results, time.perf_counter() - t0
 
 
 def _run_batch(service: QueryService, specs: List[QuerySpec]):
@@ -188,6 +239,59 @@ def main(argv=None) -> int:
                 f"{misses_expected} distinct executions"
             )
 
+        # Projection sweep: same flows, same narrow batch, v1 archives
+        # vs. the migrated v2 columnar store.  Cold passes prime the
+        # page cache so the timed passes compare steady-state I/O.
+        narrow = _narrow_batch(n_repeats)
+        format_store = FlowStore(Path(tmp) / f"{VANTAGE}-fmt")
+        format_store.write_range(
+            flows, START, END, partition_format=FORMAT_V1
+        )
+        _direct_sweep(format_store, narrow)
+        v1_results, walls[f"{KEY}[narrow-v1]"] = _direct_sweep(
+            format_store, narrow
+        )
+        t0 = time.perf_counter()
+        format_store.migrate(FORMAT_V2)
+        walls[f"{KEY}[migrate-v2]"] = time.perf_counter() - t0
+        _direct_sweep(format_store, narrow)
+        v2_results, walls[f"{KEY}[narrow-v2]"] = _direct_sweep(
+            format_store, narrow
+        )
+
+        if _rows(v1_results) != _rows(v2_results):
+            problems.append("narrow-v2 rows differ from narrow-v1")
+        overdrawn = {
+            r.columns_loaded
+            for r in v2_results
+            if r.columns_loaded != NARROW_COLUMNS
+        }
+        if overdrawn:
+            problems.append(
+                f"v2 narrow sweep loaded {sorted(overdrawn)} instead of "
+                f"only the referenced columns {NARROW_COLUMNS}"
+            )
+        v1_bytes = sum(r.bytes_read for r in v1_results)
+        v2_bytes = sum(r.bytes_read for r in v2_results)
+        if not 0 < v2_bytes < v1_bytes:
+            problems.append(
+                f"v2 narrow sweep read {v2_bytes} bytes vs. v1's "
+                f"{v1_bytes}; projection is not reducing I/O"
+            )
+        speedup = (
+            walls[f"{KEY}[narrow-v1]"] / walls[f"{KEY}[narrow-v2]"]
+        )
+        print(
+            f"projection: {len(narrow)} narrow queries read "
+            f"{v2_bytes:,} bytes on v2 vs. {v1_bytes:,} on v1 and run "
+            f"{speedup:.2f}x the v1 sweep"
+        )
+        if args.fail_on_regression and speedup < 2.0:
+            problems.append(
+                f"v2 narrow sweep only {speedup:.2f}x faster than v1 "
+                f"(the columnar format should clear 2x)"
+            )
+
     for key, wall in walls.items():
         print(f"{key:55s} {wall:8.3f} s")
     w1 = walls[f"{KEY}[cold-w1]"]
@@ -206,20 +310,21 @@ def main(argv=None) -> int:
         payload = {"runs": []}
 
     if args.fail_on_regression:
-        warm_key = f"{KEY}[warm]"
-        recorded = _latest_baseline(payload, warm_key, args.fast)
-        if recorded is None:
-            print("no recorded warm-cache baseline at this fidelity; "
-                  "skipping regression gate")
-        else:
+        for gated in (f"{KEY}[warm]", f"{KEY}[narrow-v2]"):
+            recorded = _latest_baseline(payload, gated, args.fast)
+            if recorded is None:
+                print(f"no recorded {gated} baseline at this fidelity; "
+                      f"skipping its regression gate")
+                continue
+            measured = walls[gated]
             limit = recorded * (1.0 + args.regression_threshold)
             print(
-                f"regression gate: warm {warm_wall:.3f} s vs. recorded "
-                f"{recorded:.3f} s (limit {limit:.3f} s)"
+                f"regression gate: {gated} {measured:.3f} s vs. "
+                f"recorded {recorded:.3f} s (limit {limit:.3f} s)"
             )
-            if warm_wall > limit:
+            if measured > limit:
                 problems.append(
-                    f"warm-cache sweep {warm_wall:.3f} s exceeds recorded "
+                    f"{gated} sweep {measured:.3f} s exceeds recorded "
                     f"baseline {recorded:.3f} s by more than "
                     f"{args.regression_threshold:.0%}"
                 )

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 import repro.obs as obs
 from repro.flows import io as flow_io
+from repro.experiments import make_executor
 from repro.pipeline import (
     EXPERIMENTS,
     ExperimentResult,
@@ -152,12 +153,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_cache = datasets.DatasetCache(cache_dir=args.cache_dir)
     else:
         run_cache = datasets.get_cache()
+    run_width = 1
     with datasets.use_cache(run_cache):
         if args.jobs > 1:
+            executor = make_executor(args.jobs)
             results = run_all(
                 scenario, config, experiment_ids=ids,
-                jobs=args.jobs, on_error="capture",
+                executor=executor, on_error="capture",
             )
+            run_width = executor.width
             for result in results:
                 _print_result(result, verbose=args.verbose)
         else:
@@ -182,6 +186,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             executor={
                 "name": "parallel" if args.jobs > 1 else "serial",
                 "jobs": args.jobs,
+                "width": run_width,
                 "dataset_cache": dict(
                     run_cache.stats.to_dict(),
                     enabled=run_cache.enabled,
@@ -399,6 +404,52 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    from repro.flows.store import FORMAT_V1, FORMAT_V2, FlowStore
+
+    store = FlowStore(args.store)
+    target = FORMAT_V1 if args.to == "v1" else FORMAT_V2
+    migrated = store.migrate(target)
+    counts = store.format_counts()
+    inventory = ", ".join(
+        f"v{fmt}: {n}" for fmt, n in sorted(counts.items())
+    ) or "no partitions"
+    print(
+        f"migrated {migrated} partition(s) to {args.to} under "
+        f"{store.root} ({inventory})"
+    )
+    return 0
+
+
+def _render_explain(plan) -> str:
+    """Human-readable query plan (``repro query --explain``)."""
+    d = plan.to_dict()
+    lines = [f"plan for {d['spec']}"]
+    days = d["days"]
+    span = f" ({days[0]}..{days[-1]})" if days else ""
+    lines.append(f"  partitions to scan: {len(days)}{span}")
+    pruned = d["pruned"]
+    lines.append(
+        f"  pruned without reading rows: {pruned['out_of_range']} "
+        f"out-of-range, {pruned['empty']} empty, {pruned['by_hour']} "
+        f"by hour window, {pruned['by_zone']} by zone map"
+    )
+    if d["missing_days"]:
+        lines.append(
+            f"  days in range with no partition: {len(d['missing_days'])}"
+        )
+    if d["sidecar_days"]:
+        lines.append(
+            f"  answered from sidecar pre-aggregates: "
+            f"{d['sidecar_days']} partition(s)"
+        )
+    columns = ", ".join(d["columns"]) if d["columns"] else \
+        "(none — row counts only)"
+    lines.append(f"  columns projected: {columns}")
+    lines.append(f"  estimated bytes read: {d['estimated_bytes']:,}")
+    return "\n".join(lines)
+
+
 def _parse_where(items: Optional[Sequence[str]]) -> Dict[str, object]:
     """``--where COLUMN=SPEC`` conditions as a build() mapping.
 
@@ -443,6 +494,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except (ValueError, QueryError) as exc:
         print(f"invalid query: {exc}", file=sys.stderr)
         return 2
+    if args.explain:
+        from repro.flows.store import FlowStore
+        from repro.query import plan_query
+
+        plan = plan_query(FlowStore(args.store), spec)
+        if args.json:
+            print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(_render_explain(plan))
+        return 0
     try:
         with QueryService(
             {vantage: args.store}, workers=args.workers
@@ -814,7 +875,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full result as JSON instead of a table",
     )
+    query_parser.add_argument(
+        "--explain", action="store_true",
+        help="print the query plan (partitions pruned by range vs. "
+             "zone map, columns projected, estimated bytes read) "
+             "without executing it",
+    )
     query_parser.set_defaults(func=_cmd_query)
+
+    store_parser = sub.add_parser(
+        "store", help="flow store maintenance",
+    )
+    store_sub = store_parser.add_subparsers(
+        dest="store_command", required=True
+    )
+    migrate_parser = store_sub.add_parser(
+        "migrate",
+        help="rewrite partitions into another format, in place",
+    )
+    migrate_parser.add_argument(
+        "store", metavar="DIR",
+        help="FlowStore directory (as written by generate --store)",
+    )
+    migrate_parser.add_argument(
+        "--to", choices=("v1", "v2"), default="v2",
+        help="target partition format (default: %(default)s — "
+             "per-column segments with a zone-map sidecar)",
+    )
+    migrate_parser.set_defaults(func=_cmd_store_migrate)
 
     serve_parser = sub.add_parser(
         "serve",

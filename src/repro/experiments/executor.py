@@ -21,6 +21,7 @@ process memory.
 from __future__ import annotations
 
 import concurrent.futures as _cf
+import os
 from typing import Dict, List, Optional, Sequence, Set
 
 import repro.obs as obs
@@ -64,6 +65,7 @@ class SerialExecutor:
 
     name = "serial"
     jobs = 1
+    width = 1
 
     def run(
         self,
@@ -98,6 +100,31 @@ class ParallelExecutor:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: Pool width actually used by the last run.  ``jobs`` is the
+        #: requested ceiling; the run sizes the pool from the work that
+        #: can really proceed concurrently (see :meth:`_pool_width`),
+        #: and run manifests record this value.
+        self.width = jobs
+
+    def _pool_width(
+        self,
+        specs: Sequence[ExperimentSpec],
+        needs: Dict[str, Set[DatasetRequest]],
+        n_datasets: int,
+    ) -> int:
+        """Threads the run can actually keep busy.
+
+        A fixed ``--jobs N`` pool is counterproductive when the
+        schedulable width is smaller: threads beyond the number of
+        runnable tasks (distinct datasets plus dataset-free
+        experiments, later at most one task per experiment) or beyond
+        the machine's cores only add GIL/scheduler contention — on a
+        single-core container a ``--jobs 4`` run measured *slower*
+        than serial.  Cap the pool by both.
+        """
+        ready_now = sum(1 for spec in specs if not needs[spec.id])
+        schedulable = max(n_datasets + ready_now, len(specs))
+        return max(1, min(self.jobs, schedulable, os.cpu_count() or 1))
 
     def run(
         self,
@@ -112,6 +139,7 @@ class ParallelExecutor:
             span.set_metric("experiments", len(specs))
             span.set_metric("jobs", self.jobs)
             results = self._run(specs, scenario, config, cache, on_error)
+            span.set_metric("width", self.width)
         return results
 
     def _run(
@@ -142,8 +170,9 @@ class ParallelExecutor:
         experiment_ids: Dict[_cf.Future, str] = {}
         dataset_keys: Dict[_cf.Future, DatasetRequest] = {}
         first_error: Optional[BaseException] = None
+        self.width = self._pool_width(specs, needs, len(distinct))
         with _cf.ThreadPoolExecutor(
-            max_workers=self.jobs, thread_name_prefix="repro-exp"
+            max_workers=self.width, thread_name_prefix="repro-exp"
         ) as pool:
 
             def submit_ready() -> None:

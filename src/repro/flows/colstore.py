@@ -1,0 +1,449 @@
+"""Columnar partition format v2: per-column segments + zone-map sidecar.
+
+A v1 :class:`~repro.flows.store.FlowStore` partition is one compressed
+``.npz`` archive — every read decompresses and checksums *all* columns
+even when the query touches two of them.  Format v2 turns each day into
+a directory of raw per-column ``.npy`` segments plus a JSON sidecar::
+
+    store/
+      manifest.json            entries carry {"format": 2, "sha256": ...}
+      2020-03-25/
+        sidecar.json           per-column checksums + zone map
+        hour.npy               one raw segment per column
+        src_ip.npy
+        ...
+
+The sidecar holds, per column, the segment's SHA-256, dtype, byte size,
+and min/max (the **zone map**), plus the partition row count and
+pre-aggregated per-hour ``bytes``/``flows`` totals.  That makes three
+optimizations possible without touching row data:
+
+* **Projection pushdown** — :meth:`ColumnarPartition.load` maps only
+  the columns a query references (``np.load(..., mmap_mode="r")``), and
+  verifies checksums only for those segments;
+* **Data skipping** — the planner prunes partitions whose zone map
+  (actual hour range, predicate column bounds) cannot match;
+* **Pre-aggregate answers** — unfiltered ``bytes``/``flows`` totals
+  (whole-day or per-hour) come straight from the sidecar.
+
+Checksum verification reads a segment once; a process-global
+verified-cache keyed by ``(path, mtime_ns, size)`` makes repeated warm
+queries skip re-hashing entirely.
+
+Setting the ``REPRO_NO_COLSTORE`` environment variable (to anything
+non-empty) forces the v1 full-load path everywhere: new partitions are
+written as ``.npz`` archives and v2 partitions are read fully into
+memory with every checksum verified.  Results are bit-identical either
+way — the variable only trades I/O strategy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro.flows import groupby
+from repro.flows.groupby import GroupIndex
+from repro.flows.io import file_sha256, read_npy_segment, write_npy_segment
+from repro.flows.table import (
+    COLUMNS,
+    DERIVED_BASE_COLUMNS,
+    DERIVED_KEYS,
+    FlowTable,
+    compute_service_port,
+    compute_transport,
+)
+
+#: Partition format versions understood by the store.
+FORMAT_V1 = 1
+FORMAT_V2 = 2
+
+#: Sidecar file name inside a v2 partition directory.
+SIDECAR = "sidecar.json"
+
+#: Environment variable forcing the v1 full-load path.
+DISABLE_ENV = "REPRO_NO_COLSTORE"
+
+#: Hour bins per day partition.
+_HOURS = 24
+
+
+class FlowStoreError(Exception):
+    """A partition that exists in the manifest cannot be served.
+
+    Raised for missing partition files or column segments, checksum
+    mismatches, corrupt sidecars, and archives that fail to parse — all
+    the ways a store directory can rot underneath its manifest.
+    (Re-exported as :class:`repro.flows.store.FlowStoreError`, its
+    historical home.)
+    """
+
+
+def enabled() -> bool:
+    """Whether the columnar read/write path is active.
+
+    ``REPRO_NO_COLSTORE`` (any non-empty value) disables it, forcing
+    v1 ``.npz`` writes and full in-memory loads of v2 partitions.
+    """
+    return not os.environ.get(DISABLE_ENV)
+
+
+def mode_token() -> str:
+    """Short tag naming the active partition I/O mode.
+
+    Folded into the query service's cache key so results cached under
+    one mode (with its ``bytes_read``/``columns_loaded`` diagnostics)
+    are not replayed under the other.
+    """
+    return "colstore" if enabled() else "full-load"
+
+
+def required_base_columns(names: Iterable[str]) -> Tuple[str, ...]:
+    """Expand column/derived-key names into physical columns, sorted.
+
+    Derived keys (``service_port``, ``transport``) expand into the base
+    columns they are computed from; unknown names raise ``KeyError``.
+    """
+    base = set()
+    for name in names:
+        if name in COLUMNS:
+            base.add(name)
+        elif name in DERIVED_BASE_COLUMNS:
+            base.update(DERIVED_BASE_COLUMNS[name])
+        else:
+            raise KeyError(
+                f"unknown column or derived key {name!r}; columns are "
+                f"{sorted(COLUMNS)} and derived keys are {DERIVED_KEYS}"
+            )
+    return tuple(sorted(base))
+
+
+# -- checksum verification ----------------------------------------------------
+
+#: (path, mtime_ns, size) -> verified hex digest.
+_VERIFIED: Dict[Tuple[str, int, int], str] = {}
+_VERIFIED_LOCK = threading.Lock()
+_VERIFIED_CAP = 8192
+
+
+def _verify_file(path: Path, expected: str, what: str) -> None:
+    """Check ``path`` against ``expected``, memoizing by stat identity.
+
+    A hit in the verified-cache (same path, mtime, and size as a
+    previously hashed file) skips re-reading the bytes — the warm-query
+    fast path.  Any rewrite bumps the mtime and invalidates the entry.
+    """
+    try:
+        stat = path.stat()
+    except OSError as exc:
+        raise FlowStoreError(f"{what} is missing: {path}") from exc
+    key = (str(path), stat.st_mtime_ns, stat.st_size)
+    with _VERIFIED_LOCK:
+        cached = _VERIFIED.get(key)
+    if cached is not None:
+        if cached != expected:
+            raise FlowStoreError(
+                f"{what} is corrupt: checksum {cached[:12]}… does not "
+                f"match the expected {expected[:12]}…"
+            )
+        obs.counter("colstore.verify-cached").inc()
+        return
+    actual = file_sha256(path)
+    if actual != expected:
+        raise FlowStoreError(
+            f"{what} is corrupt: checksum {actual[:12]}… does not "
+            f"match the expected {expected[:12]}…"
+        )
+    obs.counter("colstore.verify-hashed").inc()
+    with _VERIFIED_LOCK:
+        if len(_VERIFIED) >= _VERIFIED_CAP:
+            _VERIFIED.clear()
+        _VERIFIED[key] = actual
+
+
+def reset_verified_cache() -> None:
+    """Drop every verified-checksum entry (tests and corruption drills)."""
+    with _VERIFIED_LOCK:
+        _VERIFIED.clear()
+
+
+# -- writes -------------------------------------------------------------------
+
+
+def _hour_preaggregates(
+    flows: FlowTable, day_start: int
+) -> Tuple[List[int], List[int]]:
+    """Exact per-hour ``bytes``/``flows`` totals for one day partition."""
+    byte_bins = np.zeros(_HOURS, dtype=np.int64)
+    flow_bins = np.zeros(_HOURS, dtype=np.int64)
+    if len(flows):
+        index = flows.group_index("hour")
+        rel = (index.values - day_start).astype(np.intp)
+        byte_bins[rel] = index.sum(flows.column("n_bytes"))
+        flow_bins[rel] = index.counts()
+    return [int(v) for v in byte_bins], [int(v) for v in flow_bins]
+
+
+def write_partition(
+    flows: FlowTable, final_dir: Path, day_start: int
+) -> Tuple[dict, str]:
+    """Write one day's flows as a v2 partition directory, atomically.
+
+    Builds the whole partition (segments + sidecar) under a temporary
+    sibling directory and swaps it into place, so readers never observe
+    a half-written day.  Returns ``(sidecar payload, sidecar sha256)``;
+    the caller records the sidecar hash in the store manifest, chaining
+    manifest → sidecar → column segments.
+    """
+    final_dir = Path(final_dir)
+    temp = final_dir.with_name(final_dir.name + ".tmp")
+    if temp.exists():
+        shutil.rmtree(temp)
+    temp.mkdir(parents=True)
+    columns_meta: Dict[str, Dict[str, object]] = {}
+    for name in COLUMNS:
+        column = flows.column(name)
+        sha = write_npy_segment(column, temp / f"{name}.npy")
+        columns_meta[name] = {
+            "sha256": sha,
+            "dtype": column.dtype.str,
+            "nbytes": int(column.nbytes),
+            "min": int(column.min()) if len(column) else None,
+            "max": int(column.max()) if len(column) else None,
+        }
+    byte_bins, flow_bins = _hour_preaggregates(flows, day_start)
+    sidecar = {
+        "format": FORMAT_V2,
+        "rows": len(flows),
+        "day_start": day_start,
+        "columns": columns_meta,
+        "hours": {"bytes": byte_bins, "flows": flow_bins},
+    }
+    sidecar_path = temp / SIDECAR
+    with sidecar_path.open("w") as handle:
+        json.dump(sidecar, handle, indent=2, sort_keys=True)
+    sidecar_sha = file_sha256(sidecar_path)
+    trash = final_dir.with_name(final_dir.name + ".old")
+    if trash.exists():
+        shutil.rmtree(trash)
+    if final_dir.exists():
+        os.replace(final_dir, trash)
+    os.replace(temp, final_dir)
+    if trash.exists():
+        shutil.rmtree(trash)
+    obs.counter("colstore.partitions-written").inc()
+    return sidecar, sidecar_sha
+
+
+# -- reads --------------------------------------------------------------------
+
+
+def read_sidecar(partition_dir: Path, expected_sha: Optional[str],
+                 what: str) -> dict:
+    """Load and validate one partition sidecar.
+
+    ``expected_sha`` (from the store manifest) is verified first, so a
+    tampered sidecar cannot vouch for tampered segments.  Structural
+    problems — unparseable JSON, missing fields, wrong column set —
+    raise :class:`FlowStoreError`.
+    """
+    path = Path(partition_dir) / SIDECAR
+    if expected_sha is not None:
+        _verify_file(path, expected_sha, f"sidecar for {what}")
+    elif not path.exists():
+        raise FlowStoreError(f"sidecar for {what} is missing: {path}")
+    try:
+        with path.open() as handle:
+            sidecar = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FlowStoreError(
+            f"sidecar for {what} cannot be parsed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    if not isinstance(sidecar, dict) or sidecar.get("format") != FORMAT_V2:
+        raise FlowStoreError(
+            f"sidecar for {what} has unsupported format "
+            f"{sidecar.get('format') if isinstance(sidecar, dict) else sidecar!r}"
+        )
+    columns = sidecar.get("columns")
+    if not isinstance(columns, dict) or set(columns) != set(COLUMNS):
+        present = sorted(columns) if isinstance(columns, dict) else columns
+        raise FlowStoreError(
+            f"sidecar for {what} does not describe the flow schema "
+            f"(columns: {present})"
+        )
+    return sidecar
+
+
+class ColumnBundle:
+    """The projected columns of one partition, duck-typing the scan API.
+
+    Provides the subset of :class:`~repro.flows.table.FlowTable` the
+    query engine's partition scan uses — ``len()``, :meth:`column`,
+    :meth:`key_array`, :meth:`group_index`, :meth:`filter` — over a
+    dict of (possibly memory-mapped) column arrays.  Derived keys are
+    computed with the same helpers as ``FlowTable``, so every scan path
+    produces identical values.
+    """
+
+    __slots__ = ("_cols", "_rows", "_derived", "_indexes")
+
+    def __init__(self, columns: Dict[str, np.ndarray], rows: int):
+        self._cols = columns
+        self._rows = rows
+        self._derived: Dict[str, np.ndarray] = {}
+        self._indexes: Dict[str, GroupIndex] = {}
+
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def loaded_columns(self) -> Tuple[str, ...]:
+        """The physical columns present in the bundle, sorted."""
+        return tuple(sorted(self._cols))
+
+    def column(self, name: str) -> np.ndarray:
+        col = self._cols.get(name)
+        if col is None:
+            raise KeyError(
+                f"column {name!r} was not projected into this scan "
+                f"(loaded: {self.loaded_columns})"
+            )
+        return col
+
+    def key_array(self, key: str) -> np.ndarray:
+        if key in self._cols:
+            return self._cols[key]
+        arr = self._derived.get(key)
+        if arr is not None:
+            return arr
+        if key == "service_port":
+            arr = compute_service_port(
+                self.column("proto"), self.column("src_port"),
+                self.column("dst_port"),
+            )
+        elif key == "transport":
+            arr = compute_transport(
+                self.column("proto"), self.key_array("service_port")
+            )
+        else:
+            raise KeyError(
+                f"unknown group key {key!r}; columns are "
+                f"{sorted(COLUMNS)} and derived keys are {DERIVED_KEYS}"
+            )
+        return self._derived.setdefault(key, arr)
+
+    def group_index(self, key: str) -> GroupIndex:
+        index = self._indexes.get(key)
+        if index is not None:
+            groupby.record_reuse()
+            return index
+        index = GroupIndex.from_values(self.key_array(key))
+        groupby.record_build(key, self._rows)
+        return self._indexes.setdefault(key, index)
+
+    def filter(self, mask: np.ndarray) -> "ColumnBundle":
+        """Rows where ``mask`` is true, materialized off the mmap."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape[0] != self._rows:
+            raise ValueError(
+                "mask must be a boolean array of partition length"
+            )
+        selected = {name: col[mask] for name, col in self._cols.items()}
+        if selected:
+            rows = len(next(iter(selected.values())))
+        else:
+            rows = int(np.count_nonzero(mask))
+        return ColumnBundle(selected, rows)
+
+
+class ColumnarPartition:
+    """One v2 partition directory opened for reading."""
+
+    __slots__ = ("day", "_dir", "_sidecar")
+
+    def __init__(self, day: str, partition_dir: Path, sidecar: dict):
+        self.day = day
+        self._dir = Path(partition_dir)
+        self._sidecar = sidecar
+
+    @property
+    def rows(self) -> int:
+        return int(self._sidecar["rows"])
+
+    @property
+    def sidecar(self) -> dict:
+        return self._sidecar
+
+    def zone(self, column: str) -> Optional[Tuple[int, int]]:
+        """The zone map's (min, max) for one column; None when empty."""
+        meta = self._sidecar["columns"].get(column)
+        if meta is None or meta.get("min") is None:
+            return None
+        return int(meta["min"]), int(meta["max"])
+
+    def column_nbytes(self, columns: Iterable[str]) -> int:
+        """Total segment bytes behind ``columns`` (estimation, I/O)."""
+        return sum(
+            int(self._sidecar["columns"][name]["nbytes"])
+            for name in columns
+        )
+
+    def hour_preaggregates(self) -> Tuple[int, np.ndarray, np.ndarray]:
+        """``(day_start, per-hour bytes, per-hour flows)`` pre-aggregates."""
+        hours = self._sidecar["hours"]
+        return (
+            int(self._sidecar["day_start"]),
+            np.asarray(hours["bytes"], dtype=np.int64),
+            np.asarray(hours["flows"], dtype=np.int64),
+        )
+
+    def load(
+        self, columns: Sequence[str], mmap: bool = True
+    ) -> Tuple[ColumnBundle, int]:
+        """Map the requested physical columns, verifying their checksums.
+
+        Returns ``(bundle, bytes_read)`` where ``bytes_read`` counts the
+        segment bytes behind the loaded columns.  Missing or corrupt
+        segments raise :class:`FlowStoreError` naming the column.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        bytes_read = 0
+        for name in columns:
+            meta = self._sidecar["columns"][name]
+            path = self._dir / f"{name}.npy"
+            _verify_file(
+                path, str(meta["sha256"]),
+                f"column {name!r} of partition {self.day}",
+            )
+            try:
+                arrays[name] = read_npy_segment(
+                    path, np.dtype(str(meta["dtype"])), self.rows,
+                    mmap=mmap,
+                )
+            except (OSError, ValueError) as exc:
+                raise FlowStoreError(
+                    f"column {name!r} of partition {self.day} cannot "
+                    f"be read: {type(exc).__name__}: {exc}"
+                ) from exc
+            bytes_read += int(meta["nbytes"])
+        obs.counter("colstore.loads").inc()
+        obs.counter("colstore.columns-loaded").inc(len(arrays))
+        obs.counter("colstore.bytes-mapped").inc(bytes_read)
+        return ColumnBundle(arrays, self.rows), bytes_read
+
+    def table(self, mmap: bool = False) -> FlowTable:
+        """The whole partition as a :class:`FlowTable` (all columns).
+
+        ``mmap=False`` (the default for the v1-compatible full-load
+        path) materializes every column in memory.
+        """
+        bundle, _ = self.load(tuple(COLUMNS), mmap=mmap)
+        return FlowTable({name: bundle.column(name) for name in COLUMNS})

@@ -2,22 +2,33 @@
 
 Vantage-point captures span months (the EDU capture alone is 71 days);
 analyses usually touch a handful of named weeks.  ``FlowStore`` keeps a
-directory of per-day NPZ partitions plus a JSON manifest, so date-range
-queries load only the partitions they need:
+directory of per-day partitions plus a JSON manifest, so date-range
+queries load only the partitions they need.
 
-    store/
-      manifest.json          {"2020-03-25": {"flows": N, "bytes": B}, ...}
-      2020-03-25.npz         one day's flows
-      ...
+Two partition formats coexist under one manifest:
+
+* **v1** — one compressed ``.npz`` archive per day
+  (``2020-03-25.npz``); reads decompress and checksum the whole
+  archive.
+* **v2** — one directory per day holding raw per-column ``.npy``
+  segments plus a zone-map sidecar (see
+  :mod:`repro.flows.colstore`); reads memory-map only the columns a
+  query references and verify checksums per loaded column.
+
+New writes default to v2 (v1 when ``REPRO_NO_COLSTORE`` is set), the
+manifest records each partition's format, and :meth:`FlowStore.migrate`
+upgrades v1 partitions in place — atomically, one day at a time.
 
 Writes are append-only at day granularity; re-writing a day replaces
 its partition atomically (write to a temp name, then rename).
 
-Every partition's manifest entry records a SHA-256 of the archive
-bytes.  Reads verify it, so a truncated or corrupted ``.npz`` raises a
-:class:`FlowStoreError` instead of surfacing as a numpy/zipfile
-internal error (or, worse, as silently wrong data); the query planner
-turns that into a per-partition failure rather than a crashed query.
+Every partition's manifest entry records a SHA-256 — of the archive
+bytes (v1) or of the sidecar, which in turn records per-column segment
+hashes (v2).  Reads verify the chain, so a truncated or corrupted
+partition raises a :class:`FlowStoreError` instead of surfacing as a
+numpy/zipfile internal error (or, worse, as silently wrong data); the
+query planner turns that into a per-partition failure rather than a
+crashed query.
 """
 
 from __future__ import annotations
@@ -26,46 +37,50 @@ import datetime as _dt
 import hashlib
 import json
 import os
+import shutil
 import zipfile
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
-
-import numpy as np
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro import timebase
-from repro.flows.io import read_npz, write_npz
-from repro.flows.table import FlowTable
+from repro.flows import colstore
+from repro.flows.colstore import FORMAT_V1, FORMAT_V2, FlowStoreError
+from repro.flows.io import file_sha256, read_npz, write_npz
+from repro.flows.table import COLUMNS, FlowTable
+
+__all__ = [
+    "FORMAT_V1",
+    "FORMAT_V2",
+    "FlowStore",
+    "FlowStoreError",
+]
 
 PathLike = Union[str, Path]
 
 _MANIFEST = "manifest.json"
 
 
-class FlowStoreError(Exception):
-    """A partition that exists in the manifest cannot be served.
-
-    Raised for missing partition files, checksum mismatches, and
-    archives that fail to parse — all the ways a store directory can
-    rot underneath its manifest.
-    """
-
-
-def _file_sha256(path: Path) -> str:
-    """Hex SHA-256 of a file's bytes (streamed)."""
-    digest = hashlib.sha256()
-    with path.open("rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(chunk)
-    return digest.hexdigest()
-
-
 class FlowStore:
     """A date-partitioned flow archive under one directory."""
 
-    def __init__(self, root: PathLike):
+    def __init__(self, root: PathLike,
+                 default_format: Optional[int] = None):
+        """Open (or create) a store.
+
+        ``default_format`` fixes the partition format for new writes;
+        by default it follows the colstore switch — v2, or v1 under
+        ``REPRO_NO_COLSTORE``.
+        """
+        if default_format not in (None, FORMAT_V1, FORMAT_V2):
+            raise ValueError(
+                f"unknown partition format {default_format!r}; "
+                f"use {FORMAT_V1} or {FORMAT_V2}"
+            )
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
-        self._manifest: Dict[str, Dict[str, int]] = {}
+        self._default_format = default_format
+        self._manifest: Dict[str, Dict[str, object]] = {}
+        self._sidecars: Dict[tuple, dict] = {}
         manifest_path = self._root / _MANIFEST
         if manifest_path.exists():
             with manifest_path.open() as handle:
@@ -78,20 +93,30 @@ class FlowStore:
         """The store's directory."""
         return self._root
 
+    @property
+    def default_format(self) -> int:
+        """The format new partitions are written in."""
+        if self._default_format is not None:
+            return self._default_format
+        return FORMAT_V2 if colstore.enabled() else FORMAT_V1
+
     def state_token(self) -> str:
         """Hex digest identifying the store's current contents.
 
-        Derived from the manifest (day set, flow/byte totals, and the
-        per-partition checksums), so any write, delete, or re-write
-        changes it.  The query service keys its result cache on
-        ``(query fingerprint, state token)`` — a mutated store can
-        never serve stale cached results.
+        Derived from the manifest (day set, flow/byte totals, formats,
+        and the per-partition checksums), so any write, delete,
+        re-write, or migration changes it.  The query service keys its
+        result cache on ``(query fingerprint, state token)`` — a
+        mutated store can never serve stale cached results.
         """
         payload = json.dumps(self._manifest, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def _partition_path(self, day: _dt.date) -> Path:
         return self._root / f"{day.isoformat()}.npz"
+
+    def _partition_dir(self, day: _dt.date) -> Path:
+        return self._root / day.isoformat()
 
     def _save_manifest(self) -> None:
         temp = self._root / (_MANIFEST + ".tmp")
@@ -118,21 +143,58 @@ class FlowStore:
             raise KeyError(f"no partition for {day}")
         return int(entry["flows"])
 
+    def partition_format(self, day: _dt.date) -> int:
+        """The stored format of one day's partition (1 or 2)."""
+        entry = self._manifest.get(day.isoformat())
+        if entry is None:
+            raise KeyError(f"no partition for {day}")
+        return int(entry.get("format", FORMAT_V1))
+
+    def format_counts(self) -> Dict[int, int]:
+        """Partition count per format version (inventory/CLI)."""
+        counts: Dict[int, int] = {}
+        for entry in self._manifest.values():
+            fmt = int(entry.get("format", FORMAT_V1))
+            counts[fmt] = counts.get(fmt, 0) + 1
+        return counts
+
+    def partition_disk_bytes(self, day: _dt.date) -> int:
+        """Approximate bytes behind one partition (planner estimates).
+
+        Segment bytes for v2 directories, archive size for v1 files;
+        zero when the partition cannot be inspected — estimation must
+        never fail a query that the scan itself could still serve.
+        """
+        entry = self._entry(day)
+        if int(entry.get("format", FORMAT_V1)) == FORMAT_V2:
+            try:
+                partition = self.open_partition(day)
+            except FlowStoreError:
+                return 0
+            return partition.column_nbytes(tuple(COLUMNS))
+        try:
+            return self._partition_path(day).stat().st_size
+        except OSError:
+            return 0
+
     def total_flows(self) -> int:
         """Flow records across all partitions (from the manifest)."""
-        return sum(entry["flows"] for entry in self._manifest.values())
+        return sum(int(e["flows"]) for e in self._manifest.values())
 
     def total_bytes(self) -> int:
         """Traffic bytes across all partitions (from the manifest)."""
-        return sum(entry["bytes"] for entry in self._manifest.values())
+        return sum(int(e["bytes"]) for e in self._manifest.values())
 
     # -- writes -----------------------------------------------------------------
 
-    def write_day(self, day: _dt.date, flows: FlowTable) -> None:
+    def write_day(self, day: _dt.date, flows: FlowTable,
+                  partition_format: Optional[int] = None) -> None:
         """Store one day's flows, replacing any existing partition.
 
         Every flow must fall inside ``day``'s 24 hourly bins; mixing
         days in one partition would silently corrupt range queries.
+        ``partition_format`` overrides the store's default for this
+        write (the migration path).
         """
         start = timebase.hour_index(day, 0)
         hours = flows.column("hour")
@@ -142,21 +204,41 @@ class FlowStore:
             raise ValueError(
                 f"flows outside {day} cannot go into its partition"
             )
-        final = self._partition_path(day)
-        # The temp name must end in .npz or numpy appends the suffix.
-        temp = final.with_suffix(".tmp.npz")
-        write_npz(flows, temp)
-        checksum = _file_sha256(temp)
-        os.replace(temp, final)
-        self._manifest[day.isoformat()] = {
+        fmt = partition_format or self.default_format
+        if fmt not in (FORMAT_V1, FORMAT_V2):
+            raise ValueError(f"unknown partition format {fmt!r}")
+        key = day.isoformat()
+        if fmt == FORMAT_V2:
+            _, sidecar_sha = colstore.write_partition(
+                flows, self._partition_dir(day), start
+            )
+            checksum = sidecar_sha
+            # Drop a leftover v1 archive from a format switch.
+            if self._partition_path(day).exists():
+                self._partition_path(day).unlink()
+        else:
+            final = self._partition_path(day)
+            # The temp name must end in .npz or numpy appends the suffix.
+            temp = final.with_suffix(".tmp.npz")
+            write_npz(flows, temp)
+            checksum = file_sha256(temp)
+            os.replace(temp, final)
+            if self._partition_dir(day).exists():
+                shutil.rmtree(self._partition_dir(day))
+        entry: Dict[str, object] = {
             "flows": len(flows),
             "bytes": flows.total_bytes(),
             "sha256": checksum,
         }
+        if fmt == FORMAT_V2:
+            entry["format"] = FORMAT_V2
+        self._manifest[key] = entry
+        self._sidecars.pop(key, None)
         self._save_manifest()
 
     def write_range(
-        self, flows: FlowTable, start_day: _dt.date, end_day: _dt.date
+        self, flows: FlowTable, start_day: _dt.date, end_day: _dt.date,
+        partition_format: Optional[int] = None,
     ) -> int:
         """Partition a multi-day table into daily partitions.
 
@@ -171,7 +253,8 @@ class FlowStore:
         for day in timebase.iter_days(start_day, end_day):
             day_start = timebase.hour_index(day, 0)
             mask = (hours >= day_start) & (hours < day_start + 24)
-            self.write_day(day, flows.filter(mask))
+            self.write_day(day, flows.filter(mask),
+                           partition_format=partition_format)
             written += 1
         return written
 
@@ -183,33 +266,91 @@ class FlowStore:
         path = self._partition_path(day)
         if path.exists():
             path.unlink()
+        directory = self._partition_dir(day)
+        if directory.exists():
+            shutil.rmtree(directory)
         del self._manifest[key]
+        self._sidecars.pop(key, None)
         self._save_manifest()
+
+    def migrate(self, to_format: int = FORMAT_V2) -> int:
+        """Rewrite partitions stored in another format, in place.
+
+        Each day is read fully (checksums verified), rewritten in
+        ``to_format`` with the usual tmp+rename swap, and its manifest
+        entry updated — so a crash mid-migration leaves every partition
+        either fully old or fully new.  Returns the number of
+        partitions rewritten; already-converted days are untouched.
+        """
+        if to_format not in (FORMAT_V1, FORMAT_V2):
+            raise ValueError(f"unknown partition format {to_format!r}")
+        migrated = 0
+        for day in self.days():
+            if self.partition_format(day) == to_format:
+                continue
+            flows = self.read_day(day)
+            self.write_day(day, flows, partition_format=to_format)
+            migrated += 1
+        return migrated
 
     # -- reads ---------------------------------------------------------------------
 
-    def read_day(self, day: _dt.date) -> FlowTable:
-        """Load one day's partition, verifying its content checksum.
-
-        Raises ``KeyError`` if the day has no manifest entry and
-        :class:`FlowStoreError` if the partition file is missing,
-        fails its checksum, or cannot be parsed.
-        """
+    def _entry(self, day: _dt.date) -> Dict[str, object]:
         if day not in self:
             raise KeyError(f"no partition for {day}")
+        return self._manifest[day.isoformat()]
+
+    def open_partition(
+        self, day: _dt.date
+    ) -> Optional[colstore.ColumnarPartition]:
+        """A :class:`~repro.flows.colstore.ColumnarPartition` handle, or
+        ``None`` for v1 partitions.
+
+        The sidecar is verified against the manifest hash and cached
+        per ``(day, sha)``, so repeated queries pay one JSON parse.
+        """
+        entry = self._entry(day)
+        if int(entry.get("format", FORMAT_V1)) != FORMAT_V2:
+            return None
+        key = day.isoformat()
+        cache_key = (key, entry.get("sha256"))
+        sidecar = self._sidecars.get(cache_key)
+        if sidecar is None:
+            directory = self._partition_dir(day)
+            if not directory.exists():
+                raise FlowStoreError(
+                    f"partition directory for {day} is missing from "
+                    f"{self._root}"
+                )
+            sidecar = colstore.read_sidecar(
+                directory,
+                str(entry["sha256"]) if entry.get("sha256") else None,
+                f"partition {key}",
+            )
+            if int(sidecar["rows"]) != int(entry["flows"]):
+                raise FlowStoreError(
+                    f"partition for {day} is corrupt: sidecar reports "
+                    f"{sidecar['rows']} rows, manifest {entry['flows']}"
+                )
+            self._sidecars[cache_key] = sidecar
+        return colstore.ColumnarPartition(
+            key, self._partition_dir(day), sidecar
+        )
+
+    def _read_day_v1(self, day: _dt.date) -> FlowTable:
         path = self._partition_path(day)
         if not path.exists():
             raise FlowStoreError(
                 f"partition file for {day} is missing from {self._root}"
             )
-        expected = self._manifest[day.isoformat()].get("sha256")
+        expected = self._entry(day).get("sha256")
         if expected is not None:
-            actual = _file_sha256(path)
+            actual = file_sha256(path)
             if actual != expected:
                 raise FlowStoreError(
                     f"partition for {day} is corrupt: checksum "
                     f"{actual[:12]}… does not match the manifest's "
-                    f"{expected[:12]}…"
+                    f"{str(expected)[:12]}…"
                 )
         try:
             return read_npz(path)
@@ -219,6 +360,20 @@ class FlowStore:
                 f"partition for {day} cannot be read: "
                 f"{type(exc).__name__}: {exc}"
             ) from exc
+
+    def read_day(self, day: _dt.date) -> FlowTable:
+        """Load one day's partition, verifying its content checksums.
+
+        Raises ``KeyError`` if the day has no manifest entry and
+        :class:`FlowStoreError` if the partition is missing, fails a
+        checksum, or cannot be parsed.  v2 partitions are memory-mapped
+        when the colstore is enabled and read fully into memory under
+        ``REPRO_NO_COLSTORE``; either way every column is verified.
+        """
+        partition = self.open_partition(day)
+        if partition is None:
+            return self._read_day_v1(day)
+        return partition.table(mmap=colstore.enabled())
 
     def read_range(
         self, start_day: _dt.date, end_day: _dt.date,

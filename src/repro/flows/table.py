@@ -46,8 +46,42 @@ COLUMNS: Mapping[str, np.dtype] = {
 #: columns (in addition to the columns themselves).
 DERIVED_KEYS = ("service_port", "transport")
 
+#: Base columns each derived key is computed from.  The columnar store
+#: uses this to expand a projected derived key into the physical
+#: segments it must load.
+DERIVED_BASE_COLUMNS: Mapping[str, Tuple[str, ...]] = {
+    "service_port": ("proto", "src_port", "dst_port"),
+    "transport": ("proto", "src_port", "dst_port"),
+}
+
 #: Radix packing (proto, service port) into one integer transport key.
 _PORT_RADIX = 65536
+
+
+def compute_service_port(
+    proto: np.ndarray, src_port: np.ndarray, dst_port: np.ndarray
+) -> np.ndarray:
+    """Per-row service port from the raw port/protocol columns.
+
+    The service sits on whichever side carries a non-ephemeral port
+    (below 49152); when both or neither side is below the boundary the
+    destination port is used, and port-less protocols report zero.
+    Shared by :class:`FlowTable` and the columnar partition reader so
+    derived keys are identical on every scan path.
+    """
+    src = np.asarray(src_port).astype(np.int64)
+    dst = np.asarray(dst_port).astype(np.int64)
+    ephemeral = 49152
+    service = np.where((src < ephemeral) & (dst >= ephemeral), src, dst)
+    portless = np.isin(proto, (PROTO_GRE, PROTO_ESP, PROTO_ICMP))
+    return np.where(portless, 0, service)
+
+
+def compute_transport(
+    proto: np.ndarray, service_port: np.ndarray
+) -> np.ndarray:
+    """Combined ``proto * 65536 + service_port`` transport key array."""
+    return np.asarray(proto).astype(np.int64) * _PORT_RADIX + service_port
 
 
 def transport_label(key: int) -> str:
@@ -255,8 +289,9 @@ class FlowTable:
         if key == "service_port":
             arr = self._compute_service_ports()
         elif key == "transport":
-            protos = self._cols["proto"].astype(np.int64)
-            arr = protos * _PORT_RADIX + self.key_array("service_port")
+            arr = compute_transport(
+                self._cols["proto"], self.key_array("service_port")
+            )
         else:
             raise KeyError(
                 f"unknown group key {key!r}; columns are {sorted(COLUMNS)} "
@@ -393,16 +428,10 @@ class FlowTable:
     # -- transport keys ----------------------------------------------------
 
     def _compute_service_ports(self) -> np.ndarray:
-        src = self._cols["src_port"].astype(np.int64)
-        dst = self._cols["dst_port"].astype(np.int64)
-        ephemeral = 49152
-        service = np.where(
-            (src < ephemeral) & (dst >= ephemeral), src, dst
+        return compute_service_port(
+            self._cols["proto"], self._cols["src_port"],
+            self._cols["dst_port"],
         )
-        portless = np.isin(
-            self._cols["proto"], (PROTO_GRE, PROTO_ESP, PROTO_ICMP)
-        )
-        return np.where(portless, 0, service)
 
     def service_ports(self) -> np.ndarray:
         """Per-row service port: the well-known side of the flow.

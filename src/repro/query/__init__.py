@@ -35,6 +35,7 @@ from repro.query.engine import (
     PartitionFailure,
     QueryPlan,
     QueryResult,
+    ScanStats,
     execute_plan,
     execute_query,
     plan_query,
@@ -74,6 +75,7 @@ __all__ = [
     "QuerySpec",
     "QueryTicket",
     "QueryTimeout",
+    "ScanStats",
     "ServiceStats",
     "execute_plan",
     "execute_query",

@@ -32,10 +32,11 @@ import numpy as np
 
 import repro.obs as obs
 from repro import timebase
+from repro.flows import colstore
 from repro.flows.groupby import GroupIndex
 from repro.flows.hll import HyperLogLog
-from repro.flows.store import FlowStore, FlowStoreError
-from repro.flows.table import FlowTable
+from repro.flows.store import FORMAT_V1, FlowStore, FlowStoreError
+from repro.flows.table import COLUMNS, FlowTable
 from repro.query.errors import QueryCancelled, QueryTimeout
 from repro.query.spec import (
     EXACT_AGGREGATE_COLUMNS,
@@ -52,15 +53,23 @@ Sketches = Dict[Tuple[int, ...], Dict[str, HyperLogLog]]
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The partitions one query will touch, after manifest pruning.
+    """The partitions one query will touch, after pruning.
 
     ``days`` are the partitions to scan; ``pruned_out_of_range`` counts
     store partitions outside the query's date range,
     ``pruned_empty`` partitions inside the range whose manifest reports
-    zero flows, and ``pruned_by_hour`` partitions whose 24-hour window
-    cannot intersect an ``hour`` predicate.  ``missing_days`` are range
-    days with no partition at all (informational — a sparse store is
-    not an error).
+    zero flows, ``pruned_by_hour`` partitions whose 24-hour window
+    cannot intersect an ``hour`` predicate, and ``pruned_by_zone``
+    partitions whose sidecar zone map (per-column min/max) proves a
+    predicate cannot match any row.  ``missing_days`` are range days
+    with no partition at all (informational — a sparse store is not an
+    error).
+
+    ``columns`` is the physical projection the scans will load,
+    ``sidecar_days`` how many planned days will be answered from
+    sidecar pre-aggregates without row I/O, and ``estimated_bytes`` the
+    predicted partition bytes behind the remaining scans (segment bytes
+    of projected columns for v2 days, archive size for v1 days).
     """
 
     spec: QuerySpec
@@ -69,12 +78,51 @@ class QueryPlan:
     pruned_out_of_range: int
     pruned_empty: int
     pruned_by_hour: int
+    pruned_by_zone: int = 0
+    columns: Tuple[str, ...] = ()
+    sidecar_days: int = 0
+    estimated_bytes: int = 0
 
     @property
     def n_pruned(self) -> int:
         """Store partitions skipped without being read."""
         return self.pruned_out_of_range + self.pruned_empty + \
-            self.pruned_by_hour
+            self.pruned_by_hour + self.pruned_by_zone
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (``repro query --explain``)."""
+        return {
+            "spec": self.spec.describe(),
+            "fingerprint": self.spec.fingerprint(),
+            "days": [d.isoformat() for d in self.days],
+            "missing_days": [d.isoformat() for d in self.missing_days],
+            "pruned": {
+                "out_of_range": self.pruned_out_of_range,
+                "empty": self.pruned_empty,
+                "by_hour": self.pruned_by_hour,
+                "by_zone": self.pruned_by_zone,
+            },
+            "columns": list(self.columns),
+            "sidecar_days": self.sidecar_days,
+            "estimated_bytes": self.estimated_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class ScanStats:
+    """Per-partition scan diagnostics.
+
+    ``mode`` names the I/O strategy taken: ``"mmap"`` (projected
+    memory-mapped v2 scan), ``"full"`` (whole-partition load — v1
+    archives and the ``REPRO_NO_COLSTORE`` path), or ``"sidecar"``
+    (answered from pre-aggregates without touching row data).
+    """
+
+    rows_scanned: int
+    rows_matched: int
+    bytes_read: int
+    columns: Tuple[str, ...]
+    mode: str
 
 
 @dataclass
@@ -110,6 +158,8 @@ class QueryResult:
     partitions_failed: List[PartitionFailure] = field(default_factory=list)
     rows_scanned: int = 0
     rows_matched: int = 0
+    bytes_read: int = 0
+    columns_loaded: Tuple[str, ...] = ()
     hll_error: float = 0.0
     wall_s: float = 0.0
     from_cache: bool = False
@@ -154,19 +204,50 @@ class QueryResult:
             },
             "rows_scanned": self.rows_scanned,
             "rows_matched": self.rows_matched,
+            "bytes_read": self.bytes_read,
+            "columns_loaded": list(self.columns_loaded),
             "hll_error": round(self.hll_error, 6),
             "wall_s": round(self.wall_s, 6),
             "from_cache": self.from_cache,
         }
 
 
-def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
-    """Choose the partitions to scan using only the store manifest.
+def _sidecar_answerable(spec: QuerySpec) -> bool:
+    """Whether v2 sidecar pre-aggregates can answer ``spec`` exactly.
 
-    Pruning never opens a partition file: the manifest carries the day
-    set and per-day flow counts, and each day's hour window is implied
-    by its date, which is enough to drop out-of-range, empty, and
-    hour-disjoint partitions up front.
+    They can when the query needs no per-row state: no group keys, only
+    ``bytes``/``flows`` aggregates (both pre-aggregated per hour), and
+    only ``hour`` predicates (the pre-aggregate granularity).  Any time
+    bucket works — hours are native, day/whole-range are coarser.
+    """
+    return (
+        not spec.group_by
+        and all(a in ("bytes", "flows") for a in spec.aggregates)
+        and all(p.column == "hour" for p in spec.where)
+    )
+
+
+def _zone_disjoint(partition: colstore.ColumnarPartition,
+                   predicate) -> bool:
+    """Whether a zone map proves ``predicate`` matches no row."""
+    zone = partition.zone(predicate.column)
+    if zone is None:
+        return False
+    lo, hi = zone
+    # Both predicate forms keep their values sorted, so the first and
+    # last bound the acceptance set.
+    return predicate.values[0] > hi or predicate.values[-1] < lo
+
+
+def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
+    """Choose the partitions to scan, with data skipping.
+
+    Manifest-only pruning drops out-of-range, empty, and hour-disjoint
+    partitions without opening anything.  For v2 partitions the sidecar
+    zone map then drops days whose per-column min/max cannot satisfy a
+    predicate — a sidecar read, but never row data.  A sidecar that
+    fails verification here is *not* treated as prunable; the day stays
+    planned so the scan reports it as a partition failure.
     """
     hour_windows: List[Tuple[int, int]] = []
     for predicate in spec.where:
@@ -178,10 +259,21 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
             hour_windows.append(
                 (predicate.values[0], predicate.values[-1])
             )
+    # Physical zone maps exist only for real columns; derived-key
+    # predicates are filtered at scan time.
+    zone_predicates = [p for p in spec.where if p.column in COLUMNS]
+    projected = (
+        spec.referenced_columns() if colstore.enabled()
+        else tuple(COLUMNS)
+    )
+    sidecar_ok = colstore.enabled() and _sidecar_answerable(spec)
     days: List[_dt.date] = []
     pruned_out_of_range = 0
     pruned_empty = 0
     pruned_by_hour = 0
+    pruned_by_zone = 0
+    sidecar_days = 0
+    estimated_bytes = 0
     present = set()
     for day in store.days():
         present.add(day)
@@ -196,7 +288,24 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
         if any(hi < day_start or lo >= day_stop for lo, hi in hour_windows):
             pruned_by_hour += 1
             continue
+        partition = None
+        if store.partition_format(day) != FORMAT_V1:
+            try:
+                partition = store.open_partition(day)
+            except FlowStoreError:
+                partition = None
+        if partition is not None and any(
+            _zone_disjoint(partition, p) for p in zone_predicates
+        ):
+            pruned_by_zone += 1
+            continue
         days.append(day)
+        if partition is None:
+            estimated_bytes += store.partition_disk_bytes(day)
+        elif sidecar_ok:
+            sidecar_days += 1
+        else:
+            estimated_bytes += partition.column_nbytes(projected)
     missing = tuple(
         day
         for day in timebase.iter_days(spec.start, spec.end)
@@ -209,6 +318,10 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
         pruned_out_of_range=pruned_out_of_range,
         pruned_empty=pruned_empty,
         pruned_by_hour=pruned_by_hour,
+        pruned_by_zone=pruned_by_zone,
+        columns=projected,
+        sidecar_days=sidecar_days,
+        estimated_bytes=estimated_bytes,
     )
 
 
@@ -258,25 +371,108 @@ def _group_layout(
     return layout, list(reversed(decoded_rev))
 
 
+def _scan_sidecar(
+    partition: colstore.ColumnarPartition, day: _dt.date, spec: QuerySpec
+) -> Tuple[Sums, Sketches, ScanStats]:
+    """Answer one partition from sidecar pre-aggregates (no row I/O).
+
+    Only reached for specs :func:`_sidecar_answerable` accepts.  The
+    pre-aggregates are exact int64 totals computed at write time by the
+    same grouping machinery the row scan uses, so the emitted groups
+    and values — and the ``rows_scanned``/``rows_matched`` diagnostics
+    — are bit-identical to a full scan's.
+    """
+    day_start, byte_bins, flow_bins = partition.hour_preaggregates()
+    hours = day_start + np.arange(len(flow_bins), dtype=np.int64)
+    mask = np.ones(len(flow_bins), dtype=bool)
+    for predicate in spec.where:
+        if predicate.op == "range":
+            lo, hi = predicate.values
+            mask &= (hours >= lo) & (hours <= hi)
+        elif len(predicate.values) == 1:
+            mask &= hours == predicate.values[0]
+        else:
+            mask &= np.isin(hours, np.asarray(predicate.values))
+    rows_matched = int(flow_bins[mask].sum())
+    obs.counter("query.sidecar-served").inc()
+    stats = ScanStats(
+        rows_scanned=partition.rows,
+        rows_matched=rows_matched,
+        bytes_read=0,
+        columns=(),
+        mode="sidecar",
+    )
+    sums: Sums = {}
+    if rows_matched == 0:
+        return sums, {}, stats
+
+    def _values(n_bytes: int, n_flows: int) -> Dict[str, int]:
+        return {
+            aggregate: n_bytes if aggregate == "bytes" else n_flows
+            for aggregate in spec.aggregates
+        }
+
+    if spec.bucket == "hour":
+        # A row scan only materializes groups with matching rows, so
+        # emit only hours that actually saw flows.
+        for idx in np.nonzero(mask & (flow_bins > 0))[0]:
+            sums[(int(hours[idx]),)] = _values(
+                int(byte_bins[idx]), int(flow_bins[idx])
+            )
+    else:
+        group = (day.toordinal(),) if spec.bucket == "day" else ()
+        sums[group] = _values(int(byte_bins[mask].sum()), rows_matched)
+    return sums, {}, stats
+
+
 def scan_partition(
     store: FlowStore, day: _dt.date, spec: QuerySpec
-) -> Tuple[Sums, Sketches, int, int]:
+) -> Tuple[Sums, Sketches, ScanStats]:
     """Scan one partition into partial aggregates.
 
-    Returns ``(sums, sketches, rows_scanned, rows_matched)``.  Group
-    tuples carry the bucket value first (absolute hour index, or the
-    day's ordinal for day bucketing), then the group-by key values.
+    Returns ``(sums, sketches, stats)``.  Group tuples carry the bucket
+    value first (absolute hour index, or the day's ordinal for day
+    bucketing), then the group-by key values.
+
+    With the colstore enabled, a v2 partition is answered from sidecar
+    pre-aggregates when possible, and otherwise scanned through a
+    memory-mapped projection of :meth:`QuerySpec.referenced_columns`;
+    v1 partitions (and every partition under ``REPRO_NO_COLSTORE``)
+    take the full-load path.  All three produce identical partials.
     """
-    table = store.read_day(day)
+    partition = store.open_partition(day) if colstore.enabled() else None
+    if partition is not None and _sidecar_answerable(spec):
+        return _scan_sidecar(partition, day, spec)
+    if partition is not None:
+        columns = spec.referenced_columns()
+        table, bytes_read = partition.load(columns)
+        mode = "mmap"
+    else:
+        table = store.read_day(day)
+        columns = tuple(COLUMNS)
+        bytes_read = sum(
+            int(table.column(name).nbytes) for name in columns
+        )
+        mode = "full"
     rows_scanned = len(table)
     mask = _predicate_mask(table, spec) if spec.where else None
     if mask is not None:
         table = table.filter(mask)
     rows_matched = len(table)
+
+    def _stats() -> ScanStats:
+        return ScanStats(
+            rows_scanned=rows_scanned,
+            rows_matched=rows_matched,
+            bytes_read=bytes_read,
+            columns=columns,
+            mode=mode,
+        )
+
     sums: Sums = {}
     sketches: Sketches = {}
     if rows_matched == 0:
-        return sums, sketches, rows_scanned, rows_matched
+        return sums, sketches, _stats()
     day_ordinal = day.toordinal()
     keys: List[str] = []
     if spec.bucket == "hour":
@@ -324,7 +520,7 @@ def scan_partition(
                 sketch.add_many(column[segment])
                 group_sketches[aggregate] = sketch
             sketches[group] = group_sketches
-    return sums, sketches, rows_scanned, rows_matched
+    return sums, sketches, _stats()
 
 
 def _merge_partial(
@@ -357,6 +553,8 @@ def _finalize(
     scanned: int,
     rows_scanned: int,
     rows_matched: int,
+    bytes_read: int,
+    columns_loaded: Tuple[str, ...],
     t0: float,
 ) -> QueryResult:
     """Assemble sorted result rows from the merged accumulators."""
@@ -393,6 +591,8 @@ def _finalize(
         partitions_failed=failures,
         rows_scanned=rows_scanned,
         rows_matched=rows_matched,
+        bytes_read=bytes_read,
+        columns_loaded=columns_loaded,
         hll_error=(
             HyperLogLog(p=spec.hll_p).relative_error()
             if uses_sketches else 0.0
@@ -426,6 +626,8 @@ def execute_plan(
     scanned = 0
     rows_scanned = 0
     rows_matched = 0
+    bytes_read = 0
+    columns_loaded: set = set()
 
     def _check_interrupts() -> None:
         if cancel is not None and cancel.is_set():
@@ -437,16 +639,18 @@ def execute_plan(
             )
 
     def _absorb(day: _dt.date, outcome, error: Optional[str]) -> None:
-        nonlocal scanned, rows_scanned, rows_matched
+        nonlocal scanned, rows_scanned, rows_matched, bytes_read
         if error is not None:
             failures.append(PartitionFailure(day.isoformat(), error))
             registry.counter("query.partitions-failed").inc()
             return
-        sums, sketches, n_scanned, n_matched = outcome
+        sums, sketches, stats = outcome
         _merge_partial(total_sums, total_sketches, sums, sketches)
         scanned += 1
-        rows_scanned += n_scanned
-        rows_matched += n_matched
+        rows_scanned += stats.rows_scanned
+        rows_matched += stats.rows_matched
+        bytes_read += stats.bytes_read
+        columns_loaded.update(stats.columns)
         registry.counter("query.partitions-scanned").inc()
 
     with obs.span(f"query/{spec.describe()}") as span:
@@ -498,14 +702,18 @@ def execute_plan(
         registry.counter("query.rows-scanned").inc(rows_scanned)
         registry.counter("query.rows-matched").inc(rows_matched)
         registry.counter("query.partitions-pruned").inc(plan.n_pruned)
+        registry.counter("query.bytes-read").inc(bytes_read)
+        registry.counter("query.columns-loaded").inc(len(columns_loaded))
         result = _finalize(
             spec, plan, total_sums, total_sketches, failures,
-            scanned, rows_scanned, rows_matched, t0,
+            scanned, rows_scanned, rows_matched, bytes_read,
+            tuple(sorted(columns_loaded)), t0,
         )
         span.set_metric("partitions", scanned)
         span.set_metric("failed", len(failures))
         span.set_metric("rows", rows_matched)
         span.set_metric("groups", len(result.rows))
+        span.set_metric("bytes_read", bytes_read)
     return result
 
 

@@ -23,7 +23,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.flows.table import COLUMNS, DERIVED_KEYS
+from repro.flows.table import COLUMNS, DERIVED_BASE_COLUMNS, DERIVED_KEYS
 from repro.query.errors import QueryError
 
 #: Keys a query may group rows by: every table column plus the derived
@@ -49,6 +49,17 @@ EXACT_AGGREGATE_COLUMNS: Mapping[str, str] = {
     "bytes": "n_bytes",
     "packets": "n_packets",
     "connections": "connections",
+}
+
+#: Physical input column behind each aggregate (``None`` means the
+#: aggregate only counts rows and reads no column data).
+AGGREGATE_INPUT_COLUMNS: Mapping[str, Optional[str]] = {
+    "bytes": "n_bytes",
+    "packets": "n_packets",
+    "connections": "connections",
+    "flows": None,
+    "distinct_src_ips": "src_ip",
+    "distinct_dst_ips": "dst_ip",
 }
 
 #: Time-bucket granularities (``None`` = one result row per group).
@@ -247,6 +258,33 @@ class QuerySpec:
             "bucket": self.bucket,
             "hll_p": self.hll_p,
         }
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        """The physical columns this query reads, in canonical order.
+
+        The union of predicate columns, group keys, the ``hour`` column
+        for hour bucketing, and each aggregate's input column — with
+        derived keys (``service_port``, ``transport``) expanded into
+        the base columns they are computed from.  This is the
+        projection the columnar store pushes down: a v2 partition scan
+        loads (and checksums) exactly these segments.  The tuple can be
+        empty — a pure row count reads no column data at all.
+        """
+        names = set(self.group_by)
+        names.update(p.column for p in self.where)
+        if self.bucket == "hour":
+            names.add("hour")
+        physical = set()
+        for name in names:
+            if name in COLUMNS:
+                physical.add(name)
+            else:
+                physical.update(DERIVED_BASE_COLUMNS[name])
+        for aggregate in self.aggregates:
+            column = AGGREGATE_INPUT_COLUMNS[aggregate]
+            if column is not None:
+                physical.add(column)
+        return tuple(name for name in COLUMNS if name in physical)
 
     def fingerprint(self) -> str:
         """Hex digest of the canonical form — the cache identity."""

@@ -233,6 +233,147 @@ class TestQueryServe:
         assert code == 2
 
 
+class TestStoreMigrate:
+    @pytest.fixture
+    def v1_store_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_COLSTORE", "1")
+        root = tmp_path / "ixp-se"
+        code = cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-02-19", "--end", "2020-02-21",
+                "--fidelity", "0.2", "--store", str(root),
+            ]
+        )
+        assert code == 0
+        monkeypatch.delenv("REPRO_NO_COLSTORE")
+        return root
+
+    def test_migrate_reports_inventory(self, v1_store_dir, capsys):
+        from repro.flows.store import FORMAT_V2, FlowStore
+
+        capsys.readouterr()
+        assert cli.main(["store", "migrate", str(v1_store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 3 partition(s) to v2" in out
+        assert "v2: 3" in out
+        assert FlowStore(v1_store_dir).format_counts() == {FORMAT_V2: 3}
+
+    def test_migrate_is_idempotent(self, v1_store_dir, capsys):
+        cli.main(["store", "migrate", str(v1_store_dir)])
+        capsys.readouterr()
+        assert cli.main(["store", "migrate", str(v1_store_dir)]) == 0
+        assert "migrated 0 partition(s)" in capsys.readouterr().out
+
+    def test_migrate_round_trip_preserves_queries(
+        self, v1_store_dir, capsys
+    ):
+        def run_query():
+            capsys.readouterr()
+            code = cli.main(
+                [
+                    "query", "--store", str(v1_store_dir),
+                    "--start", "2020-02-19", "--end", "2020-02-21",
+                    "--group-by", "transport", "--agg", "bytes,flows",
+                    "--json",
+                ]
+            )
+            assert code == 0
+            return json.loads(capsys.readouterr().out)["rows"]
+
+        before = run_query()
+        cli.main(["store", "migrate", str(v1_store_dir), "--to", "v2"])
+        assert run_query() == before
+        cli.main(["store", "migrate", str(v1_store_dir), "--to", "v1"])
+        assert run_query() == before
+
+    def test_migrate_requires_direction(self, v1_store_dir):
+        with pytest.raises(SystemExit):
+            cli.main(
+                ["store", "migrate", str(v1_store_dir), "--to", "v3"]
+            )
+
+
+class TestQueryExplain:
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-explain") / "ixp-se"
+        code = cli.main(
+            [
+                "generate", "--vantage", "ixp-se",
+                "--start", "2020-02-19", "--end", "2020-02-22",
+                "--fidelity", "0.2", "--store", str(root),
+            ]
+        )
+        assert code == 0
+        return root
+
+    def test_explain_shows_projection(self, store_dir, capsys):
+        code = cli.main(
+            [
+                "query", "--store", str(store_dir),
+                "--start", "2020-02-19", "--end", "2020-02-22",
+                "--group-by", "proto", "--agg", "bytes", "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partitions to scan: 4" in out
+        assert "columns projected: proto, n_bytes" in out
+        assert "estimated bytes read:" in out
+
+    def test_explain_does_not_execute(self, store_dir, capsys):
+        obs.configure(telemetry=True)
+        try:
+            code = cli.main(
+                [
+                    "query", "--store", str(store_dir),
+                    "--start", "2020-02-19", "--end", "2020-02-22",
+                    "--agg", "bytes", "--explain",
+                ]
+            )
+            counters = obs.get_registry().snapshot()["counters"]
+        finally:
+            obs.reset()
+        assert code == 0
+        assert counters.get("query.partitions-scanned", 0) == 0
+        out = capsys.readouterr().out
+        assert "answered from sidecar pre-aggregates: 4 partition(s)" in out
+        assert "estimated bytes read: 0" in out
+
+    def test_explain_reports_zone_pruning(self, store_dir, capsys):
+        code = cli.main(
+            [
+                "query", "--store", str(store_dir),
+                "--start", "2020-02-19", "--end", "2020-02-22",
+                "--where", "src_port=100000..200000",
+                "--agg", "bytes", "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partitions to scan: 0" in out
+        assert "4 by zone map" in out
+
+    def test_explain_json_is_machine_readable(self, store_dir, capsys):
+        code = cli.main(
+            [
+                "query", "--store", str(store_dir),
+                "--start", "2020-02-19", "--end", "2020-02-22",
+                "--group-by", "transport", "--agg", "bytes",
+                "--explain", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["days"]) == 4
+        assert payload["columns"] == [
+            "proto", "src_port", "dst_port", "n_bytes"
+        ]
+        assert payload["estimated_bytes"] > 0
+        assert payload["pruned"]["by_zone"] == 0
+
+
 class TestReport:
     def test_report_to_file(self, tmp_path, capsys):
         # Restrict cost: report runs everything, so use the fast path.

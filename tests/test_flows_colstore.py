@@ -1,0 +1,401 @@
+"""Tests for the v2 columnar partition format and its query paths.
+
+Covers the ISSUE-5 acceptance surface: v1↔v2 migration round-trips,
+corruption drills that must degrade to :class:`FlowStoreError` naming
+the broken piece, mixed-format stores answering queries identically,
+projection pushdown with I/O accounting, zone-map data skipping,
+sidecar pre-aggregate serving, and bit-identity of the
+``REPRO_NO_COLSTORE`` full-load escape hatch.
+"""
+
+import datetime as dt
+import shutil
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro import timebase
+from repro.flows import colstore
+from repro.flows.store import (
+    FORMAT_V1,
+    FORMAT_V2,
+    FlowStore,
+    FlowStoreError,
+)
+from repro.flows.table import COLUMNS
+from repro.query import QuerySpec, execute_query, plan_query
+
+START = dt.date(2020, 2, 19)
+END = dt.date(2020, 2, 25)
+
+
+@pytest.fixture(scope="module")
+def week_flows(scenario):
+    return scenario.isp_ce.generate_flows(START, END, fidelity=0.3)
+
+
+@pytest.fixture
+def v1_store(tmp_path, week_flows):
+    store = FlowStore(tmp_path / "v1")
+    store.write_range(week_flows, START, END,
+                      partition_format=FORMAT_V1)
+    return store
+
+
+@pytest.fixture
+def v2_store(tmp_path, week_flows):
+    store = FlowStore(tmp_path / "v2")
+    store.write_range(week_flows, START, END,
+                      partition_format=FORMAT_V2)
+    return store
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("vantage", "isp-ce")
+    kwargs.setdefault("start", START)
+    kwargs.setdefault("end", END)
+    return QuerySpec.build(**kwargs)
+
+
+#: A spread of query shapes covering every scan path: sidecar
+#: pre-aggregates, projected grouping, derived keys, predicates,
+#: sketches, and time buckets.
+PARITY_SPECS = (
+    dict(aggregates=["bytes", "flows"]),
+    dict(aggregates=["bytes", "flows"], bucket="hour"),
+    dict(aggregates=["bytes"], bucket="day"),
+    dict(group_by=["transport"], aggregates=["bytes", "packets"]),
+    dict(where={"proto": 17}, group_by=["service_port"],
+         aggregates=["bytes", "distinct_src_ips"]),
+    dict(where={"dst_port": {"min": 440, "max": 450}},
+         aggregates=["connections", "distinct_dst_ips"]),
+)
+
+
+class TestLayout:
+    def test_partition_is_directory_of_segments(self, v2_store):
+        day_dir = v2_store.root / START.isoformat()
+        assert day_dir.is_dir()
+        assert (day_dir / colstore.SIDECAR).is_file()
+        for name in COLUMNS:
+            assert (day_dir / f"{name}.npy").is_file()
+        assert v2_store.partition_format(START) == FORMAT_V2
+
+    def test_write_leaves_no_temp_artifacts(self, v2_store):
+        leftovers = [
+            p for p in v2_store.root.iterdir()
+            if p.name.endswith((".tmp", ".old", ".tmp.npz"))
+        ]
+        assert leftovers == []
+
+    def test_sidecar_zone_map_bounds_hour(self, v2_store):
+        partition = v2_store.open_partition(START)
+        day_start = timebase.hour_index(START, 0)
+        lo, hi = partition.zone("hour")
+        assert day_start <= lo <= hi < day_start + 24
+
+    def test_sidecar_preaggregates_are_exact(self, v2_store):
+        partition = v2_store.open_partition(START)
+        _, byte_bins, flow_bins = partition.hour_preaggregates()
+        day = v2_store.read_day(START)
+        assert int(flow_bins.sum()) == len(day)
+        assert int(byte_bins.sum()) == day.total_bytes()
+
+    def test_read_day_round_trips(self, v1_store, v2_store):
+        for day in v1_store.days():
+            v1 = v1_store.read_day(day)
+            v2 = v2_store.read_day(day)
+            for name in COLUMNS:
+                assert np.array_equal(v1.column(name), v2.column(name))
+
+
+class TestMigration:
+    def test_v1_to_v2_round_trip_equality(self, v1_store):
+        before = {day: v1_store.read_day(day) for day in v1_store.days()}
+        migrated = v1_store.migrate(FORMAT_V2)
+        assert migrated == len(before)
+        assert v1_store.format_counts() == {FORMAT_V2: migrated}
+        for day, table in before.items():
+            after = v1_store.read_day(day)
+            assert len(after) == len(table)
+            for name in COLUMNS:
+                assert after.column(name).dtype == COLUMNS[name]
+                assert np.array_equal(
+                    after.column(name), table.column(name)
+                )
+
+    def test_migrate_is_idempotent(self, v1_store):
+        assert v1_store.migrate(FORMAT_V2) == 7
+        assert v1_store.migrate(FORMAT_V2) == 0
+
+    def test_migrate_removes_old_archives(self, v1_store):
+        v1_store.migrate(FORMAT_V2)
+        assert list(v1_store.root.glob("*.npz")) == []
+
+    def test_migrate_back_to_v1(self, v2_store):
+        before = {day: v2_store.read_day(day) for day in v2_store.days()}
+        assert v2_store.migrate(FORMAT_V1) == len(before)
+        assert v2_store.format_counts() == {FORMAT_V1: len(before)}
+        assert not (v2_store.root / START.isoformat()).exists()
+        for day, table in before.items():
+            after = v2_store.read_day(day)
+            for name in COLUMNS:
+                assert np.array_equal(
+                    after.column(name), table.column(name)
+                )
+
+    def test_migration_changes_state_token(self, v1_store):
+        before = v1_store.state_token()
+        v1_store.migrate(FORMAT_V2)
+        assert v1_store.state_token() != before
+
+    def test_manifest_survives_reopen(self, v1_store):
+        v1_store.migrate(FORMAT_V2)
+        reopened = FlowStore(v1_store.root)
+        assert reopened.format_counts() == {FORMAT_V2: 7}
+        assert reopened.state_token() == v1_store.state_token()
+
+
+class TestIntegrity:
+    def _flip_byte(self, path):
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+
+    def test_corrupt_sidecar_raises(self, v2_store):
+        self._flip_byte(v2_store.root / "2020-02-20" / colstore.SIDECAR)
+        with pytest.raises(FlowStoreError, match="sidecar.*corrupt"):
+            v2_store.read_day(dt.date(2020, 2, 20))
+
+    def test_missing_column_segment_names_column(self, v2_store):
+        (v2_store.root / "2020-02-20" / "src_ip.npy").unlink()
+        with pytest.raises(
+            FlowStoreError, match="column 'src_ip'.*missing"
+        ):
+            v2_store.read_day(dt.date(2020, 2, 20))
+
+    def test_corrupt_column_segment_names_column(self, v2_store):
+        self._flip_byte(v2_store.root / "2020-02-20" / "n_bytes.npy")
+        with pytest.raises(
+            FlowStoreError, match="column 'n_bytes'.*corrupt"
+        ):
+            v2_store.read_day(dt.date(2020, 2, 20))
+
+    def test_missing_partition_directory_raises(self, v2_store):
+        shutil.rmtree(v2_store.root / "2020-02-20")
+        with pytest.raises(FlowStoreError, match="missing"):
+            v2_store.read_day(dt.date(2020, 2, 20))
+
+    def test_projected_query_skips_unread_corruption(self, v2_store):
+        # Corruption in a column the query never touches is invisible
+        # to a projected scan — per-column checksums are the point.
+        self._flip_byte(v2_store.root / "2020-02-20" / "dst_asn.npy")
+        result = execute_query(
+            v2_store, _spec(group_by=["proto"], aggregates=["bytes"])
+        )
+        assert result.n_failed == 0
+        # A full-column read of the same day still catches it.
+        with pytest.raises(FlowStoreError, match="dst_asn"):
+            v2_store.read_day(dt.date(2020, 2, 20))
+
+    def test_corrupt_partition_is_query_failure_not_crash(self, v2_store):
+        self._flip_byte(v2_store.root / "2020-02-20" / colstore.SIDECAR)
+        result = execute_query(
+            v2_store, _spec(group_by=["proto"], aggregates=["bytes"])
+        )
+        assert result.n_failed == 1
+        assert result.partitions_failed[0].day == "2020-02-20"
+        assert result.partitions_scanned == 6
+
+    def test_verified_cache_skips_rehashing(self, v2_store):
+        colstore.reset_verified_cache()
+        obs.configure(telemetry=True)
+        try:
+            execute_query(
+                v2_store, _spec(group_by=["proto"], aggregates=["bytes"])
+            )
+            first = obs.get_registry().snapshot()["counters"]
+            execute_query(
+                v2_store,
+                _spec(group_by=["proto"], aggregates=["packets"]),
+            )
+            second = obs.get_registry().snapshot()["counters"]
+        finally:
+            obs.reset()
+        # Second query re-verifies the shared proto segments from the
+        # cache instead of re-hashing them.
+        assert second.get("colstore.verify-cached", 0) > \
+            first.get("colstore.verify-cached", 0)
+
+
+class TestMixedStores:
+    @pytest.fixture
+    def mixed_store(self, tmp_path, week_flows):
+        store = FlowStore(tmp_path / "mixed")
+        hours = week_flows.column("hour")
+        for i, day in enumerate(timebase.iter_days(START, END)):
+            day_start = timebase.hour_index(day, 0)
+            mask = (hours >= day_start) & (hours < day_start + 24)
+            store.write_day(
+                day, week_flows.filter(mask),
+                partition_format=FORMAT_V1 if i % 2 else FORMAT_V2,
+            )
+        return store
+
+    def test_formats_interleave(self, mixed_store):
+        assert mixed_store.format_counts() == {FORMAT_V1: 3, FORMAT_V2: 4}
+
+    def test_mixed_store_answers_identically(
+        self, mixed_store, v1_store, v2_store
+    ):
+        for kwargs in PARITY_SPECS:
+            spec = _spec(**kwargs)
+            results = [
+                execute_query(s, spec)
+                for s in (mixed_store, v1_store, v2_store)
+            ]
+            assert results[0].rows == results[1].rows == results[2].rows
+            assert len({r.rows_scanned for r in results}) == 1
+            assert len({r.rows_matched for r in results}) == 1
+
+
+class TestProjection:
+    def test_referenced_columns_canonical_order(self):
+        spec = _spec(
+            where={"hour": {"min": 0, "max": 10}},
+            group_by=["transport"], aggregates=["bytes"],
+        )
+        assert spec.referenced_columns() == (
+            "hour", "proto", "src_port", "dst_port", "n_bytes"
+        )
+
+    def test_row_count_needs_no_columns(self):
+        assert _spec(aggregates=["flows"]).referenced_columns() == ()
+
+    def test_sketch_aggregates_pull_ip_columns(self):
+        spec = _spec(aggregates=["distinct_src_ips", "distinct_dst_ips"])
+        assert spec.referenced_columns() == ("src_ip", "dst_ip")
+
+    def test_result_reports_projected_io(self, v1_store, v2_store):
+        spec = _spec(group_by=["proto"], aggregates=["bytes"])
+        narrow = execute_query(v2_store, spec)
+        full = execute_query(v1_store, spec)
+        assert narrow.columns_loaded == ("n_bytes", "proto")
+        assert sorted(full.columns_loaded) == sorted(COLUMNS)
+        assert 0 < narrow.bytes_read < full.bytes_read
+        assert narrow.rows == full.rows
+
+    def test_bundle_guards_unprojected_columns(self, v2_store):
+        partition = v2_store.open_partition(START)
+        bundle, nbytes = partition.load(("proto", "n_bytes"))
+        assert nbytes == partition.column_nbytes(("proto", "n_bytes"))
+        with pytest.raises(KeyError, match="not projected"):
+            bundle.column("src_ip")
+
+    def test_bundle_derived_keys_match_table(self, v2_store):
+        partition = v2_store.open_partition(START)
+        bundle, _ = partition.load(("proto", "src_port", "dst_port"))
+        table = v2_store.read_day(START)
+        for key in ("service_port", "transport"):
+            assert np.array_equal(
+                bundle.key_array(key), table.key_array(key)
+            )
+
+
+class TestZonePruning:
+    def test_impossible_predicate_prunes_every_partition(self, v2_store):
+        plan = plan_query(
+            v2_store,
+            _spec(where={"src_port": {"min": 100000, "max": 200000}}),
+        )
+        assert plan.days == ()
+        assert plan.pruned_by_zone == 7
+        assert plan.estimated_bytes == 0
+
+    def test_v1_partitions_have_no_zone_maps(self, v1_store):
+        plan = plan_query(
+            v1_store,
+            _spec(where={"src_port": {"min": 100000, "max": 200000}}),
+        )
+        assert plan.pruned_by_zone == 0
+        assert len(plan.days) == 7
+
+    def test_pruned_and_scanned_stores_agree(self, v1_store, v2_store):
+        spec = _spec(where={"src_port": {"min": 100000, "max": 200000}})
+        assert execute_query(v2_store, spec).rows == \
+            execute_query(v1_store, spec).rows == []
+
+    def test_plan_estimates_projected_bytes(self, v1_store, v2_store):
+        spec = _spec(group_by=["proto"], aggregates=["bytes"])
+        narrow = plan_query(v2_store, spec)
+        full = plan_query(v1_store, spec)
+        assert narrow.columns == ("proto", "n_bytes")
+        assert 0 < narrow.estimated_bytes < full.estimated_bytes
+
+
+class TestSidecarFastPath:
+    def test_unfiltered_totals_without_row_io(self, v2_store, week_flows):
+        result = execute_query(v2_store, _spec(aggregates=["bytes", "flows"]))
+        assert result.rows[0]["bytes"] == week_flows.total_bytes()
+        assert result.rows[0]["flows"] == len(week_flows)
+        assert result.bytes_read == 0
+        assert result.columns_loaded == ()
+        assert result.rows_scanned == len(week_flows)
+
+    def test_plan_marks_sidecar_days(self, v2_store):
+        plan = plan_query(v2_store, _spec(aggregates=["bytes", "flows"]))
+        assert plan.sidecar_days == 7
+        assert plan.estimated_bytes == 0
+
+    def test_hourly_series_matches_row_scan(self, v1_store, v2_store):
+        spec = _spec(aggregates=["bytes", "flows"], bucket="hour")
+        assert execute_query(v2_store, spec).rows == \
+            execute_query(v1_store, spec).rows
+
+    def test_hour_window_matches_row_scan(self, v1_store, v2_store):
+        day_start = timebase.hour_index(dt.date(2020, 2, 21), 0)
+        spec = _spec(
+            where={"hour": {"min": day_start + 6, "max": day_start + 17}},
+            aggregates=["bytes", "flows"], bucket="hour",
+        )
+        v2 = execute_query(v2_store, spec)
+        v1 = execute_query(v1_store, spec)
+        assert v2.rows == v1.rows
+        assert v2.rows_matched == v1.rows_matched
+        assert v2.bytes_read == 0
+
+
+class TestModeEquivalence:
+    def test_full_load_escape_hatch_bit_identical(
+        self, v2_store, monkeypatch
+    ):
+        for kwargs in PARITY_SPECS:
+            spec = _spec(**kwargs)
+            with monkeypatch.context() as patch:
+                patch.delenv(colstore.DISABLE_ENV, raising=False)
+                default = execute_query(v2_store, spec).to_dict()
+            with monkeypatch.context() as patch:
+                patch.setenv(colstore.DISABLE_ENV, "1")
+                forced = execute_query(v2_store, spec).to_dict()
+            for payload in (default, forced):
+                # I/O strategy diagnostics legitimately differ; every
+                # other field must be bit-identical.
+                for volatile in ("wall_s", "bytes_read", "columns_loaded"):
+                    payload.pop(volatile)
+            assert default == forced
+
+    def test_disabled_env_writes_v1(self, tmp_path, week_flows, monkeypatch):
+        monkeypatch.setenv(colstore.DISABLE_ENV, "1")
+        store = FlowStore(tmp_path / "legacy")
+        store.write_range(week_flows, START, START)
+        assert store.partition_format(START) == FORMAT_V1
+        assert (store.root / f"{START.isoformat()}.npz").is_file()
+
+    def test_explicit_format_overrides_env(
+        self, tmp_path, week_flows, monkeypatch
+    ):
+        monkeypatch.setenv(colstore.DISABLE_ENV, "1")
+        store = FlowStore(tmp_path / "pinned", default_format=FORMAT_V2)
+        store.write_range(week_flows, START, START)
+        assert store.partition_format(START) == FORMAT_V2

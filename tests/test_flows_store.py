@@ -7,7 +7,7 @@ import pytest
 
 from repro import timebase
 from repro.core.streaming import StreamingAggregator
-from repro.flows.store import FlowStore, FlowStoreError
+from repro.flows.store import FORMAT_V1, FlowStore, FlowStoreError
 from repro.flows.table import FlowTable
 
 
@@ -179,10 +179,13 @@ class TestRangeEdgeCases:
 
 
 class TestIntegrity:
+    # These drills corrupt v1 .npz archives directly; the equivalent
+    # v2 sidecar/segment drills live in test_flows_colstore.py.
     @pytest.fixture
     def populated(self, store, three_day_flows):
         store.write_range(three_day_flows, dt.date(2020, 2, 19),
-                          dt.date(2020, 2, 21))
+                          dt.date(2020, 2, 21),
+                          partition_format=FORMAT_V1)
         return store
 
     def test_manifest_records_checksums(self, populated):
