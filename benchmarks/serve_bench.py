@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Open-loop load benchmark for the query service.
+
+Builds one multi-week partitioned :class:`~repro.flows.store.FlowStore`
+and drives a :class:`~repro.query.QueryService` the way concurrent
+dashboard users would: requests arrive on a fixed schedule (open loop —
+the arrival clock does not wait for completions, so queueing delay is
+*measured*, not hidden), drawn from a mixed workload:
+
+* **cached** — one fixed hourly-volume query repeated verbatim, served
+  from the LRU result cache after its first execution,
+* **narrow** — per-protocol byte totals over a rotating week window
+  (projection-friendly: two columns),
+* **wide** — per-transport bytes + flows + distinct-IP sketches over a
+  rotating fortnight (every column the engine can touch).
+
+The harness first calibrates the service's closed-loop capacity, then
+sweeps an offered-rate ladder (0.5x, 1x, 2x calibrated): each rung gets
+a fresh service and a fresh metrics registry, so the ``query.latency``
+timer — the new bounded quantile histogram — yields clean service-side
+p50/p99 per rung.  Reported numbers:
+
+* ``serve[p50]`` / ``serve[p99]`` — latency quantiles at the 0.5x rung
+  (moderate load, the user-visible regime),
+* saturation throughput — the best achieved q/s across the ladder,
+  recorded in the run entry's ``serving`` block.
+
+The script appends one entry to ``BENCH_results.json`` in the repo's
+``{"runs": [...]}`` history format.  It exits non-zero — and records
+``exit_status`` — if any query errors, if the cached shape never hits
+the cache, or if nothing is served.  ``--fail-on-regression``
+additionally gates the 0.5x-rung p99 and the saturation throughput
+against the latest recorded baselines at the same fidelity.
+
+Usage::
+
+    python benchmarks/serve_bench.py            # default fidelity
+    python benchmarks/serve_bench.py --fast --fail-on-regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+import repro.obs as obs  # noqa: E402
+from repro.flows.store import FlowStore  # noqa: E402
+from repro.query import (  # noqa: E402
+    QueryRejected,
+    QueryService,
+    QuerySpec,
+)
+from repro.synth.scenario import build_scenario  # noqa: E402
+
+#: wall_s key prefix, matching the pytest-style keys already in the file.
+KEY = "benchmarks/serve_bench.py::serve"
+
+VANTAGE = "isp-ce"
+START = _dt.date(2020, 2, 10)
+
+WORKERS = 4
+QUEUE_CAPACITY = 64
+#: Small on purpose: the rotating narrow/wide windows cycle through
+#: more shapes than this, so only the deliberately-cached query stays
+#: resident and the other arrivals exercise real scans.
+CACHE_ENTRIES = 8
+
+
+def _workload(n: int, end: _dt.date) -> List[QuerySpec]:
+    """``n`` requests cycling cached / narrow / wide shapes."""
+    n_days = (end - START).days + 1
+    cached = QuerySpec.build(
+        VANTAGE, START, min(START + _dt.timedelta(days=6), end),
+        aggregates=["bytes", "connections"], bucket="hour",
+    )
+    specs: List[QuerySpec] = []
+    for i in range(n):
+        kind = i % 3
+        if kind == 0:
+            specs.append(cached)
+            continue
+        offset = (i * 3) % max(1, n_days - 6)
+        day = START + _dt.timedelta(days=offset)
+        week_end = min(day + _dt.timedelta(days=6), end)
+        if kind == 1:
+            specs.append(
+                QuerySpec.build(
+                    VANTAGE, day, week_end,
+                    group_by=["proto"], aggregates=["bytes"],
+                )
+            )
+        else:
+            wide_end = min(day + _dt.timedelta(days=13), end)
+            specs.append(
+                QuerySpec.build(
+                    VANTAGE, day, wide_end,
+                    group_by=["transport"],
+                    aggregates=["bytes", "flows", "distinct_dst_ips"],
+                )
+            )
+    return specs
+
+
+def _fresh_service(
+    store: FlowStore, queue_capacity: int = QUEUE_CAPACITY
+) -> QueryService:
+    return QueryService(
+        {VANTAGE: store},
+        workers=WORKERS,
+        queue_capacity=queue_capacity,
+        default_timeout=120.0,
+        cache_entries=CACHE_ENTRIES,
+    )
+
+
+def _closed_loop_qps(store: FlowStore, specs: List[QuerySpec]) -> float:
+    """Calibration: submit everything at once, measure drain rate."""
+    with _fresh_service(store, queue_capacity=len(specs)) as service:
+        t0 = time.perf_counter()
+        tickets = [service.submit(spec, timeout=600.0) for spec in specs]
+        for ticket in tickets:
+            ticket.result()
+        wall = time.perf_counter() - t0
+    return len(specs) / wall if wall > 0 else float("inf")
+
+
+def _open_loop_stage(
+    store: FlowStore, specs: List[QuerySpec], rate_qps: float
+) -> Dict[str, object]:
+    """One rung of the ladder: dispatch ``specs`` at ``rate_qps``.
+
+    Arrivals follow the fixed schedule ``t0 + i/rate`` regardless of
+    completions; a full admission queue sheds the arrival (counted,
+    not retried).  Latency quantiles come from the service-side
+    ``query.latency`` timer, so they cover queue wait + execution for
+    every *served* query.
+    """
+    obs.configure(telemetry=True)
+    registry = obs.get_registry()
+    shed = 0
+    errors = 0
+    tickets = []
+    with _fresh_service(store) as service:
+        t0 = time.perf_counter()
+        for i, spec in enumerate(specs):
+            target = t0 + i / rate_qps
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                tickets.append(service.submit(spec, timeout=600.0))
+            except QueryRejected:
+                shed += 1
+        for ticket in tickets:
+            try:
+                ticket.result(timeout=600.0)
+            except Exception:  # noqa: BLE001 — counted, reported below
+                errors += 1
+        wall = time.perf_counter() - t0
+        stats = service.stats
+    latency = registry.timer("query.latency")
+    stage = {
+        "offered_qps": round(rate_qps, 3),
+        "achieved_qps": round(stats.served / wall, 3) if wall > 0 else 0.0,
+        "wall_s": round(wall, 4),
+        "served": stats.served,
+        "shed": shed,
+        "errors": errors,
+        "cache_hits": stats.cache_hits,
+        "max_queue_depth": stats.max_queue_depth,
+    }
+    if latency.count:
+        stage["p50_s"] = round(latency.quantile(0.50), 6)
+        stage["p99_s"] = round(latency.quantile(0.99), 6)
+    obs.reset()
+    return stage
+
+
+def _latest_serving_baseline(
+    history: Dict[str, list], field: str, fast: bool
+) -> Optional[float]:
+    """Most recent recorded ``serving`` metric at this fidelity."""
+    for run in reversed(history.get("runs", [])):
+        if bool(run.get("fast")) != fast:
+            continue
+        value = (run.get("serving") or {}).get(field)
+        if value:
+            return float(value)
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller store and fewer requests (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_results.json"),
+        help="benchmark history file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero if moderate-load p99 or saturation "
+             "throughput regress vs. the latest recorded baseline",
+    )
+    parser.add_argument(
+        "--regression-threshold", type=float, default=0.50,
+        metavar="FRACTION",
+        help="allowed p99 slowdown / throughput drop vs. the recorded "
+             "baseline (default: %(default)s; service latencies are "
+             "short and scheduling-noisy, so the gate is loose)",
+    )
+    args = parser.parse_args(argv)
+
+    fidelity = 0.15 if args.fast else 0.5
+    weeks = 2 if args.fast else 4
+    n_requests = 30 if args.fast else 90
+    end = START + _dt.timedelta(days=7 * weeks - 1)
+    scenario = build_scenario()
+    vantage = scenario.vantage(VANTAGE)
+    walls: Dict[str, float] = {}
+    problems: List[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as tmp:
+        t0 = time.perf_counter()
+        flows = vantage.generate_flows(START, end, fidelity=fidelity)
+        store = FlowStore(Path(tmp) / VANTAGE)
+        n_partitions = store.write_range(flows, START, end)
+        walls[f"{KEY}[build-store]"] = time.perf_counter() - t0
+        print(
+            f"store: {len(flows)} flows in {n_partitions} partitions "
+            f"({walls[f'{KEY}[build-store]']:.3f} s to build)"
+        )
+
+        specs = _workload(n_requests, end)
+        # Warm the page cache so the calibration pass and the rate
+        # ladder compare steady-state scans, not first-touch I/O.
+        _closed_loop_qps(store, specs[: max(6, n_requests // 5)])
+        calibrated = _closed_loop_qps(store, specs)
+        print(f"calibrated closed-loop capacity: {calibrated:.1f} q/s")
+
+        stages: List[Dict[str, object]] = []
+        for factor in (0.5, 1.0, 2.0):
+            rate = max(0.5, calibrated * factor)
+            stage = _open_loop_stage(store, specs, rate)
+            stage["load_factor"] = factor
+            stages.append(stage)
+            print(
+                f"open loop @ {factor:>3.1f}x ({stage['offered_qps']:7.1f}"
+                f" q/s offered): achieved {stage['achieved_qps']:7.1f} "
+                f"q/s, p50 {stage.get('p50_s', float('nan')):.4f} s, "
+                f"p99 {stage.get('p99_s', float('nan')):.4f} s, "
+                f"{stage['shed']} shed, {stage['errors']} error(s), "
+                f"{stage['cache_hits']} cache hit(s)"
+            )
+
+    moderate = stages[0]
+    saturation = max(float(s["achieved_qps"]) for s in stages)
+    if "p50_s" in moderate:
+        walls[f"{KEY}[p50]"] = float(moderate["p50_s"])
+        walls[f"{KEY}[p99]"] = float(moderate["p99_s"])
+    else:
+        problems.append("moderate-load rung served nothing")
+    total_errors = sum(int(s["errors"]) for s in stages)
+    if total_errors:
+        problems.append(f"{total_errors} query error(s) across the ladder")
+    if all(int(s["cache_hits"]) == 0 for s in stages):
+        problems.append("the cached query shape never hit the cache")
+    if all(int(s["served"]) == 0 for s in stages):
+        problems.append("no rung served any queries")
+    print(
+        f"saturation: {saturation:.1f} q/s achieved "
+        f"(calibrated {calibrated:.1f} q/s closed-loop)"
+    )
+
+    history_path = Path(args.output)
+    if history_path.exists():
+        payload = json.loads(history_path.read_text())
+    else:
+        payload = {"runs": []}
+
+    if args.fail_on_regression:
+        baseline_p99 = _latest_serving_baseline(
+            payload, "moderate_p99_s", args.fast
+        )
+        measured_p99 = walls.get(f"{KEY}[p99]")
+        if baseline_p99 is None or measured_p99 is None:
+            print("no recorded p99 baseline at this fidelity; "
+                  "skipping its regression gate")
+        else:
+            limit = baseline_p99 * (1.0 + args.regression_threshold)
+            print(
+                f"regression gate: p99 {measured_p99:.4f} s vs. recorded "
+                f"{baseline_p99:.4f} s (limit {limit:.4f} s)"
+            )
+            if measured_p99 > limit:
+                problems.append(
+                    f"moderate-load p99 {measured_p99:.4f} s exceeds "
+                    f"recorded {baseline_p99:.4f} s by more than "
+                    f"{args.regression_threshold:.0%}"
+                )
+        baseline_qps = _latest_serving_baseline(
+            payload, "saturation_qps", args.fast
+        )
+        if baseline_qps is None:
+            print("no recorded saturation baseline at this fidelity; "
+                  "skipping its regression gate")
+        else:
+            floor = baseline_qps * (1.0 - args.regression_threshold)
+            print(
+                f"regression gate: saturation {saturation:.1f} q/s vs. "
+                f"recorded {baseline_qps:.1f} q/s (floor {floor:.1f})"
+            )
+            if saturation < floor:
+                problems.append(
+                    f"saturation {saturation:.1f} q/s below recorded "
+                    f"{baseline_qps:.1f} q/s by more than "
+                    f"{args.regression_threshold:.0%}"
+                )
+
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    status = 1 if problems else 0
+
+    payload["runs"].append(
+        {
+            "timestamp": round(time.time(), 3),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "fast": bool(args.fast),
+            "exit_status": status,
+            "wall_s": {k: round(v, 4) for k, v in sorted(walls.items())},
+            "serving": {
+                "calibrated_qps": round(calibrated, 3),
+                "saturation_qps": round(saturation, 3),
+                "moderate_p50_s": walls.get(f"{KEY}[p50]"),
+                "moderate_p99_s": walls.get(f"{KEY}[p99]"),
+                "workers": WORKERS,
+                "n_requests": n_requests,
+                "stages": stages,
+            },
+        }
+    )
+    history_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"appended run to {history_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -216,8 +216,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
-    from repro.obs.manifest import format_manifest
-
     try:
         with open(args.telemetry_file) as handle:
             payload = json.load(handle)
@@ -225,6 +223,13 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         print(f"cannot read manifest {args.telemetry_file}: {exc}",
               file=sys.stderr)
         return 2
+    if args.format == "prom":
+        from repro.obs.prom import render_snapshot
+
+        print(render_snapshot(payload.get("metrics") or {}), end="")
+        return 0
+    from repro.obs.manifest import format_manifest
+
     print(format_manifest(payload, top=args.top))
     return 0
 
@@ -555,6 +560,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.query import (
         QueryError,
         QueryRejected,
@@ -575,71 +582,101 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"duplicate store name {name!r}", file=sys.stderr)
             return 2
         stores[name] = path
-    if args.telemetry:
+    if args.telemetry or args.metrics_port is not None:
         obs.configure(telemetry=True)
-    if args.batch == "-":
-        lines = sys.stdin.read().splitlines()
-    else:
+    slow_log = None
+    if args.slow_log:
+        from repro.obs.slowlog import SlowQueryLog
+
+        slow_log = SlowQueryLog(
+            args.slow_log, threshold_s=args.slow_threshold
+        )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        metrics_server = MetricsServer(port=args.metrics_port)
         try:
-            with open(args.batch) as handle:
-                lines = handle.read().splitlines()
+            port = metrics_server.start()
         except OSError as exc:
-            print(f"cannot read batch {args.batch}: {exc}",
+            print(f"cannot bind metrics port {args.metrics_port}: {exc}",
                   file=sys.stderr)
             return 2
+        print(f"metrics at http://127.0.0.1:{port}/metrics")
     t0 = time.perf_counter()
     outcomes: List[Dict[str, object]] = []
     failed_partitions = 0
-    with QueryService(
-        stores,
-        workers=args.workers,
-        queue_capacity=args.queue,
-        default_timeout=args.timeout,
-        cache_entries=args.cache,
-    ) as service:
-        # Submit the whole batch up front (many tickets in flight at
-        # once — the multi-user shape), then collect results in order.
-        for lineno, line in enumerate(lines, 1):
-            line = line.strip()
-            if not line:
-                continue
-            entry: Dict[str, object] = {"line": lineno, "id": None}
-            outcomes.append(entry)
+    with ExitStack() as stack:
+        if metrics_server is not None:
+            stack.callback(metrics_server.close)
+        if args.batch == "-":
+            batch = sys.stdin
+        else:
             try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                entry["status"] = "error"
-                entry["error"] = f"invalid JSON: {exc}"
-                continue
-            timeout = None
-            if isinstance(payload, dict):
-                entry["id"] = payload.pop("id", None)
-                timeout = payload.pop("timeout_s", None)
-            try:
-                spec = QuerySpec.from_dict(payload)
-                entry["ticket"] = service.submit(spec, timeout=timeout)
-            except QueryRejected as exc:
-                entry["status"] = "rejected"
-                entry["error"] = str(exc)
-            except QueryError as exc:
-                entry["status"] = "error"
-                entry["error"] = str(exc)
-        for entry in outcomes:
-            ticket = entry.pop("ticket", None)
-            if ticket is None:
-                continue
-            try:
-                result = ticket.result()
-            except QueryError as exc:
-                entry["status"] = "error"
-                entry["error"] = f"{type(exc).__name__}: {exc}"
-            else:
-                failed_partitions += result.n_failed
-                entry["status"] = "ok"
-                entry["result"] = result.to_dict()
-        stats = service.stats
-        described = service.describe()
-    wall = time.perf_counter() - t0
+                batch = stack.enter_context(open(args.batch))
+            except OSError as exc:
+                print(f"cannot read batch {args.batch}: {exc}",
+                      file=sys.stderr)
+                return 2
+        with QueryService(
+            stores,
+            workers=args.workers,
+            queue_capacity=args.queue,
+            default_timeout=args.timeout,
+            cache_entries=args.cache,
+            slow_log=slow_log,
+        ) as service:
+            # Stream the batch line by line (stdin and huge files never
+            # materialize in memory), submitting as specs parse — many
+            # tickets in flight at once, the multi-user shape — then
+            # collect results in submission order.
+            for lineno, line in enumerate(batch, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                entry: Dict[str, object] = {"line": lineno, "id": None}
+                outcomes.append(entry)
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    entry["status"] = "error"
+                    entry["error"] = f"invalid JSON: {exc}"
+                    continue
+                timeout = None
+                if isinstance(payload, dict):
+                    entry["id"] = payload.pop("id", None)
+                    timeout = payload.pop("timeout_s", None)
+                try:
+                    spec = QuerySpec.from_dict(payload)
+                    entry["ticket"] = service.submit(spec, timeout=timeout)
+                except QueryRejected as exc:
+                    entry["status"] = "rejected"
+                    entry["error"] = str(exc)
+                except QueryError as exc:
+                    entry["status"] = "error"
+                    entry["error"] = str(exc)
+            for entry in outcomes:
+                ticket = entry.pop("ticket", None)
+                if ticket is None:
+                    continue
+                try:
+                    result = ticket.result()
+                except QueryError as exc:
+                    entry["status"] = "error"
+                    entry["error"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    failed_partitions += result.n_failed
+                    entry["status"] = "ok"
+                    entry["result"] = result.to_dict()
+            stats = service.stats
+            described = service.describe()
+        wall = time.perf_counter() - t0
+        if metrics_server is not None and args.metrics_linger > 0:
+            print(
+                f"batch done; metrics endpoint lingering "
+                f"{args.metrics_linger:.0f}s for a final scrape"
+            )
+            time.sleep(args.metrics_linger)
     if args.output:
         with open(args.output, "w") as handle:
             for entry in outcomes:
@@ -657,6 +694,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"miss(es); max queue depth {stats.max_queue_depth}/"
         f"{args.queue}; failed partitions: {failed_partitions}"
     )
+    if slow_log is not None:
+        print(
+            f"slow-query log: {slow_log.entries_written} entr(ies) over "
+            f"{slow_log.threshold_s}s written to {slow_log.path}"
+        )
     if args.telemetry:
         from repro.obs.manifest import build_manifest
 
@@ -744,6 +786,11 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_parser.add_argument(
         "--top", type=int, default=10,
         help="number of counters shown (default: %(default)s)",
+    )
+    telemetry_parser.add_argument(
+        "--format", choices=("pretty", "prom"), default="pretty",
+        help="output format: human-readable summary or Prometheus "
+             "text exposition (default: %(default)s)",
     )
     telemetry_parser.set_defaults(func=_cmd_telemetry)
 
@@ -943,6 +990,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--telemetry", metavar="PATH",
         help="collect query.* metrics and write a run manifest to PATH",
+    )
+    serve_parser.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="expose /metrics (Prometheus text format) on PORT while "
+             "serving; 0 picks an ephemeral port (implies telemetry "
+             "collection)",
+    )
+    serve_parser.add_argument(
+        "--metrics-linger", type=float, default=0.0, metavar="S",
+        help="keep the metrics endpoint up S seconds after the batch "
+             "finishes so a scraper can take a final sample "
+             "(default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--slow-log", metavar="PATH",
+        help="append a JSONL diagnostic entry (spec, plan, stage "
+             "timings) for every query over the slow threshold",
+    )
+    serve_parser.add_argument(
+        "--slow-threshold", type=float, default=1.0, metavar="S",
+        help="end-to-end latency budget for --slow-log in seconds "
+             "(default: %(default)s)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
     return parser

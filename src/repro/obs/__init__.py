@@ -54,6 +54,9 @@ from repro.obs.metrics import (
     NullRegistry,
     Timer,
 )
+from repro.obs.prom import render_registry, render_snapshot
+from repro.obs.server import MetricsServer
+from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import NullTracer, Span, Tracer
 
 __all__ = [
@@ -62,9 +65,11 @@ __all__ = [
     "Histogram",
     "JsonFormatter",
     "MetricsRegistry",
+    "MetricsServer",
     "NullRegistry",
     "NullTracer",
     "RunManifest",
+    "SlowQueryLog",
     "Span",
     "Timer",
     "Tracer",
@@ -81,6 +86,9 @@ __all__ = [
     "git_sha",
     "histogram",
     "log_event",
+    "prometheus_text",
+    "render_registry",
+    "render_snapshot",
     "reset",
     "reset_logging",
     "set_registry",
@@ -172,3 +180,8 @@ def histogram(name: str) -> Histogram:
 def timer(name: str) -> Timer:
     """Look up a timer on the current registry."""
     return _registry.timer(name)
+
+
+def prometheus_text() -> str:
+    """The current registry in Prometheus text exposition format."""
+    return render_registry(_registry)

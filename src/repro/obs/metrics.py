@@ -27,9 +27,11 @@ Two registry implementations share one interface:
   instruments so instrumented code pays only a couple of attribute
   lookups per call when telemetry is disabled.
 
-Counters and instrument creation are thread-safe (the parallel
-executor's workers all report into one registry); histogram recording
-relies on the GIL's atomic ``list.append``.
+Every instrument is thread-safe (the parallel executor's workers and
+the query service's pool all report into one registry).  Histograms
+are *bounded* streaming quantile sketches — a long-running ``serve``
+process can record millions of latencies without the registry growing
+past a fixed bucket table (see :class:`Histogram`).
 """
 
 from __future__ import annotations
@@ -61,16 +63,33 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value metric (last write wins)."""
+    """A point-in-time value metric (thread-safe).
 
-    __slots__ = ("name", "_value")
+    ``set`` is last-write-wins; ``inc``/``dec`` adjust the current
+    value atomically (an unset gauge counts as 0), so callers tracking
+    levels — queue depth, in-flight work — never read-modify-write
+    around the instrument.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self._value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge (unset counts as 0)."""
+        with self._lock:
+            self._value = (self._value or 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge (unset counts as 0)."""
+        self.inc(-amount)
 
     @property
     def value(self) -> Optional[float]:
@@ -78,72 +97,184 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution metric with exact quantiles.
+    """A bounded streaming quantile sketch over log-scale buckets.
 
-    Keeps every recorded value; callers recording unbounded streams
-    should sample before recording.
+    Positive values land in fixed multiplicative buckets: value ``v``
+    maps to index ``ceil(log(v) / log(gamma))`` with
+    ``gamma = (1 + a) / (1 - a)`` for relative accuracy ``a``
+    (default 1%), so any quantile estimate is within ``a`` of the true
+    rank value.  Count, sum, min, and max are tracked exactly; values
+    ``<= 0`` share one underflow bucket (durations are the intended
+    payload).  The bucket table is sparse and bounded by the *dynamic
+    range* of the data — recording a billion latencies between 1 µs
+    and 1 h touches ~450 buckets at 1% accuracy — never by the
+    observation count, so long-running services cannot grow it without
+    bound.
+
+    Recording takes the instrument lock (a dict update, not an append
+    to an ever-growing list), and sketches with equal accuracy merge
+    exactly via :meth:`merge` — per-thread histograms fold into one
+    with the same buckets they would have produced shared.
     """
 
-    __slots__ = ("name", "_values")
+    DEFAULT_RELATIVE_ACCURACY = 0.01
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "relative_accuracy", "_gamma", "_log_gamma",
+                 "_buckets", "_zero_count", "_count", "_sum", "_min",
+                 "_max", "_lock")
+
+    def __init__(self, name: str,
+                 relative_accuracy: Optional[float] = None):
+        if relative_accuracy is None:
+            relative_accuracy = self.DEFAULT_RELATIVE_ACCURACY
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError("relative_accuracy must be in (0, 1)")
         self.name = name
-        self._values: List[float] = []
+        self.relative_accuracy = relative_accuracy
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        #: bucket index -> observation count (sparse).
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def _index(self, value: float) -> int:
+        """Bucket index of ``value > 0``: covers ``(γ^(i-1), γ^i]``."""
+        return math.ceil(math.log(value) / self._log_gamma)
+
+    def _value_at(self, index: int) -> float:
+        """Representative value of bucket ``index`` (midpoint-ish).
+
+        ``2γ^i / (γ + 1)`` bounds the relative error at both bucket
+        edges by the configured accuracy.
+        """
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
 
     def record(self, value: float) -> None:
-        self._values.append(float(value))
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if value > 0.0:
+                index = self._index(value)
+                self._buckets[index] = self._buckets.get(index, 0) + 1
+            else:
+                self._zero_count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this sketch (exactly).
+
+        Both sketches must share one ``relative_accuracy`` (the bucket
+        grids must line up); ``other`` is left untouched.
+        """
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                f"cannot merge histograms with different accuracies "
+                f"({self.relative_accuracy} vs {other.relative_accuracy})"
+            )
+        # Snapshot other under its own lock, then fold under ours —
+        # never holding both, so concurrent cross-merges cannot
+        # deadlock.
+        with other._lock:
+            buckets = dict(other._buckets)
+            zero_count = other._zero_count
+            count = other._count
+            total = other._sum
+            minimum = other._min
+            maximum = other._max
+        with self._lock:
+            for index, n in buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            self._zero_count += zero_count
+            self._count += count
+            self._sum += total
+            if minimum < self._min:
+                self._min = minimum
+            if maximum > self._max:
+                self._max = maximum
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return float(sum(self._values))
+        return self._sum
 
     @property
     def min(self) -> float:
-        return min(self._values) if self._values else float("nan")
+        return self._min if self._count else float("nan")
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else float("nan")
+        return self._max if self._count else float("nan")
 
     @property
     def mean(self) -> float:
-        if not self._values:
+        if not self._count:
             return float("nan")
-        return self.total / len(self._values)
+        return self._sum / self._count
+
+    @property
+    def n_buckets(self) -> int:
+        """Occupied buckets — the sketch's entire variable footprint."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
 
     def quantile(self, q: float) -> float:
-        """Linear-interpolation quantile, ``0 <= q <= 1``."""
+        """Streaming quantile estimate, ``0 <= q <= 1``.
+
+        Within ``relative_accuracy`` of the exact rank value, and
+        always clamped into ``[min, max]`` (so ``quantile(0)`` /
+        ``quantile(1)`` are exact).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        if not self._values:
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if not self._count:
             return float("nan")
-        data = sorted(self._values)
-        position = q * (len(data) - 1)
-        lo = math.floor(position)
-        hi = math.ceil(position)
-        if lo == hi:
-            return data[lo]
-        frac = position - lo
-        return data[lo] + (data[hi] - data[lo]) * frac
+        # The extremes are tracked exactly; the zero/underflow bucket
+        # would otherwise answer 0.0 for q=0 when negatives were seen.
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
+        rank = q * (self._count - 1)
+        estimate = 0.0
+        cumulative = self._zero_count
+        if rank >= cumulative:
+            for index in sorted(self._buckets):
+                cumulative += self._buckets[index]
+                if rank < cumulative:
+                    estimate = self._value_at(index)
+                    break
+        return max(self._min, min(self._max, estimate))
 
     def snapshot(self) -> Dict[str, float]:
         """Summary statistics as a JSON-serializable dict."""
-        if not self._values:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "p50": self.quantile(0.5),
-            "p90": self.quantile(0.9),
-            "p99": self.quantile(0.99),
-        }
+        with self._lock:
+            if not self._count:
+                return {"count": 0}
+            return {
+                "count": self._count,
+                "total": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
+                "p50": self._quantile_locked(0.5),
+                "p90": self._quantile_locked(0.9),
+                "p99": self._quantile_locked(0.99),
+            }
 
 
 class _TimerContext:
@@ -265,6 +396,9 @@ class NullGauge(Gauge):
     __slots__ = ()
 
     def set(self, value: float) -> None:
+        return None
+
+    def inc(self, amount: float = 1.0) -> None:
         return None
 
 

@@ -1,0 +1,161 @@
+"""Prometheus text exposition (format version 0.0.4) for the registry.
+
+Every instrument in a :class:`~repro.obs.metrics.MetricsRegistry` maps
+to one Prometheus metric family:
+
+* counters become ``counter`` families with the conventional
+  ``_total`` suffix (``query.served`` → ``repro_query_served_total``),
+* gauges become ``gauge`` families (unset gauges are omitted),
+* histograms become ``summary`` families with ``quantile`` labels
+  (0.5 / 0.9 / 0.99) plus exact ``_sum`` and ``_count`` series,
+* timers are histograms whose unit is seconds, so their family name
+  carries the conventional ``_seconds`` suffix
+  (``query.latency`` → ``repro_query_latency_seconds``).
+
+Names are sanitized to the Prometheus grammar (dots and dashes become
+underscores) and prefixed with ``repro_``; each family is declared by
+exactly one ``# HELP`` / ``# TYPE`` pair, which the CI scrape step
+validates.  :func:`render_snapshot` works from a registry *snapshot*
+dict — the shape persisted in ``telemetry.json`` manifests — so
+``lockdown-effect telemetry FILE --format prom`` can re-render a
+recorded run, and :func:`render_registry` renders the live registry
+for the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Default family-name prefix for every exposed metric.
+PREFIX = "repro"
+
+#: Quantiles exposed on summary families (keyed by snapshot stat).
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = PREFIX) -> str:
+    """Sanitize an instrument name into a Prometheus metric name."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if prefix:
+        sanitized = f"{prefix}_{sanitized}"
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """One sample value in exposition syntax (ints stay integral)."""
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+class _Renderer:
+    """Accumulates families, guaranteeing unique declarations."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._families: set = set()
+
+    def family(self, name: str, mtype: str, help_text: str) -> Optional[str]:
+        # Two instrument names can sanitize to one family name
+        # ("a.b" / "a-b"); suffix the latecomer rather than emit a
+        # duplicate declaration, which scrapers reject.
+        while name in self._families:
+            name += f"_{mtype}"
+            if name in self._families:
+                return None
+        self._families.add(name)
+        self.lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        self.lines.append(f"# TYPE {name} {mtype}")
+        return name
+
+    def sample(self, name: str, value: float, labels: str = "") -> None:
+        self.lines.append(f"{name}{labels} {_format_value(value)}")
+
+
+def _render_summary(
+    renderer: _Renderer,
+    family: Optional[str],
+    stats: Mapping[str, float],
+) -> None:
+    if family is None:
+        return
+    count = int(stats.get("count", 0))
+    if count:
+        for quantile, stat in SUMMARY_QUANTILES:
+            if stat in stats:
+                renderer.sample(
+                    family, stats[stat], labels=f'{{quantile="{quantile}"}}'
+                )
+    renderer.sample(f"{family}_sum", float(stats.get("total", 0.0)))
+    renderer.sample(f"{family}_count", count)
+
+
+def render_snapshot(
+    snapshot: Mapping[str, Mapping[str, object]], prefix: str = PREFIX
+) -> str:
+    """Exposition text from a registry snapshot dict.
+
+    Accepts the exact shape :meth:`MetricsRegistry.snapshot` produces
+    (and ``telemetry.json`` persists): ``counters`` mapping names to
+    integers, ``gauges`` to floats (or ``None`` — skipped),
+    ``histograms``/``timers`` to summary-statistics dicts.
+    """
+    renderer = _Renderer()
+    counters: Dict[str, object] = dict(snapshot.get("counters") or {})
+    for name in sorted(counters):
+        family = renderer.family(
+            f"{prometheus_name(name, prefix)}_total", "counter",
+            f"Counter {name!r}.",
+        )
+        if family is not None:
+            renderer.sample(family, float(counters[name]))  # type: ignore[arg-type]
+    gauges: Dict[str, object] = dict(snapshot.get("gauges") or {})
+    for name in sorted(gauges):
+        value = gauges[name]
+        if value is None:
+            continue
+        family = renderer.family(
+            prometheus_name(name, prefix), "gauge", f"Gauge {name!r}.",
+        )
+        if family is not None:
+            renderer.sample(family, float(value))  # type: ignore[arg-type]
+    histograms: Dict[str, object] = dict(snapshot.get("histograms") or {})
+    for name in sorted(histograms):
+        family = renderer.family(
+            prometheus_name(name, prefix), "summary",
+            f"Distribution {name!r}.",
+        )
+        _render_summary(renderer, family, histograms[name])  # type: ignore[arg-type]
+    timers: Dict[str, object] = dict(snapshot.get("timers") or {})
+    for name in sorted(timers):
+        family = renderer.family(
+            f"{prometheus_name(name, prefix)}_seconds", "summary",
+            f"Wall-clock timer {name!r} (seconds).",
+        )
+        _render_summary(renderer, family, timers[name])  # type: ignore[arg-type]
+    return "\n".join(renderer.lines) + "\n" if renderer.lines else ""
+
+
+def render_registry(
+    registry: Optional[MetricsRegistry] = None, prefix: str = PREFIX
+) -> str:
+    """Exposition text for ``registry`` (default: the process-global)."""
+    if registry is None:
+        from repro import obs
+
+        registry = obs.get_registry()
+    return render_snapshot(registry.snapshot(), prefix=prefix)

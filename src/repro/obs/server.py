@@ -1,0 +1,113 @@
+"""A scrape endpoint for the metrics registry (stdlib only).
+
+:class:`MetricsServer` runs a :class:`http.server.ThreadingHTTPServer`
+on a daemon thread and serves:
+
+* ``GET /metrics`` — the current registry rendered by
+  :func:`repro.obs.prom.render_registry` (Prometheus text format
+  0.0.4),
+* ``GET /healthz`` — a plain ``ok`` liveness probe.
+
+The registry is resolved through a *provider* callable on every
+request (default :func:`repro.obs.get_registry`), so a scrape always
+sees the currently installed registry even if ``obs.configure`` swaps
+it after the server starts.  ``lockdown-effect serve --metrics-port``
+is the CLI face of this class.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import render_registry
+
+#: Content type of the Prometheus text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``/metrics`` for one process; start, scrape, close."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry_provider: Optional[Callable[[], MetricsRegistry]] = None,
+    ):
+        if registry_provider is None:
+            from repro import obs
+
+            registry_provider = obs.get_registry
+        self.host = host
+        self.port = port
+        self._provider = registry_provider
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind and serve in the background; returns the bound port.
+
+        ``port=0`` picks an ephemeral port — read the return value (or
+        :attr:`port`, updated here) to find it.
+        """
+        if self._server is not None:
+            return self.port
+        provider = self._provider
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    try:
+                        body = render_registry(provider()).encode()
+                    except Exception as exc:  # noqa: BLE001 — surfaced
+                        self._reply(500, f"render failed: {exc}\n".encode())
+                        return
+                    self._reply(200, body, CONTENT_TYPE)
+                elif path == "/healthz":
+                    self._reply(200, b"ok\n")
+                else:
+                    self._reply(404, b"not found\n")
+
+            def _reply(self, status: int, body: bytes,
+                       content_type: str = "text/plain") -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                return None  # scrapes should not spam stderr
+
+        self._server = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""The slow-query log: one JSON line per over-budget query.
+
+A :class:`SlowQueryLog` captures everything needed to understand why a
+query blew its latency budget *without* re-running it: the canonical
+spec and its fingerprint, the plan the engine chose (partitions
+scanned vs. pruned, projected columns, sidecar usage, estimated
+bytes), and the full stage breakdown (queue wait, planning, scanning,
+merging, cache store, end-to-end total).  The
+:class:`~repro.query.service.QueryService` writes one entry for every
+query whose total latency reaches the threshold; ``repro serve
+--slow-log PATH --slow-threshold S`` wires it up from the CLI.
+
+Entries append as JSONL (one object per line, ``ts`` first), so the
+file tails cleanly while the service runs and loads with one
+``json.loads`` per line afterwards.  Writes are serialized under a
+lock and use append mode, so worker threads — or multiple services
+sharing one path — interleave whole lines, never partial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Stage keys every slow-query entry carries (queue wait, planning,
+#: partition scans, partial merges, result-cache store, end-to-end).
+STAGE_KEYS = ("queue", "plan", "scan", "merge", "cache_store", "total")
+
+
+class SlowQueryLog:
+    """Threshold-gated JSONL sink for per-query diagnostics."""
+
+    def __init__(self, path: PathLike, threshold_s: float = 1.0):
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be >= 0")
+        self.path = Path(path)
+        self.threshold_s = float(threshold_s)
+        self._lock = threading.Lock()
+        self._entries_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def entries_written(self) -> int:
+        """Entries appended by this instance (not lines in the file)."""
+        return self._entries_written
+
+    def should_log(self, total_s: float) -> bool:
+        """Whether a query with this end-to-end latency is over budget."""
+        return total_s >= self.threshold_s
+
+    def record(self, total_s: float, entry: Dict[str, object]) -> bool:
+        """Append ``entry`` if ``total_s`` reaches the threshold.
+
+        Returns True when a line was written.  ``entry`` is shallow-
+        copied with a ``ts`` (unix seconds) and ``threshold_s`` header;
+        callers provide the query fields (see the service for the
+        schema).
+        """
+        if not self.should_log(total_s):
+            return False
+        payload: Dict[str, object] = {
+            "ts": round(time.time(), 3),
+            "threshold_s": self.threshold_s,
+        }
+        payload.update(entry)
+        line = json.dumps(payload, sort_keys=True, default=str)
+        with self._lock:
+            with self.path.open("a") as handle:
+                handle.write(line + "\n")
+            self._entries_written += 1
+        return True
+
+    def describe(self) -> Dict[str, object]:
+        """Configuration + lifetime count (manifest-ready)."""
+        return {
+            "path": str(self.path),
+            "threshold_s": self.threshold_s,
+            "entries_written": self._entries_written,
+        }
+
+
+def read_slow_log(path: PathLike) -> list:
+    """Load every entry from a slow-query log file (tests, tooling)."""
+    entries = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries

@@ -163,6 +163,15 @@ class QueryResult:
     hll_error: float = 0.0
     wall_s: float = 0.0
     from_cache: bool = False
+    #: Per-stage wall seconds: ``plan``/``scan``/``merge`` filled by the
+    #: engine (``scan`` sums per-partition scan walls, so it can exceed
+    #: elapsed time under parallelism), ``queue``/``cache_store``/
+    #: ``total`` stamped by the query service.  A cache hit gets a
+    #: fresh dict with zeroed execution stages.
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: Compact plan diagnostics (pruning, projection, sidecar use) —
+    #: what ``--explain`` would have reported for this execution.
+    plan_summary: Optional[Dict[str, object]] = None
 
     @property
     def n_failed(self) -> int:
@@ -209,6 +218,11 @@ class QueryResult:
             "hll_error": round(self.hll_error, 6),
             "wall_s": round(self.wall_s, 6),
             "from_cache": self.from_cache,
+            "stages": {
+                name: round(value, 6)
+                for name, value in sorted(self.stages.items())
+            },
+            "plan": self.plan_summary,
         }
 
 
@@ -323,6 +337,23 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
         sidecar_days=sidecar_days,
         estimated_bytes=estimated_bytes,
     )
+
+
+def _plan_summary(plan: QueryPlan) -> Dict[str, object]:
+    """The plan condensed for result diagnostics and slow-query logs."""
+    return {
+        "partitions": len(plan.days),
+        "pruned": {
+            "out_of_range": plan.pruned_out_of_range,
+            "empty": plan.pruned_empty,
+            "by_hour": plan.pruned_by_hour,
+            "by_zone": plan.pruned_by_zone,
+        },
+        "missing_days": len(plan.missing_days),
+        "columns": list(plan.columns),
+        "sidecar_days": plan.sidecar_days,
+        "estimated_bytes": plan.estimated_bytes,
+    }
 
 
 # -- partition scans ---------------------------------------------------------
@@ -601,12 +632,22 @@ def _finalize(
     )
 
 
+def _timed_scan(
+    store: FlowStore, day: _dt.date, spec: QuerySpec
+) -> Tuple[Tuple[Sums, Sketches, ScanStats], float]:
+    """One partition scan plus its wall time (for stage accounting)."""
+    t0 = time.perf_counter()
+    outcome = scan_partition(store, day, spec)
+    return outcome, time.perf_counter() - t0
+
+
 def execute_plan(
     store: FlowStore,
     plan: QueryPlan,
     pool: Optional[Executor] = None,
     deadline: Optional[float] = None,
     cancel: Optional[Event] = None,
+    plan_s: float = 0.0,
 ) -> QueryResult:
     """Run a plan, merging per-partition partials as they complete.
 
@@ -616,6 +657,14 @@ def execute_plan(
     between partitions — on expiry pending scans are cancelled and
     :class:`QueryTimeout` is raised.  ``cancel`` aborts the same way
     with :class:`QueryCancelled`.
+
+    ``plan_s`` is the planning wall time measured by the caller (zero
+    when the plan was built out of band); it flows into the result's
+    ``stages`` breakdown together with the per-partition scan walls
+    (``scan``), the accumulated partial-merge plus finalize wall
+    (``merge``), and stage timers on the registry.  The per-query span
+    carries ``scan``/``merge`` child spans, so a traced run shows one
+    tree per query.
     """
     spec = plan.spec
     t0 = time.perf_counter()
@@ -627,6 +676,8 @@ def execute_plan(
     rows_scanned = 0
     rows_matched = 0
     bytes_read = 0
+    scan_s = 0.0
+    merge_s = 0.0
     columns_loaded: set = set()
 
     def _check_interrupts() -> None:
@@ -639,13 +690,15 @@ def execute_plan(
             )
 
     def _absorb(day: _dt.date, outcome, error: Optional[str]) -> None:
-        nonlocal scanned, rows_scanned, rows_matched, bytes_read
+        nonlocal scanned, rows_scanned, rows_matched, bytes_read, merge_s
         if error is not None:
             failures.append(PartitionFailure(day.isoformat(), error))
             registry.counter("query.partitions-failed").inc()
             return
         sums, sketches, stats = outcome
+        t_merge = time.perf_counter()
         _merge_partial(total_sums, total_sketches, sums, sketches)
+        merge_s += time.perf_counter() - t_merge
         scanned += 1
         rows_scanned += stats.rows_scanned
         rows_matched += stats.rows_matched
@@ -654,66 +707,89 @@ def execute_plan(
         registry.counter("query.partitions-scanned").inc()
 
     with obs.span(f"query/{spec.describe()}") as span:
-        if pool is None or len(plan.days) <= 1:
-            for day in plan.days:
-                _check_interrupts()
+        with obs.span("scan") as scan_span:
+            if pool is None or len(plan.days) <= 1:
+                for day in plan.days:
+                    _check_interrupts()
+                    try:
+                        outcome, scan_dt = _timed_scan(store, day, spec)
+                    except FlowStoreError as exc:
+                        _absorb(day, None, str(exc))
+                    else:
+                        scan_s += scan_dt
+                        _absorb(day, outcome, None)
+            else:
+                futures = {
+                    pool.submit(_timed_scan, store, day, spec): day
+                    for day in plan.days
+                }
+                pending = set(futures)
                 try:
-                    outcome = scan_partition(store, day, spec)
-                except FlowStoreError as exc:
-                    _absorb(day, None, str(exc))
-                else:
-                    _absorb(day, outcome, None)
-        else:
-            futures = {
-                pool.submit(scan_partition, store, day, spec): day
-                for day in plan.days
-            }
-            pending = set(futures)
-            try:
-                while pending:
-                    remaining = None
-                    if deadline is not None:
-                        remaining = max(0.0, deadline - time.monotonic())
-                    done, pending = wait(
-                        pending, timeout=remaining,
-                        return_when=FIRST_COMPLETED,
-                    )
-                    if not done:
-                        raise QueryTimeout(
-                            f"query {spec.describe()} exceeded its "
-                            f"deadline after {scanned}/{len(plan.days)} "
-                            f"partitions"
+                    while pending:
+                        remaining = None
+                        if deadline is not None:
+                            remaining = max(
+                                0.0, deadline - time.monotonic()
+                            )
+                        done, pending = wait(
+                            pending, timeout=remaining,
+                            return_when=FIRST_COMPLETED,
                         )
-                    for future in done:
-                        day = futures[future]
-                        try:
-                            outcome = future.result()
-                        except FlowStoreError as exc:
-                            _absorb(day, None, str(exc))
-                        else:
-                            _absorb(day, outcome, None)
-                    if cancel is not None and cancel.is_set():
-                        raise QueryCancelled(
-                            f"query {spec.describe()} cancelled"
-                        )
-            finally:
-                for future in pending:
-                    future.cancel()
+                        if not done:
+                            raise QueryTimeout(
+                                f"query {spec.describe()} exceeded its "
+                                f"deadline after {scanned}/"
+                                f"{len(plan.days)} partitions"
+                            )
+                        for future in done:
+                            day = futures[future]
+                            try:
+                                outcome, scan_dt = future.result()
+                            except FlowStoreError as exc:
+                                _absorb(day, None, str(exc))
+                            else:
+                                scan_s += scan_dt
+                                _absorb(day, outcome, None)
+                        if cancel is not None and cancel.is_set():
+                            raise QueryCancelled(
+                                f"query {spec.describe()} cancelled"
+                            )
+                finally:
+                    for future in pending:
+                        future.cancel()
+            scan_span.set_metric("partitions", scanned)
+            scan_span.set_metric("scan_ms", round(scan_s * 1e3, 3))
         registry.counter("query.rows-scanned").inc(rows_scanned)
         registry.counter("query.rows-matched").inc(rows_matched)
         registry.counter("query.partitions-pruned").inc(plan.n_pruned)
         registry.counter("query.bytes-read").inc(bytes_read)
         registry.counter("query.columns-loaded").inc(len(columns_loaded))
-        result = _finalize(
-            spec, plan, total_sums, total_sketches, failures,
-            scanned, rows_scanned, rows_matched, bytes_read,
-            tuple(sorted(columns_loaded)), t0,
-        )
+        with obs.span("merge") as merge_span:
+            t_finalize = time.perf_counter()
+            result = _finalize(
+                spec, plan, total_sums, total_sketches, failures,
+                scanned, rows_scanned, rows_matched, bytes_read,
+                tuple(sorted(columns_loaded)), t0,
+            )
+            merge_s += time.perf_counter() - t_finalize
+            merge_span.set_metric("merge_ms", round(merge_s * 1e3, 3))
+        result.stages.update({
+            "plan": plan_s,
+            "scan": scan_s,
+            "merge": merge_s,
+            "total": plan_s + result.wall_s,
+        })
+        result.plan_summary = _plan_summary(plan)
+        if registry.enabled:
+            registry.timer("query.stage-plan").record(plan_s)
+            registry.timer("query.stage-scan").record(scan_s)
+            registry.timer("query.stage-merge").record(merge_s)
         span.set_metric("partitions", scanned)
         span.set_metric("failed", len(failures))
         span.set_metric("rows", rows_matched)
         span.set_metric("groups", len(result.rows))
         span.set_metric("bytes_read", bytes_read)
+        span.set_metric("plan_ms", round(plan_s * 1e3, 3))
     return result
 
 
@@ -725,12 +801,20 @@ def execute_query(
     cancel: Optional[Event] = None,
 ) -> QueryResult:
     """Plan and execute ``spec`` against ``store`` in one call."""
+    t0 = time.perf_counter()
+    plan = plan_query(store, spec)
+    plan_s = time.perf_counter() - t0
     return execute_plan(
-        store, plan_query(store, spec), pool=pool, deadline=deadline,
-        cancel=cancel,
+        store, plan, pool=pool, deadline=deadline, cancel=cancel,
+        plan_s=plan_s,
     )
 
 
 def cached_copy(result: QueryResult) -> QueryResult:
-    """A cache-hit view of ``result`` (shared rows, flagged)."""
-    return replace(result, from_cache=True)
+    """A cache-hit view of ``result`` (shared rows, flagged).
+
+    The copy gets a *fresh* ``stages`` dict — the service stamps the
+    hit's own queue/total timings onto it, which must never leak into
+    the cached original (or into other hits).
+    """
+    return replace(result, from_cache=True, stages={})

@@ -19,8 +19,14 @@ the machinery a shared analytics endpoint needs:
   store changes;
 * full :mod:`repro.obs` integration — ``query.*`` counters
   (submitted/served/failed/rejected/timeouts, cache hits/misses,
-  partition and row traffic), a ``query.queue-depth`` gauge, latency
-  and queue-wait timers, and one span per executed query.
+  partition and row traffic), a ``query.queue-depth`` gauge kept
+  accurate on enqueue *and* drain, latency / queue-wait / per-stage
+  timers, and one span per executed query;
+* a per-query **stage breakdown** — queue wait, planning, partition
+  scans, merges, and result-cache store stamped onto every result's
+  ``stages`` dict — feeding an optional
+  :class:`~repro.obs.slowlog.SlowQueryLog` that captures the spec,
+  the plan, and the full breakdown for queries over a latency budget.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from typing import Dict, Mapping, Optional, Tuple, Union
 import repro.obs as obs
 from repro.flows import colstore
 from repro.flows.store import FlowStore
+from repro.obs.slowlog import SlowQueryLog
 from repro.query import engine
 from repro.query.errors import QueryError, QueryRejected, QueryTimeout
 from repro.query.spec import QuerySpec
@@ -108,6 +115,7 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     max_queue_depth: int = 0
+    slow: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -120,6 +128,7 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "max_queue_depth": self.max_queue_depth,
+            "slow": self.slow,
         }
 
 
@@ -133,6 +142,7 @@ class QueryService:
         queue_capacity: int = 64,
         default_timeout: float = 30.0,
         cache_entries: int = 128,
+        slow_log: Optional[SlowQueryLog] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -153,6 +163,7 @@ class QueryService:
         self._cache: "OrderedDict[CacheKey, engine.QueryResult]" = \
             OrderedDict()
         self._cache_entries = cache_entries
+        self.slow_log = slow_log
         self._lock = threading.Lock()
         self.stats = ServiceStats()
         self._closed = False
@@ -247,7 +258,10 @@ class QueryService:
                 self.stats.max_queue_depth, depth
             )
         registry.counter("query.submitted").inc()
-        registry.gauge("query.queue-depth").set(depth)
+        # inc/dec (not .set(qsize())) keeps the gauge consistent under
+        # concurrent submitters and drainers: every successful enqueue
+        # adds one, every dequeue in _worker_loop subtracts one.
+        registry.gauge("query.queue-depth").inc()
         return QueryTicket(spec, job.future, job.cancel)
 
     def run(
@@ -264,7 +278,7 @@ class QueryService:
             job = self._queue.get()
             if job is None:
                 return
-            registry.gauge("query.queue-depth").set(self._queue.qsize())
+            registry.gauge("query.queue-depth").dec()
             if not job.future.set_running_or_notify_cancel():
                 with self._lock:
                     self.stats.cancelled += 1
@@ -280,6 +294,11 @@ class QueryService:
                     self.stats.failed += 1
                 registry.counter("query.timeouts").inc()
                 registry.counter("query.failed").inc()
+                total_s = time.monotonic() - job.enqueued_at
+                self._log_slow(
+                    job, total_s, wait_s, stages=None, result=None,
+                    status="timeout", error=str(exc),
+                )
                 job.future.set_exception(exc)
             except BaseException as exc:  # noqa: BLE001 — relayed
                 with self._lock:
@@ -290,10 +309,73 @@ class QueryService:
                 with self._lock:
                     self.stats.served += 1
                 registry.counter("query.served").inc()
-                registry.timer("query.latency").record(
-                    time.monotonic() - job.enqueued_at
+                total_s = time.monotonic() - job.enqueued_at
+                registry.timer("query.latency").record(total_s)
+                stages = self._stamp_stages(result, wait_s, total_s)
+                self._log_slow(
+                    job, total_s, wait_s, stages=stages, result=result,
+                    status="ok",
                 )
                 job.future.set_result(result)
+
+    @staticmethod
+    def _stamp_stages(
+        result: engine.QueryResult, wait_s: float, total_s: float
+    ) -> Dict[str, float]:
+        """Complete the result's stage breakdown with service timings.
+
+        The engine fills plan/scan/merge (zeroed here for cache hits,
+        whose copies start with empty stages); the service owns queue
+        wait, the cache-store wall, and the end-to-end total.
+        """
+        stages = {
+            "plan": 0.0, "scan": 0.0, "merge": 0.0, "cache_store": 0.0,
+        }
+        stages.update(getattr(result, "stages", None) or {})
+        stages["queue"] = wait_s
+        stages["total"] = total_s
+        result.stages = stages
+        return stages
+
+    def _log_slow(
+        self,
+        job: _Job,
+        total_s: float,
+        wait_s: float,
+        stages: Optional[Dict[str, float]],
+        result: Optional[engine.QueryResult],
+        status: str,
+        error: Optional[str] = None,
+    ) -> None:
+        """Write one slow-log entry when the query is over budget."""
+        log = self.slow_log
+        if log is None or not log.should_log(total_s):
+            return
+        if stages is None:
+            stages = {
+                "plan": 0.0, "scan": 0.0, "merge": 0.0,
+                "cache_store": 0.0, "queue": wait_s, "total": total_s,
+            }
+        entry: Dict[str, object] = {
+            "status": status,
+            "fingerprint": job.spec.fingerprint(),
+            "vantage": job.spec.vantage,
+            "query": job.spec.describe(),
+            "spec": job.spec.to_dict(),
+            "stages": {k: round(v, 6) for k, v in sorted(stages.items())},
+        }
+        if result is not None:
+            entry["plan"] = result.plan_summary
+            entry["rows"] = len(result.rows)
+            entry["rows_scanned"] = result.rows_scanned
+            entry["bytes_read"] = result.bytes_read
+            entry["from_cache"] = result.from_cache
+        if error is not None:
+            entry["error"] = error
+        if log.record(total_s, entry):
+            with self._lock:
+                self.stats.slow += 1
+            obs.get_registry().counter("query.slow").inc()
 
     def _execute(self, job: _Job) -> engine.QueryResult:
         registry = obs.get_registry()
@@ -322,11 +404,15 @@ class QueryService:
             store, job.spec, pool=self._scan_pool,
             deadline=job.deadline, cancel=job.cancel,
         )
+        t_store = time.monotonic()
         with self._lock:
             self._cache[key] = result
             self._cache.move_to_end(key)
             while len(self._cache) > self._cache_entries:
                 self._cache.popitem(last=False)
+        store_s = time.monotonic() - t_store
+        result.stages["cache_store"] = store_s
+        registry.timer("query.stage-cache-store").record(store_s)
         registry.gauge("query.cache-entries").set(len(self._cache))
         return result
 
@@ -339,7 +425,7 @@ class QueryService:
 
     def describe(self) -> Dict[str, object]:
         """Service configuration + lifetime stats (manifest-ready)."""
-        return {
+        info: Dict[str, object] = {
             "name": "query-service",
             "workers": self.workers,
             "queue_capacity": self.queue_capacity,
@@ -348,3 +434,6 @@ class QueryService:
             "vantages": list(self.vantages),
             "stats": self.stats.to_dict(),
         }
+        if self.slow_log is not None:
+            info["slow_log"] = self.slow_log.describe()
+        return info

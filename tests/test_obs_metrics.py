@@ -1,6 +1,9 @@
 """Unit tests for the metric instruments and registries."""
 
 import json
+import math
+import random
+import threading
 import time
 
 import pytest
@@ -39,16 +42,42 @@ class TestGauge:
         g.set(2.5)
         assert g.value == 2.5
 
+    def test_inc_dec_from_unset(self):
+        g = metrics.Gauge("g")
+        g.inc()
+        g.inc(4)
+        g.dec()
+        assert g.value == 4.0
+        g.dec(4)
+        assert g.value == 0.0
+
+    def test_concurrent_inc_dec_balance(self):
+        g = metrics.Gauge("depth")
+
+        def churn():
+            for _ in range(2_000):
+                g.inc()
+                g.dec()
+
+        workers = [threading.Thread(target=churn) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert g.value == 0.0
+
 
 class TestHistogram:
-    def test_quantiles_interpolate(self):
+    def test_quantiles_within_relative_accuracy(self):
         h = metrics.Histogram("h")
         for v in range(1, 101):
             h.record(v)
+        # Extremes are tracked exactly; interior quantiles come from
+        # log-scale buckets with a relative-accuracy guarantee.
         assert h.quantile(0.0) == 1
         assert h.quantile(1.0) == 100
-        assert h.quantile(0.5) == pytest.approx(50.5)
-        assert h.quantile(0.9) == pytest.approx(90.1)
+        assert h.quantile(0.5) == pytest.approx(50.5, rel=0.02)
+        assert h.quantile(0.9) == pytest.approx(90.1, rel=0.02)
 
     def test_empty_quantile_is_nan(self):
         import math
@@ -76,6 +105,117 @@ class TestHistogram:
         snap = h.snapshot()
         for key in ("count", "total", "min", "max", "mean", "p50", "p99"):
             assert key in snap
+
+
+class TestStreamingHistogram:
+    """Behaviour specific to the bounded log-bucket quantile sketch."""
+
+    def test_single_value_quantiles_exact(self):
+        h = metrics.Histogram("h")
+        for _ in range(10):
+            h.record(7.25)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(7.25, rel=1e-9)
+
+    def test_relative_accuracy_bound_vs_sorted_reference(self):
+        rng = random.Random(20200316)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(5_000)]
+        alpha = 0.01
+        h = metrics.Histogram("h", relative_accuracy=alpha)
+        for v in values:
+            h.record(v)
+        ordered = sorted(values)
+        for q in (0.01, 0.1, 0.5, 0.9, 0.99):
+            rank = q * (len(ordered) - 1)
+            lo = ordered[int(rank)]
+            hi = ordered[min(int(rank) + 1, len(ordered) - 1)]
+            estimate = h.quantile(q)
+            # The sketch guarantees relative error alpha against one
+            # of the order statistics bracketing the rank.
+            assert lo * (1 - 2 * alpha) <= estimate <= hi * (1 + 2 * alpha)
+
+    def test_count_sum_min_max_exact(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.001, 1e6) for _ in range(1_000)]
+        h = metrics.Histogram("h")
+        for v in values:
+            h.record(v)
+        assert h.count == len(values)
+        assert h.total == pytest.approx(sum(values), rel=1e-12)
+        assert h.min == min(values)
+        assert h.max == max(values)
+
+    def test_memory_bounded_by_dynamic_range_not_count(self):
+        rng = random.Random(11)
+        h = metrics.Histogram("h")
+        for _ in range(50_000):
+            h.record(rng.uniform(0.001, 1000.0))
+        # Nine decades at 1% relative accuracy is well under a
+        # thousand distinct buckets, however many points stream in.
+        assert h.n_buckets < 1_000
+        assert h.count == 50_000
+
+    def test_zero_and_negative_values_counted(self):
+        h = metrics.Histogram("h")
+        h.record(0.0)
+        h.record(-5.0)
+        h.record(10.0)
+        assert h.count == 3
+        assert h.min == -5.0
+        assert h.quantile(0.0) == -5.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_merge_equals_single_stream(self):
+        rng = random.Random(3)
+        values = [rng.lognormvariate(1.0, 1.5) for _ in range(4_000)]
+        whole = metrics.Histogram("whole")
+        parts = [metrics.Histogram(f"part{i}") for i in range(4)]
+        for i, v in enumerate(values):
+            whole.record(v)
+            parts[i % 4].record(v)
+        merged = metrics.Histogram("merged")
+        for part in parts:
+            merged.merge(part)
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        for q in (0.05, 0.5, 0.95, 0.99):
+            assert merged.quantile(q) == pytest.approx(
+                whole.quantile(q), rel=1e-9
+            )
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        a = metrics.Histogram("a", relative_accuracy=0.01)
+        b = metrics.Histogram("b", relative_accuracy=0.02)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_invalid_relative_accuracy_rejected(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                metrics.Histogram("h", relative_accuracy=bad)
+
+    def test_concurrent_records_and_merges(self):
+        target = metrics.Histogram("target")
+        sources = [metrics.Histogram(f"s{i}") for i in range(4)]
+
+        def feed(hist):
+            rng = random.Random(id(hist) % 1_000)
+            for _ in range(5_000):
+                hist.record(rng.uniform(0.01, 100.0))
+
+        threads = [
+            threading.Thread(target=feed, args=(h,)) for h in sources
+        ] + [threading.Thread(target=feed, args=(target,))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for h in sources:
+            target.merge(h)
+        assert target.count == 25_000
+        assert not math.isnan(target.quantile(0.5))
 
 
 class TestTimer:

@@ -1,0 +1,133 @@
+"""Unit tests for Prometheus exposition rendering and the scrape server."""
+
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.prom import (
+    prometheus_name,
+    render_registry,
+    render_snapshot,
+)
+from repro.obs.server import MetricsServer
+
+
+@pytest.fixture
+def registry():
+    return metrics.MetricsRegistry()
+
+
+def _families(text):
+    """TYPE declarations keyed by family name."""
+    out = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, mtype = line.split(" ", 3)
+            out[name] = mtype
+    return out
+
+
+class TestNames:
+    def test_sanitizes_dots_and_dashes(self):
+        assert prometheus_name("query.queue-depth") == \
+            "repro_query_queue_depth"
+
+    def test_prefix_optional(self):
+        assert prometheus_name("a.b", prefix="") == "a_b"
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("1abc", prefix="")[0] == "_"
+
+
+class TestRenderSnapshot:
+    def test_counter_family(self, registry):
+        registry.counter("query.served").inc(3)
+        text = render_registry(registry)
+        assert "# TYPE repro_query_served_total counter" in text
+        assert "repro_query_served_total 3" in text
+
+    def test_gauge_family_skips_unset(self, registry):
+        registry.gauge("depth").set(2.0)
+        registry.gauge("unset")
+        text = render_registry(registry)
+        assert "repro_depth 2" in text
+        assert "unset" not in text
+
+    def test_histogram_becomes_summary(self, registry):
+        h = registry.histogram("latency")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        text = render_registry(registry)
+        assert "# TYPE repro_latency summary" in text
+        assert 'repro_latency{quantile="0.5"}' in text
+        assert 'repro_latency{quantile="0.99"}' in text
+        assert "repro_latency_sum 6" in text
+        assert "repro_latency_count 3" in text
+
+    def test_timer_gets_seconds_suffix(self, registry):
+        with registry.timer("query.latency").time():
+            pass
+        text = render_registry(registry)
+        assert "# TYPE repro_query_latency_seconds summary" in text
+        assert "repro_query_latency_seconds_count 1" in text
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert render_registry(registry) == ""
+
+    def test_families_declared_once(self, registry):
+        # "a.b" and "a-b" sanitize to the same family name; the
+        # renderer must not emit a duplicate HELP/TYPE declaration.
+        registry.counter("a.b").inc()
+        registry.counter("a-b").inc(2)
+        text = render_registry(registry)
+        assert len(_families(text)) == len(
+            [1 for line in text.splitlines()
+             if line.startswith("# TYPE ")]
+        )
+        help_names = [line.split(" ")[2] for line in text.splitlines()
+                      if line.startswith("# HELP ")]
+        assert len(help_names) == len(set(help_names))
+
+    def test_snapshot_dict_roundtrip(self, registry):
+        registry.counter("c").inc(7)
+        snap = registry.snapshot()
+        assert render_snapshot(snap) == render_registry(registry)
+
+    def test_default_registry_is_global(self):
+        obs.configure(telemetry=True)
+        try:
+            obs.counter("global.hits").inc(5)
+            text = obs.prometheus_text()
+            assert "repro_global_hits_total 5" in text
+        finally:
+            obs.reset()
+
+
+class TestMetricsServer:
+    def test_scrape_health_and_404(self, registry):
+        registry.counter("served").inc(9)
+        server = MetricsServer(port=0, registry_provider=lambda: registry)
+        port = server.start()
+        try:
+            base = f"http://127.0.0.1:{port}"
+            with urllib.request.urlopen(f"{base}/metrics") as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                body = resp.read().decode()
+            assert "repro_served_total 9" in body
+            with urllib.request.urlopen(f"{base}/healthz") as resp:
+                assert resp.read() == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{base}/nope")
+            assert err.value.code == 404
+        finally:
+            server.close()
+
+    def test_close_is_idempotent_and_reusable_as_context(self, registry):
+        server = MetricsServer(port=0, registry_provider=lambda: registry)
+        with server:
+            port = server.port
+            assert port != 0
+        server.close()  # second close is a no-op

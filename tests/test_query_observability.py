@@ -1,0 +1,165 @@
+"""Stage timings, slow-query logging, and queue-depth accounting."""
+
+import datetime as dt
+
+import pytest
+
+from repro import obs, timebase
+from repro.flows.store import FlowStore
+from repro.obs.slowlog import STAGE_KEYS, SlowQueryLog, read_slow_log
+from repro.query import QuerySpec, QueryService, execute_query
+
+START = dt.date(2020, 2, 19)
+END = dt.date(2020, 2, 21)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, scenario):
+    flows = scenario.isp_ce.generate_week_flows(
+        timebase.MACRO_WEEKS["base"], fidelity=0.3
+    )
+    store = FlowStore(tmp_path_factory.mktemp("obsq") / "isp-ce")
+    store.write_range(flows, START, END)
+    return store
+
+
+@pytest.fixture
+def telemetry():
+    obs.configure(telemetry=True)
+    yield obs.get_registry()
+    obs.reset()
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("vantage", "isp-ce")
+    kwargs.setdefault("start", START)
+    kwargs.setdefault("end", END)
+    kwargs.setdefault("group_by", ["transport"])
+    kwargs.setdefault("aggregates", ["bytes"])
+    return QuerySpec.build(**kwargs)
+
+
+class TestEngineStages:
+    def test_result_carries_stage_breakdown(self, store):
+        result = execute_query(store, _spec())
+        for key in ("plan", "scan", "merge", "total"):
+            assert key in result.stages
+            assert result.stages[key] >= 0.0
+        assert result.stages["total"] >= result.stages["plan"]
+
+    def test_result_carries_plan_summary(self, store):
+        result = execute_query(
+            store, _spec(start=dt.date(2020, 2, 20), end=END)
+        )
+        plan = result.plan_summary
+        assert plan["partitions"] == 2
+        assert plan["pruned"]["out_of_range"] == 1
+        assert plan["columns"]
+        assert "estimated_bytes" in plan
+
+    def test_to_dict_includes_stages_and_plan(self, store):
+        payload = execute_query(store, _spec()).to_dict()
+        assert set(payload["stages"]) >= {"plan", "scan", "merge", "total"}
+        assert payload["plan"]["partitions"] == 3
+
+    def test_stage_timers_recorded(self, store, telemetry):
+        execute_query(store, _spec())
+        snap = telemetry.snapshot()["timers"]
+        for name in ("query.stage-plan", "query.stage-scan",
+                     "query.stage-merge"):
+            assert snap[name]["count"] == 1
+
+
+class TestServiceStages:
+    def test_service_stamps_all_five_stages(self, store):
+        with QueryService({"isp-ce": store}) as service:
+            result = service.run(_spec())
+        assert set(result.stages) >= set(STAGE_KEYS)
+        assert result.stages["queue"] >= 0.0
+        assert result.stages["total"] > 0.0
+
+    def test_cache_hit_gets_fresh_stages(self, store):
+        with QueryService({"isp-ce": store}, workers=1) as service:
+            miss = service.run(_spec())
+            hit = service.run(_spec())
+        assert not miss.from_cache
+        assert hit.from_cache
+        assert hit.stages is not miss.stages
+        # The hit never planned or scanned; its breakdown says so.
+        assert hit.stages["scan"] == 0.0
+        assert hit.stages["plan"] == 0.0
+        # Stamping the hit must not corrupt the cached original.
+        assert miss.stages["scan"] > 0.0
+
+    def test_queue_depth_gauge_balances(self, store, telemetry):
+        with QueryService({"isp-ce": store}, workers=2) as service:
+            tickets = [
+                service.submit(_spec(aggregates=[agg]))
+                for agg in ("bytes", "flows", "packets")
+            ]
+            for ticket in tickets:
+                ticket.result()
+        assert telemetry.gauge("query.queue-depth").value == 0.0
+
+
+class TestSlowQueryLog:
+    def test_validates_threshold(self, tmp_path):
+        with pytest.raises(ValueError):
+            SlowQueryLog(tmp_path / "slow.jsonl", threshold_s=-1.0)
+
+    def test_under_threshold_not_logged(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", threshold_s=5.0)
+        assert not log.record(0.1, {"fingerprint": "x"})
+        assert log.entries_written == 0
+        assert not (tmp_path / "slow.jsonl").exists()
+
+    def test_zero_threshold_logs_everything(self, store, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_s=0.0)
+        with QueryService(
+            {"isp-ce": store}, workers=1, slow_log=log
+        ) as service:
+            service.run(_spec())
+            service.run(_spec())  # the cache hit is logged too
+            stats = service.stats
+        entries = read_slow_log(path)
+        assert len(entries) == 2
+        assert stats.slow == 2
+        assert stats.to_dict()["slow"] == 2
+
+    def test_entry_schema(self, store, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_s=0.0)
+        spec = _spec()
+        with QueryService(
+            {"isp-ce": store}, workers=1, slow_log=log
+        ) as service:
+            service.run(spec)
+            described = service.describe()
+        entry = read_slow_log(path)[0]
+        assert entry["fingerprint"] == spec.fingerprint()
+        assert entry["vantage"] == "isp-ce"
+        assert entry["spec"] == spec.to_dict()
+        assert set(entry["stages"]) >= set(STAGE_KEYS)
+        assert entry["plan"]["partitions"] == 3
+        assert entry["status"] == "ok"
+        assert entry["threshold_s"] == 0.0
+        assert "ts" in entry
+        assert described["slow_log"]["entries_written"] == 1
+
+    def test_high_threshold_logs_nothing(self, store, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_s=3600.0)
+        with QueryService(
+            {"isp-ce": store}, workers=1, slow_log=log
+        ) as service:
+            service.run(_spec())
+        assert log.entries_written == 0
+
+    def test_slow_counter_incremented(self, store, tmp_path, telemetry):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", threshold_s=0.0)
+        with QueryService(
+            {"isp-ce": store}, workers=1, slow_log=log
+        ) as service:
+            service.run(_spec())
+        assert telemetry.counter("query.slow").value == 1
