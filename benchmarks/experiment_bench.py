@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Benchmark the scenario-grid ``Experiment`` runner.
+
+Sweeps the example grid (``examples/experiment_grid.py``: the paper
+baseline plus two event worlds) across its repeats, timing the whole
+grid and each scenario, and appends one entry to
+``BENCH_results.json`` in the repo's ``{"runs": [...]}`` history
+format.  The script exits non-zero — and records ``exit_status`` —
+if any grid cell's experiment checks fail or any planted shift is not
+re-derived blind, so a scenario-engine regression cannot slip through
+as a "fast" result.  ``--fail-on-regression`` additionally compares
+the grid wall time against the latest recorded baseline with the same
+fidelity/shape and fails on a >25% slowdown (tune with
+``--regression-threshold``).
+
+Usage::
+
+    python benchmarks/experiment_bench.py            # default fidelity
+    python benchmarks/experiment_bench.py --fast --repeats 2 --jobs 2
+    python benchmarks/experiment_bench.py --fast --fail-on-regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.experiments import PipelineConfig  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    Experiment,
+    format_grid_manifest,
+    load_grid,
+)
+
+#: wall_s key prefix, matching the pytest-style keys already in the file.
+KEY = "benchmarks/experiment_bench.py::experiment_grid"
+
+DEFAULT_GRID = REPO_ROOT / "examples" / "experiment_grid.py"
+
+
+def _latest_baseline(
+    history: Dict[str, list], key: str, fast: bool
+) -> Optional[float]:
+    """The most recent recorded wall time for ``key`` at this fidelity."""
+    for run in reversed(history.get("runs", [])):
+        if bool(run.get("fast")) != fast:
+            continue
+        baseline = (run.get("wall_s") or {}).get(key)
+        if baseline:
+            return float(baseline)
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--grid", default=str(DEFAULT_GRID), metavar="SPEC",
+        help="grid spec file to sweep (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, metavar="N",
+        help="repeats per scenario (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel workers per grid cell (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use the test-suite fidelity (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_results.json"),
+        help="benchmark history file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero if the grid is slower than the latest "
+             "recorded baseline by more than the threshold",
+    )
+    parser.add_argument(
+        "--regression-threshold", type=float, default=0.25,
+        metavar="FRACTION",
+        help="allowed grid slowdown vs. the recorded baseline "
+             "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    grid = load_grid(args.grid)
+    config = PipelineConfig.fast() if args.fast else PipelineConfig()
+    experiment = Experiment(
+        grid["scenarios"],
+        nb_repeats=args.repeats,
+        config=config,
+        jobs=args.jobs,
+        name=grid["name"],
+    )
+    manifest = experiment.run()
+    print(format_grid_manifest(manifest))
+
+    walls: Dict[str, float] = {KEY: float(manifest["wall_s"])}
+    for name, entry in manifest["scenarios"].items():
+        walls[f"{KEY}[{name}]"] = float(entry["wall_s"])
+
+    problems: List[str] = []
+    for name, entry in manifest["scenarios"].items():
+        for experiment_id, agg in entry["experiments"].items():
+            if agg["pass_rate"] < 1.0:
+                problems.append(
+                    f"{name}: {experiment_id} pass rate {agg['pass_rate']}"
+                )
+        for expectation in entry["expectations"]:
+            if not expectation["passed"]:
+                problems.append(
+                    f"{name}: expectation '{expectation['label']}' "
+                    f"not re-derived (ratios {expectation['ratios']})"
+                )
+
+    history_path = Path(args.output)
+    if history_path.exists():
+        payload = json.loads(history_path.read_text())
+    else:
+        payload = {"runs": []}
+
+    for key, wall in sorted(walls.items()):
+        print(f"{key:60s} {wall:8.3f} s")
+    if args.fail_on_regression:
+        recorded = _latest_baseline(payload, KEY, args.fast)
+        if recorded is None:
+            print("no recorded grid baseline at this fidelity; "
+                  "skipping regression gate")
+        else:
+            limit = recorded * (1.0 + args.regression_threshold)
+            print(
+                f"regression gate: grid {walls[KEY]:.3f} s vs. recorded "
+                f"{recorded:.3f} s (limit {limit:.3f} s)"
+            )
+            if walls[KEY] > limit:
+                problems.append(
+                    f"grid: {walls[KEY]:.3f} s exceeds recorded baseline "
+                    f"{recorded:.3f} s by more than "
+                    f"{args.regression_threshold:.0%}"
+                )
+
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    status = 1 if problems else 0
+
+    payload["runs"].append(
+        {
+            "timestamp": round(time.time(), 3),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "fast": bool(args.fast),
+            "exit_status": status,
+            "grid": {
+                "name": manifest["name"],
+                "scenarios": sorted(manifest["scenarios"]),
+                "nb_repeats": manifest["nb_repeats"],
+                "jobs": args.jobs,
+                "dataset_cache": manifest["dataset_cache"],
+            },
+            "wall_s": {k: round(v, 4) for k, v in sorted(walls.items())},
+        }
+    )
+    history_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"appended run to {history_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -183,6 +183,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         manifest = build_manifest(
             results, seed=args.seed, config=config,
+            scenario=scenario,
             executor={
                 "name": "parallel" if args.jobs > 1 else "serial",
                 "jobs": args.jobs,
@@ -213,6 +214,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if failed:
         print(f"{failed} experiment(s) with failing shape checks")
     return 1 if failed else 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        Experiment,
+        format_grid_manifest,
+        load_grid,
+    )
+
+    if args.repeats is not None and args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        grid = load_grid(args.spec_file)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot load grid spec {args.spec_file}: {exc}",
+              file=sys.stderr)
+        return 2
+    repeats = args.repeats or grid["repeats"] or 1
+    config = PipelineConfig.fast() if args.fast else PipelineConfig()
+    experiment = Experiment(
+        grid["scenarios"],
+        nb_repeats=repeats,
+        config=config,
+        jobs=args.jobs,
+        name=grid["name"],
+    )
+    manifest = experiment.run()
+    print(format_grid_manifest(manifest))
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"cannot write manifest to {args.output}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"grid manifest written to {args.output}")
+    return 0 if manifest["passed"] else 1
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -776,6 +820,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect spans/metrics and write a run manifest to PATH",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    experiment_parser = sub.add_parser(
+        "experiment",
+        help="sweep a scenario grid (spec file x repeats) through the "
+             "analyses and blind expectation checks",
+    )
+    experiment_parser.add_argument(
+        "spec_file",
+        help="python file defining GRID (dict) or SCENARIOS (list); "
+             "see examples/experiment_grid.py",
+    )
+    experiment_parser.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="repetitions per scenario with derived child seeds "
+             "(default: the spec file's 'repeats', else 1)",
+    )
+    experiment_parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker threads per grid cell (default: %(default)s)",
+    )
+    experiment_parser.add_argument(
+        "--fast", action="store_true", help="lower sampling fidelity"
+    )
+    experiment_parser.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="also write the aggregated grid manifest to PATH as JSON",
+    )
+    experiment_parser.set_defaults(func=_cmd_experiment)
 
     telemetry_parser = sub.add_parser(
         "telemetry", help="pretty-print a telemetry.json run manifest"

@@ -51,6 +51,13 @@ from repro.experiments.executor import (
     run_all,
     run_experiment,
 )
+from repro.experiments.runner import (
+    Experiment,
+    format_grid_manifest,
+    load_grid,
+    measure_expectation,
+    repeat_seed,
+)
 
 #: Id → runner, in paper order (compat view of :data:`REGISTRY`).
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -59,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 __all__ = [
     "EXPERIMENTS",
+    "Experiment",
     "REGISTRY",
     "ExperimentResult",
     "ExperimentSpec",
@@ -66,9 +74,13 @@ __all__ = [
     "PipelineConfig",
     "SerialExecutor",
     "all_specs",
+    "format_grid_manifest",
     "get_spec",
+    "load_grid",
     "make_executor",
+    "measure_expectation",
     "register",
+    "repeat_seed",
     "resolve_specs",
     "run_all",
     "run_disc09",

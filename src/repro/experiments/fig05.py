@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.core import linkutil
 from repro.core import stats as stats_analysis
+from repro.synth.linkutil import day_shape_name
 from repro.experiments.base import ExperimentResult, PipelineConfig, register
 from repro.report import tables as tabrender
 from repro.synth import datasets
@@ -39,12 +40,21 @@ def stage_growth_factor(scenario: Scenario) -> float:
 def utilization_requests(
     scenario: Scenario,
 ) -> Tuple[DatasetRequest, DatasetRequest]:
-    """The (base, stage-2) member-utilization keys shared with §9."""
+    """The (base, stage-2) member-utilization keys shared with §9.
+
+    The diurnal shape of each day is derived from the scenario's IXP-CE
+    timeline phase (base day: pre-lockdown "workday"; stage-2 day:
+    "lockdown-workday" under the default timelines).
+    """
+    timeline = scenario.ixp_ce.timeline
     return (
-        datasets.link_util_request("ixp-ce", BASE_DAY, 1.0),
+        datasets.link_util_request(
+            "ixp-ce", BASE_DAY, 1.0,
+            shape_name=day_shape_name(timeline, BASE_DAY),
+        ),
         datasets.link_util_request(
             "ixp-ce", STAGE_DAY, stage_growth_factor(scenario),
-            shape_name="lockdown-workday",
+            shape_name=day_shape_name(timeline, STAGE_DAY),
         ),
     )
 

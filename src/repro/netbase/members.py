@@ -132,20 +132,40 @@ def build_member_db(
             raise ValueError(
                 "upgrade_window is required when upgrades are requested"
             )
-        start, end = upgrade_window
-        window_days = (end - start).days
-        if window_days < 0:
-            raise ValueError("upgrade window end precedes start")
-        remaining = lockdown_upgrade_gbps
-        while remaining > 0:
-            member = members[int(rng.integers(0, len(members)))]
-            step = int(min(remaining, rng.choice((10, 100))))
-            offset = int(rng.integers(0, window_days + 1))
-            member.add_upgrade(
-                CapacityUpgrade(
-                    effective=start + _dt.timedelta(days=offset),
-                    added_gbps=step,
-                )
-            )
-            remaining -= step
+        spread_upgrades(members, lockdown_upgrade_gbps, upgrade_window, rng)
     return IXPMemberDB(ixp_name, members)
+
+
+def spread_upgrades(
+    members: Sequence[IXPMember],
+    total_gbps: int,
+    window: Tuple[_dt.date, _dt.date],
+    rng: np.random.Generator,
+) -> None:
+    """Spread ``total_gbps`` of port upgrades over ``members``.
+
+    Randomly chosen members receive 10 or 100 Gbps steps at random
+    dates inside ``window`` (inclusive) until the total is reached.
+    Used both for the default lockdown upgrade campaign and for
+    scenario :class:`~repro.synth.events.CapacityBoost` events.
+    """
+    if total_gbps <= 0:
+        raise ValueError("upgrade campaigns must add positive capacity")
+    if not members:
+        raise ValueError("cannot upgrade an empty member roster")
+    start, end = window
+    window_days = (end - start).days
+    if window_days < 0:
+        raise ValueError("upgrade window end precedes start")
+    remaining = total_gbps
+    while remaining > 0:
+        member = members[int(rng.integers(0, len(members)))]
+        step = int(min(remaining, rng.choice((10, 100))))
+        offset = int(rng.integers(0, window_days + 1))
+        member.add_upgrade(
+            CapacityUpgrade(
+                effective=start + _dt.timedelta(days=offset),
+                added_gbps=step,
+            )
+        )
+        remaining -= step

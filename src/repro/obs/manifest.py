@@ -51,6 +51,9 @@ class RunManifest:
     """Everything needed to identify and audit one pipeline run."""
 
     seed: Optional[int] = None
+    #: Identity of the generated world ({"name": ..., "fingerprint":
+    #: ...}); empty for manifests written before scenario specs existed.
+    scenario: Dict[str, object] = dataclasses.field(default_factory=dict)
     config: Dict[str, float] = dataclasses.field(default_factory=dict)
     git_sha: Optional[str] = None
     python: str = ""
@@ -100,6 +103,7 @@ def build_manifest(
     tracer: Optional[object] = None,
     registry: Optional[object] = None,
     executor: Optional[Dict[str, object]] = None,
+    scenario: Optional[object] = None,
 ) -> RunManifest:
     """Assemble a manifest from experiment results and the obs globals.
 
@@ -117,6 +121,16 @@ def build_manifest(
         config_dict = dict(config)
     else:
         config_dict = {}
+    scenario_info: Dict[str, object] = {}
+    if scenario is not None:
+        # Duck-typed Scenario: its fingerprint keys dataset-cache
+        # entries, so recording it makes cache reuse auditable.
+        scenario_info["fingerprint"] = str(
+            getattr(scenario, "fingerprint", "")
+        )
+        spec = getattr(scenario, "spec", None)
+        if spec is not None:
+            scenario_info["name"] = spec.name
     experiments: Dict[str, Dict[str, object]] = {}
     for result in results:
         experiments[result.experiment_id] = {
@@ -128,6 +142,7 @@ def build_manifest(
         }
     return RunManifest(
         seed=seed,
+        scenario=scenario_info,
         config=config_dict,
         git_sha=git_sha(),
         python=sys.version.split()[0],
@@ -167,6 +182,12 @@ def format_manifest(payload: Dict[str, object], top: int = 10) -> str:
         value = payload.get(key)
         if value is not None and value != "":
             lines.append(f"  {key:10s} {value}")
+    scenario = payload.get("scenario") or {}
+    if scenario:
+        rendered = ", ".join(
+            f"{k}={v}" for k, v in sorted(scenario.items())
+        )
+        lines.append(f"  scenario   {rendered}")
     config = payload.get("config") or {}
     if config:
         rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))

@@ -12,6 +12,10 @@ model (DESIGN.md §2):
 * :mod:`repro.synth.flowgen` — samples flow tables consistent with the
   hourly intensity model,
 * :mod:`repro.synth.linkutil` — per-member link-utilization series,
+* :mod:`repro.synth.events` — composable scenario events (demand
+  shifts, outages, holidays, second waves, ...) with ramp envelopes,
+* :mod:`repro.synth.spec` — declarative :class:`ScenarioSpec` worlds
+  with canonical fingerprints and blind-check expectations,
 * :mod:`repro.synth.scenario` — one-stop construction of a coherent
   world (AS registry, prefixes, ports, DNS corpus, members, vantages).
 
@@ -20,5 +24,12 @@ flows and hourly aggregates, and must re-derive the planted shifts.
 """
 
 from repro.synth.scenario import Scenario, build_scenario
+from repro.synth.spec import Expectation, ScenarioSpec, spec_from_dict
 
-__all__ = ["Scenario", "build_scenario"]
+__all__ = [
+    "Expectation",
+    "Scenario",
+    "ScenarioSpec",
+    "build_scenario",
+    "spec_from_dict",
+]

@@ -63,7 +63,8 @@ KINDS = ("flows", "remote-work", "link-util")
 
 #: Version of the on-disk archive layout.  Bumping it invalidates every
 #: previously written archive (the version is part of the entry key).
-DISK_FORMAT = 1
+#: v2: scenario fingerprints became canonical ScenarioSpec sha256s.
+DISK_FORMAT = 2
 
 PathLike = Union[str, Path]
 
@@ -174,14 +175,21 @@ def link_util_request(
     )
 
 
-def _scenario_fingerprint(scenario) -> Tuple[int, int]:
+def _scenario_fingerprint(scenario) -> str:
     """Deterministic identity of a scenario's synthetic world.
 
-    Scenarios are pure functions of (seed, population sizes); flows
+    Spec-built scenarios expose their
+    :class:`~repro.synth.spec.ScenarioSpec`'s canonical sha256 (seed,
+    populations, region timelines, events, vantage overrides); flows
     from two scenarios with the same fingerprint are bit-identical, so
-    they may share cache entries.
+    they may share cache entries — which lets one
+    :class:`DatasetCache` serve a whole experiment grid without
+    collisions.
     """
-    return (scenario.seed, len(scenario.registry.all_asns()))
+    fingerprint = getattr(scenario, "fingerprint", None)
+    if fingerprint is not None:
+        return str(fingerprint)
+    return f"legacy/{scenario.seed}/{len(scenario.registry.all_asns())}"
 
 
 def _materialize(scenario, request: DatasetRequest):
@@ -234,7 +242,7 @@ _MEMBER_PREFIX = "member/"
 _TOKEN_KEY = "__token__"
 
 
-def entry_token(fingerprint: Tuple[int, ...], request: DatasetRequest) -> str:
+def entry_token(fingerprint: str, request: DatasetRequest) -> str:
     """Canonical identity string of one disk-cache entry.
 
     Everything that determines the materialized bytes is in here — the
@@ -246,7 +254,7 @@ def entry_token(fingerprint: Tuple[int, ...], request: DatasetRequest) -> str:
     return json.dumps(
         {
             "format": DISK_FORMAT,
-            "fingerprint": list(fingerprint),
+            "fingerprint": fingerprint,
             "kind": request.kind,
             "vantage": request.vantage,
             "start": request.start.isoformat(),

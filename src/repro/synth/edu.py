@@ -23,10 +23,13 @@ both sides stays undeterminable (~39% of flows in the paper).
 
 from __future__ import annotations
 
-from typing import Dict
+import datetime as _dt
+from typing import Dict, List, Optional
 
+from repro import timebase
 from repro.flows.record import PROTO_TCP, PROTO_UDP
 from repro.netbase.asdb import ASCategory
+from repro.synth.events import Event, VantageOutage, envelope_for
 from repro.synth.flowgen import EPHEMERAL_PORT
 from repro.synth.profiles import (
     AppProfile,
@@ -59,12 +62,18 @@ def _campus_response(
     )
 
 
-def edu_mix() -> Dict[str, ProfileUse]:
+def edu_mix(world=None) -> Dict[str, ProfileUse]:
     """The EDU vantage's profile mix.
 
     Shares are calibrated so the pre-lockdown workday in/out byte ratio
     is ~15:1 and the §7 growth targets are planted class by class.
+
+    The campus responses are entirely phase-keyed (the lockdown *is*
+    the campus closure), so the mix already follows whatever region
+    timeline the scenario's ``world`` imposes; the parameter is
+    accepted for uniformity with the other mix builders.
     """
+    del world  # phase-keyed responses need no dated events
     mix: Dict[str, ProfileUse] = {}
 
     def use(name: str, profile: AppProfile, share: float) -> None:
@@ -339,3 +348,77 @@ def edu_mix() -> Dict[str, ProfileUse]:
         0.022,
     )
     return mix
+
+
+# ---------------------------------------------------------------------------
+# Canned scenario events for the related-work scenarios.
+# ---------------------------------------------------------------------------
+
+#: Profiles carrying on-campus consumption (collapse when campuses close
+#: harder than the paper's baseline closure).
+ELEARNING_INGRESS_PROFILES = ("edu-campus-ingress", "edu-quic-ingress")
+
+#: Remote-teaching services that surge when *all* instruction moves
+#: online (Favale et al. report e-learning platforms dominating).
+ELEARNING_SERVED_PROFILES = (
+    "edu-web-served", "edu-vpn-served", "edu-rdp-served", "edu-ssh-served",
+)
+
+
+def elearning_collapse_events(
+    timeline=None,
+    ingress_residual: float = 0.35,
+    served_surge: float = 2.2,
+) -> List[Event]:
+    """Events planting the Favale et al. campus e-learning collapse.
+
+    On top of the paper's baseline campus closure, residual on-campus
+    consumption drops to ``ingress_residual`` of its (already reduced)
+    level while remote-teaching services surge by ``served_surge`` —
+    anchored to the Southern-Europe lockdown of ``timeline`` (campuses
+    closed three days before the state of emergency).  Returns plain
+    :mod:`repro.synth.events` events for use in scenario specs.
+    """
+    from repro.synth.events import AppMixShift
+
+    se = timeline or timebase.timeline_for(timebase.Region.SOUTHERN_EUROPE)
+    closure = se.lockdown - _dt.timedelta(days=3)
+    envelope = envelope_for(closure, ramp_days=4)
+    shifts = tuple(
+        [(name, ingress_residual) for name in ELEARNING_INGRESS_PROFILES]
+        + [(name, served_surge) for name in ELEARNING_SERVED_PROFILES]
+    )
+    return [
+        AppMixShift(
+            envelope=envelope,
+            shifts=tuple(sorted(shifts)),
+            vantages=("edu",),
+            label="campus e-learning collapse",
+        )
+    ]
+
+
+def campus_outage_events(
+    start,
+    days: int = 3,
+    residual: float = 0.08,
+    vantage: str = "edu",
+) -> List[Event]:
+    """A short full-connectivity outage at one vantage (default: EDU).
+
+    ``start`` accepts a date or an ISO string (spec files are plain
+    python dicts, so string dates are the common case).
+    """
+    if days < 1:
+        raise ValueError("an outage lasts at least one day")
+    if not isinstance(start, _dt.date):
+        start = _dt.date.fromisoformat(str(start))
+    end = start + _dt.timedelta(days=days - 1)
+    return [
+        VantageOutage(
+            envelope=envelope_for(start, end),
+            vantage=vantage,
+            residual=residual,
+            label=f"{vantage} connectivity outage",
+        )
+    ]

@@ -23,6 +23,23 @@ from repro.synth import diurnal
 #: Minutes per day.
 MINUTES = 1440
 
+#: Diurnal shape used for a workday in each lockdown phase.  Phases
+#: not listed keep the pre-pandemic ``"workday"`` shape.
+PHASE_WORKDAY_SHAPES = {
+    "lockdown": "lockdown-workday",
+    "relaxation": "lockdown-workday",
+}
+
+
+def day_shape_name(timeline, day: _dt.date) -> str:
+    """The per-minute diurnal shape for a member-utilization day.
+
+    Derived from the region timeline's phase on ``day`` so scenario
+    events that move phase windows (e.g. a second wave) move the shape
+    with them instead of relying on hard-coded calendar dates.
+    """
+    return PHASE_WORKDAY_SHAPES.get(timeline.phase(day), "workday")
+
 
 def _member_rng(seed: int, asn: int, label: str) -> np.random.Generator:
     digest = hashlib.blake2b(

@@ -18,6 +18,8 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Dict, Mapping, Optional
 
+from repro import timebase
+from repro.synth.events import Timeline
 from repro.synth.profiles import (
     AppProfile,
     LockdownResponse,
@@ -25,6 +27,13 @@ from repro.synth.profiles import (
     standard_profiles,
 )
 from repro.synth.vantage import ProfileUse
+
+
+def _timeline(world: Optional[Timeline], region: timebase.Region):
+    """The region timeline a mix's dated events should anchor to."""
+    if world is None:
+        return timebase.timeline_for(region)
+    return world.timeline_for(region)
 
 
 def adjust_response(
@@ -45,7 +54,9 @@ def adjust_response(
     return profile.with_response(new)
 
 
-def isp_ce_mix() -> Dict[str, ProfileUse]:
+def isp_ce_mix(
+    world: Optional[Timeline] = None,
+) -> Dict[str, ProfileUse]:
     """ISP-CE: >15 M fixed lines, end-user and small-enterprise traffic.
 
     Shape targets (§3.1, §4, §5): ~+20-25% at stage 1/2 falling back to
@@ -54,7 +65,9 @@ def isp_ce_mix() -> Dict[str, ProfileUse]:
     educational networks host conferencing used by ISP customers);
     gaming up only ~10%; GRE slightly up.
     """
-    lib = standard_profiles()
+    lib = standard_profiles(
+        _timeline(world, timebase.Region.CENTRAL_EUROPE)
+    )
     mix: Dict[str, ProfileUse] = {}
 
     def use(name: str, share: float, profile: Optional[AppProfile] = None) -> None:
@@ -113,14 +126,18 @@ def isp_ce_mix() -> Dict[str, ProfileUse]:
     return mix
 
 
-def ixp_ce_mix() -> Dict[str, ProfileUse]:
+def ixp_ce_mix(
+    world: Optional[Timeline] = None,
+) -> Dict[str, ProfileUse]:
     """IXP-CE: >900 members, 8 Tbps peak, very diverse customer base.
 
     Shape targets: ~+30% at stage 1 persisting through stage 3; strong
     daytime increase; TV streaming visible; UDP/3480 (Teams) prominent;
     GRE/ESP decreasing; educational stable.
     """
-    lib = standard_profiles()
+    lib = standard_profiles(
+        _timeline(world, timebase.Region.CENTRAL_EUROPE)
+    )
     mix: Dict[str, ProfileUse] = {}
 
     def use(name: str, share: float, profile: Optional[AppProfile] = None) -> None:
@@ -172,24 +189,31 @@ def ixp_ce_mix() -> Dict[str, ProfileUse]:
     return mix
 
 
-def ixp_se_mix() -> Dict[str, ProfileUse]:
+def ixp_se_mix(
+    world: Optional[Timeline] = None,
+) -> Dict[str, ProfileUse]:
     """IXP-SE: ~170 members, 500 Gbps peak, regional networks.
 
     Shape targets: ~+12% at stage 1, persisting; gaming growth with a
     two-day provider outage in the first lockdown week; patterns close
     to IXP-CE.
     """
-    lib = standard_profiles()
+    se = _timeline(world, timebase.Region.SOUTHERN_EUROPE)
+    lib = standard_profiles(
+        _timeline(world, timebase.Region.CENTRAL_EUROPE)
+    )
     mix: Dict[str, ProfileUse] = {}
 
     def use(name: str, share: float, profile: Optional[AppProfile] = None) -> None:
         mix[name] = ProfileUse(profile or lib[name], share)
 
+    # The two-day provider outage hit in the first week of the SE
+    # lockdown (days 3-4 of it in the default timeline).
     gaming = lib["gaming"].with_events(
         [
             VolumeEvent(
-                _dt.date(2020, 3, 16),
-                _dt.date(2020, 3, 17),
+                se.lockdown + _dt.timedelta(days=2),
+                se.lockdown + _dt.timedelta(days=3),
                 0.22,
                 "major gaming provider outage",
             )
@@ -241,7 +265,9 @@ def ixp_se_mix() -> Dict[str, ProfileUse]:
     return mix
 
 
-def ixp_us_mix() -> Dict[str, ProfileUse]:
+def ixp_us_mix(
+    world: Optional[Timeline] = None,
+) -> Dict[str, ProfileUse]:
     """IXP-US: 250 members, 600 Gbps peak, many time zones.
 
     Shape targets: almost no change in March (late lockdown), growth in
@@ -249,12 +275,17 @@ def ixp_us_mix() -> Dict[str, ProfileUse]:
     VoD and CDN decrease (traffic-engineering decision of a large AS);
     educational traffic down; flatter time-of-day structure.
     """
-    lib = standard_profiles()
+    us = _timeline(world, timebase.Region.US_EAST)
+    lib = standard_profiles(
+        _timeline(world, timebase.Region.CENTRAL_EUROPE)
+    )
     mix: Dict[str, ProfileUse] = {}
 
     def use(name: str, share: float, profile: Optional[AppProfile] = None) -> None:
         mix[name] = ProfileUse(profile or lib[name], share)
 
+    # A traffic-engineering decision mid-lockdown (April 15 in the
+    # default timeline), permanent through the end of the study window.
     vod_us = adjust_response(
         lib["vod"],
         workday={"lockdown": 1.10, "relaxation": 0.85},
@@ -262,8 +293,8 @@ def ixp_us_mix() -> Dict[str, ProfileUse]:
     ).with_events(
         [
             VolumeEvent(
-                _dt.date(2020, 4, 15),
-                _dt.date(2020, 5, 17),
+                us.lockdown + _dt.timedelta(days=24),
+                timebase.STUDY_END,
                 0.65,
                 "large VoD AS moves to private interconnect",
             )
@@ -331,14 +362,18 @@ def ixp_us_mix() -> Dict[str, ProfileUse]:
     return mix
 
 
-def mobile_ce_mix() -> Dict[str, ProfileUse]:
+def mobile_ce_mix(
+    world: Optional[Timeline] = None,
+) -> Dict[str, ProfileUse]:
     """Mobile operator, Central Europe (>40 M customers).
 
     Mobile demand stays roughly flat through the lockdown with a slight
     dip (people at home shift to fixed networks) and recovers with the
     re-opening (Fig 1's mobile curve).
     """
-    lib = standard_profiles()
+    lib = standard_profiles(
+        _timeline(world, timebase.Region.CENTRAL_EUROPE)
+    )
     mobile_web = adjust_response(
         lib["web-hypergiant"],
         workday={"response": 1.00, "lockdown": 0.95, "relaxation": 1.02,
@@ -362,13 +397,17 @@ def mobile_ce_mix() -> Dict[str, ProfileUse]:
     }
 
 
-def ipx_mix() -> Dict[str, ProfileUse]:
+def ipx_mix(
+    world: Optional[Timeline] = None,
+) -> Dict[str, ProfileUse]:
     """Roaming exchange (IPX): international travel collapses.
 
     Roaming traffic falls steeply with the lockdown (Fig 1's roaming
     curve) and stays low as borders remain closed.
     """
-    lib = standard_profiles()
+    lib = standard_profiles(
+        _timeline(world, timebase.Region.CENTRAL_EUROPE)
+    )
     roaming = adjust_response(
         lib["web-hypergiant"],
         workday={"outbreak": 0.98, "response": 0.85, "lockdown": 0.45,

@@ -20,10 +20,10 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 from repro.flows.record import PROTO_ESP, PROTO_GRE, PROTO_TCP, PROTO_UDP
 from repro.netbase.asdb import ASCategory
 from repro.netbase import ports as portdb
-from repro.timebase import LockdownTimeline
+from repro.timebase import TIMELINE_CE, LockdownTimeline
 
-#: Ordered pandemic phases (see :class:`repro.timebase.LockdownTimeline`).
-PHASES = ("pre", "outbreak", "response", "lockdown", "relaxation", "reopening")
+#: Ordered pandemic phases (canonically defined in :mod:`repro.timebase`).
+from repro.timebase import PHASES  # noqa: F401  (re-export)
 
 #: Days over which a phase change ramps in (behavioral shifts in the
 #: paper complete "almost within a week").
@@ -171,16 +171,16 @@ class AppProfile:
 
         Phase changes ramp in linearly over :data:`RAMP_DAYS`; dated
         events apply on top; organic growth accrues from the study
-        start.
+        start.  ``timeline`` may be any object exposing the
+        ``ramp_context``/``phase`` surface — a plain region timeline or
+        a scenario-event override wrapper.
         """
-        phase = timeline.phase(day)
+        phase, phase_start, prev_phase = timeline.ramp_context(day)
         target = self.response.multiplier(phase, weekend)
         # Ramp from the previous phase's multiplier.
-        phase_start = _phase_start(timeline, phase)
         if phase_start is not None:
             days_in = (day - phase_start).days
             if days_in < RAMP_DAYS:
-                prev_phase = _previous_phase(phase)
                 prev = self.response.multiplier(prev_phase, weekend)
                 frac = (days_in + 1) / (RAMP_DAYS + 1)
                 target = prev + (target - prev) * frac
@@ -198,24 +198,6 @@ class AppProfile:
         return self.response.shape_name(timeline.phase(day), weekend)
 
 
-def _previous_phase(phase: str) -> str:
-    idx = PHASES.index(phase)
-    return PHASES[max(0, idx - 1)]
-
-
-def _phase_start(
-    timeline: LockdownTimeline, phase: str
-) -> Optional[_dt.date]:
-    starts = {
-        "outbreak": timeline.outbreak,
-        "response": timeline.initial_response,
-        "lockdown": timeline.lockdown,
-        "relaxation": timeline.relaxation,
-        "reopening": timeline.second_relaxation,
-    }
-    return starts.get(phase)
-
-
 # ---------------------------------------------------------------------------
 # The standard profile library.
 # ---------------------------------------------------------------------------
@@ -227,13 +209,25 @@ def _flat_response(**kwargs: object) -> LockdownResponse:
     )
 
 
-def standard_profiles() -> Dict[str, AppProfile]:
+def standard_profiles(
+    timeline: LockdownTimeline = TIMELINE_CE,
+) -> Dict[str, AppProfile]:
     """The application profile library shared by the ISP/IXP vantages.
 
     Multipliers encode §3-§6's reported shifts; vantage configurations
     override them where the paper reports vantage-specific behavior
     (e.g. VoD up at European IXPs but down at IXP-US).
+
+    ``timeline`` anchors the library's dated events: the hypergiants'
+    video-resolution reduction was announced in the first lockdown week
+    (volume effect from one week into the CE lockdown) and lifted about
+    a week into the reopening.  Scenarios that move the CE timeline
+    move these events with it.
     """
+    resolution_cut = (
+        timeline.lockdown + _dt.timedelta(days=7),
+        timeline.second_relaxation + _dt.timedelta(days=7),
+    )
     profiles: Dict[str, AppProfile] = {}
 
     def add(profile: AppProfile) -> None:
@@ -265,7 +259,7 @@ def standard_profiles() -> Dict[str, AppProfile]:
                 # Announced March 19/20 but rolled out gradually — the
                 # volume effect lands after week 12's weekend (Fig 4's
                 # week-13 stabilization/decline).
-                VolumeEvent(_dt.date(2020, 3, 23), _dt.date(2020, 5, 11),
+                VolumeEvent(resolution_cut[0], resolution_cut[1],
                             0.93, "video resolution reduction"),
             ),
         )
@@ -342,7 +336,7 @@ def standard_profiles() -> Dict[str, AppProfile]:
                 workday_shape={"lockdown": "weekend"},
             ),
             events=(
-                VolumeEvent(_dt.date(2020, 3, 23), _dt.date(2020, 5, 11),
+                VolumeEvent(resolution_cut[0], resolution_cut[1],
                             0.85, "video resolution reduction"),
             ),
         )

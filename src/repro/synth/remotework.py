@@ -112,6 +112,7 @@ def generate_enterprise_flows(
     week: timebase.Week,
     lockdown_active: bool,
     seed: int,
+    intensity: float = 1.0,
 ) -> FlowTable:
     """Per-AS aggregated flow summaries for one analysis week.
 
@@ -119,7 +120,13 @@ def generate_enterprise_flows(
     eyeball group (residential) and one toward a non-eyeball peer
     (transit/other), with the behavior's multipliers applied when
     ``lockdown_active``.
+
+    ``intensity`` scales how much of the lockdown response is in effect
+    (1.0 = full response; scenario WFH-reversal events pass lower
+    values as enterprises return to the office).
     """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
     if not eyeball_asns:
         raise ValueError("eyeball AS list must be non-empty")
     shape = diurnal.get_shape("business")
@@ -156,6 +163,10 @@ def generate_enterprise_flows(
         )
         res_mult = behavior.lockdown_res_mult if lockdown_active else 1.0
         other_mult = behavior.lockdown_other_mult if lockdown_active else 1.0
+        if lockdown_active and intensity != 1.0:
+            # Partial response: interpolate the excess over pre-pandemic.
+            res_mult = 1.0 + (res_mult - 1.0) * intensity
+            other_mult = 1.0 + (other_mult - 1.0) * intensity
         res_daily = behavior.base_total * behavior.residential_share * res_mult
         other_daily = (
             behavior.base_total * (1.0 - behavior.residential_share) * other_mult

@@ -3,14 +3,24 @@
 A :class:`Scenario` bundles everything the analyses need: the AS
 registry, prefix allocations, port registry, DNS corpus, IXP member
 rosters, and the seven vantage points of the paper.  All randomness is
-derived from one integer seed, so a scenario is fully reproducible.
+derived from one integer seed via named
+:func:`~repro.synth.seeds.child_seed` labels, so a scenario is fully
+reproducible.
+
+Construction is driven by a declarative
+:class:`~repro.synth.spec.ScenarioSpec`: its composed event timeline
+(:class:`~repro.synth.events.Timeline`) replaces the hard-coded
+outbreak → lockdown → relaxation world, and its canonical fingerprint
+keys every dataset-cache entry.  ``build_scenario()`` without a spec
+builds the paper's default world, bit-identical to the pre-DSL
+generator.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as _np
 
@@ -24,16 +34,26 @@ from repro.netbase.asdb import (
     MOBILE_CE_ASN,
     build_default_registry,
 )
-from repro.netbase.members import IXPMemberDB, build_member_db
+from repro.netbase.members import (
+    IXPMemberDB,
+    build_member_db,
+    spread_upgrades,
+)
 from repro.netbase.ports import PortRegistry, default_port_registry
 from repro.netbase.prefixes import PrefixAllocator, PrefixMap
 from repro.synth import edu as edu_mixes
 from repro.synth import mixes
 from repro.synth import remotework
+from repro.synth.seeds import child_seed
+from repro.synth.spec import DEFAULT_SEED, ScenarioSpec
 from repro.synth.vantage import VantagePoint
 
-#: Default scenario seed (the study's lockdown month).
-DEFAULT_SEED = 20200316
+__all__ = [
+    "DEFAULT_SEED",
+    "Scenario",
+    "ScenarioSpec",
+    "build_scenario",
+]
 
 
 @dataclass
@@ -49,6 +69,20 @@ class Scenario:
     members: Dict[str, IXPMemberDB]
     vantages: Dict[str, VantagePoint]
     enterprise_behaviors: Dict[int, remotework.EnterpriseBehavior]
+    #: The declarative spec this world was built from (``None`` only for
+    #: hand-assembled scenarios in tests).
+    spec: Optional[ScenarioSpec] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical identity of the generated world.
+
+        Dataset-cache tokens are keyed by this, so scenarios in one
+        experiment grid share a cache without collisions.
+        """
+        if self.spec is not None:
+            return self.spec.fingerprint
+        return f"legacy/{self.seed}/{len(self.registry.all_asns())}"
 
     def vantage(self, name: str) -> VantagePoint:
         """Look up a vantage point by name (``isp-ce``, ``ixp-ce``, ...)."""
@@ -84,6 +118,17 @@ class Scenario:
         """The educational metropolitan network."""
         return self.vantages["edu"]
 
+    def probe_day(self) -> _dt.date:
+        """A workday suitable for consistency probes.
+
+        Derived from the scenario's own study window and events (never
+        a blacked-out or weekend-behaving day), so self-checks work for
+        non-default timelines too.
+        """
+        if self.spec is not None:
+            return self.spec.probe_day()
+        return timebase.midpoint_workday()
+
     def self_check(self) -> List[str]:
         """Validate the scenario's internal consistency.
 
@@ -104,7 +149,7 @@ class Scenario:
                 problems.append(
                     f"VPN gateway {address} outside allocated space"
                 )
-        probe_day = _dt.date(2020, 2, 19)
+        probe_day = self.probe_day()
         for name, vantage in self.vantages.items():
             series = vantage.hourly_traffic(probe_day, probe_day)
             if series.total() <= 0:
@@ -126,6 +171,16 @@ class Scenario:
     ):
         """ISP flows (incl. transit) for the Fig 6 per-AS analysis."""
         eyeballs = self.registry.eyeball_asns(timebase.Region.CENTRAL_EUROPE)
+        intensity = 1.0
+        if lockdown_active and self.spec is not None:
+            # WFH-reversal events attenuate the enterprise response;
+            # in the default world this stays exactly 1.0.
+            world = self.spec.timeline
+            attenuations = [
+                world.wfh_attenuation(day, "isp-ce")
+                for day in week.days()
+            ]
+            intensity = 1.0 - sum(attenuations) / len(attenuations)
         return remotework.generate_enterprise_flows(
             self.registry,
             self.prefix_map,
@@ -133,7 +188,8 @@ class Scenario:
             eyeballs,
             week,
             lockdown_active,
-            seed=self.seed + 77,
+            seed=child_seed(self.seed, "remote-work"),
+            intensity=intensity,
         )
 
 
@@ -145,44 +201,74 @@ def _region_eyeballs(registry: ASRegistry, region: timebase.Region) -> List[int]
     ]
 
 
+def _build_members(
+    spec: ScenarioSpec, all_asns: List[int]
+) -> Dict[str, IXPMemberDB]:
+    """IXP member rosters, with upgrade campaigns timeline-derived.
+
+    The default §3.1 campaign runs from just before the CE lockdown
+    (operators upgraded ports as the demand shift became obvious)
+    through the first relaxation step; :class:`CapacityBoost` events
+    add further campaigns on top.
+    """
+    world = spec.timeline
+    ce = world.timeline_for(timebase.Region.CENTRAL_EUROPE)
+    upgrade_window = (ce.lockdown - _dt.timedelta(days=4), ce.relaxation)
+    rosters = {
+        "ixp-ce": (all_asns, 1500),
+        "ixp-se": (all_asns[: max(20, len(all_asns) // 2)], 700),
+        "ixp-us": (all_asns[: max(30, 2 * len(all_asns) // 3)], 600),
+    }
+    members: Dict[str, IXPMemberDB] = {}
+    for ixp, (asns, upgrade_gbps) in rosters.items():
+        db = build_member_db(
+            ixp, asns, seed=child_seed(spec.seed, f"members/{ixp}"),
+            lockdown_upgrade_gbps=upgrade_gbps,
+            upgrade_window=upgrade_window,
+        )
+        for index, boost in enumerate(world.capacity_boosts(ixp)):
+            rng = _np.random.default_rng(
+                child_seed(spec.seed, f"capacity-boost/{ixp}/{index}")
+            )
+            spread_upgrades(
+                db.members(), boost.gbps, (boost.start, boost.end), rng
+            )
+        members[ixp] = db
+    return members
+
+
 def build_scenario(
     seed: int = DEFAULT_SEED,
     n_enterprise: int = 240,
     n_hosting: int = 60,
+    spec: Optional[ScenarioSpec] = None,
 ) -> Scenario:
-    """Construct the default scenario.
+    """Construct a scenario.
 
-    ``n_enterprise``/``n_hosting`` shrink the synthetic AS populations
-    for fast tests; defaults give the Fig 5/6 analyses realistic
-    population sizes.
+    With no ``spec``, builds the paper's default world from ``seed`` and
+    the population sizes (``n_enterprise``/``n_hosting`` shrink the
+    synthetic AS populations for fast tests; defaults give the Fig 5/6
+    analyses realistic population sizes).  With a ``spec``, the spec's
+    own seed/populations/events/timelines win and the positional
+    arguments are ignored.
     """
+    if spec is None:
+        spec = ScenarioSpec(
+            seed=seed, n_enterprise=n_enterprise, n_hosting=n_hosting
+        )
+    seed = spec.seed
+    world = spec.timeline
     registry = build_default_registry(
-        n_enterprise=n_enterprise, n_hosting=n_hosting
+        n_enterprise=spec.n_enterprise, n_hosting=spec.n_hosting
     )
     prefix_map = PrefixAllocator(registry).allocate()
     ports = default_port_registry()
     dns_corpus, vpn_truth = build_vpn_corpus(
-        registry, prefix_map, seed=seed + 1
+        registry, prefix_map, seed=child_seed(seed, "vpn-corpus")
     )
     gateway_ips = sorted(vpn_truth.all_gateway_ips)
 
-    all_asns = registry.all_asns()
-    upgrade_window = (_dt.date(2020, 3, 12), _dt.date(2020, 4, 20))
-    members = {
-        "ixp-ce": build_member_db(
-            "ixp-ce", all_asns, seed=seed + 11,
-            lockdown_upgrade_gbps=1500, upgrade_window=upgrade_window,
-        ),
-        "ixp-se": build_member_db(
-            "ixp-se", all_asns[: max(20, len(all_asns) // 2)], seed=seed + 12,
-            lockdown_upgrade_gbps=700, upgrade_window=upgrade_window,
-        ),
-        "ixp-us": build_member_db(
-            "ixp-us", all_asns[: max(30, 2 * len(all_asns) // 3)],
-            seed=seed + 13,
-            lockdown_upgrade_gbps=600, upgrade_window=upgrade_window,
-        ),
-    }
+    members = _build_members(spec, registry.all_asns())
 
     ce_eyeballs = [ISP_CE_ASN] + _region_eyeballs(
         registry, timebase.Region.CENTRAL_EUROPE
@@ -190,66 +276,87 @@ def build_scenario(
     se_eyeballs = _region_eyeballs(registry, timebase.Region.SOUTHERN_EUROPE)
     us_eyeballs = _region_eyeballs(registry, timebase.Region.US_EAST)
 
+    base_volumes = {
+        "isp-ce": 1000.0, "ixp-ce": 3000.0, "ixp-se": 200.0,
+        "ixp-us": 250.0, "edu": 400.0, "mobile-ce": 400.0, "ipx": 30.0,
+    }
+
+    def volume(name: str) -> float:
+        return base_volumes[name] * spec.volume_scale(name)
+
+    def vantage_seed(name: str) -> int:
+        return child_seed(seed, f"vantage/{name}")
+
     vantages = {
         "isp-ce": VantagePoint(
             name="isp-ce", kind="isp",
             region=timebase.Region.CENTRAL_EUROPE,
-            mix=mixes.isp_ce_mix(), base_daily_volume=1000.0,
+            mix=mixes.isp_ce_mix(world), base_daily_volume=volume("isp-ce"),
             registry=registry, prefix_map=prefix_map,
             local_eyeball_asns=[ISP_CE_ASN],
-            seed=seed + 21, vpn_gateway_ips=gateway_ips,
+            seed=vantage_seed("isp-ce"), vpn_gateway_ips=gateway_ips,
+            world=world,
         ),
         "ixp-ce": VantagePoint(
             name="ixp-ce", kind="ixp",
             region=timebase.Region.CENTRAL_EUROPE,
-            mix=mixes.ixp_ce_mix(), base_daily_volume=3000.0,
+            mix=mixes.ixp_ce_mix(world), base_daily_volume=volume("ixp-ce"),
             registry=registry, prefix_map=prefix_map,
             local_eyeball_asns=ce_eyeballs,
-            seed=seed + 22, vpn_gateway_ips=gateway_ips,
+            seed=vantage_seed("ixp-ce"), vpn_gateway_ips=gateway_ips,
+            world=world,
         ),
         "ixp-se": VantagePoint(
             name="ixp-se", kind="ixp",
             region=timebase.Region.SOUTHERN_EUROPE,
-            mix=mixes.ixp_se_mix(), base_daily_volume=200.0,
+            mix=mixes.ixp_se_mix(world), base_daily_volume=volume("ixp-se"),
             registry=registry, prefix_map=prefix_map,
             local_eyeball_asns=se_eyeballs,
-            seed=seed + 23, vpn_gateway_ips=gateway_ips,
+            seed=vantage_seed("ixp-se"), vpn_gateway_ips=gateway_ips,
+            world=world,
         ),
         "ixp-us": VantagePoint(
             name="ixp-us", kind="ixp",
             region=timebase.Region.US_EAST,
-            mix=mixes.ixp_us_mix(), base_daily_volume=250.0,
+            mix=mixes.ixp_us_mix(world), base_daily_volume=volume("ixp-us"),
             registry=registry, prefix_map=prefix_map,
             local_eyeball_asns=us_eyeballs,
-            seed=seed + 24, vpn_gateway_ips=gateway_ips,
+            seed=vantage_seed("ixp-us"), vpn_gateway_ips=gateway_ips,
+            world=world,
         ),
         "edu": VantagePoint(
             name="edu", kind="edu",
             region=timebase.Region.SOUTHERN_EUROPE,
-            mix=edu_mixes.edu_mix(), base_daily_volume=400.0,
+            mix=edu_mixes.edu_mix(world), base_daily_volume=volume("edu"),
             registry=registry, prefix_map=prefix_map,
             local_eyeball_asns=se_eyeballs,
-            seed=seed + 25,
+            seed=vantage_seed("edu"),
             edu_internal_asns=[EDU_NETWORK_ASN],
+            world=world,
         ),
         "mobile-ce": VantagePoint(
             name="mobile-ce", kind="mobile",
             region=timebase.Region.CENTRAL_EUROPE,
-            mix=mixes.mobile_ce_mix(), base_daily_volume=400.0,
+            mix=mixes.mobile_ce_mix(world),
+            base_daily_volume=volume("mobile-ce"),
             registry=registry, prefix_map=prefix_map,
             local_eyeball_asns=[MOBILE_CE_ASN],
-            seed=seed + 26,
+            seed=vantage_seed("mobile-ce"),
+            world=world,
         ),
         "ipx": VantagePoint(
             name="ipx", kind="ipx",
             region=timebase.Region.CENTRAL_EUROPE,
-            mix=mixes.ipx_mix(), base_daily_volume=30.0,
+            mix=mixes.ipx_mix(world), base_daily_volume=volume("ipx"),
             registry=registry, prefix_map=prefix_map,
             local_eyeball_asns=[MOBILE_CE_ASN],
-            seed=seed + 27,
+            seed=vantage_seed("ipx"),
+            world=world,
         ),
     }
-    behaviors = remotework.assign_behaviors(registry, seed=seed + 31)
+    behaviors = remotework.assign_behaviors(
+        registry, seed=child_seed(seed, "behaviors")
+    )
     return Scenario(
         seed=seed,
         registry=registry,
@@ -260,4 +367,5 @@ def build_scenario(
         members=members,
         vantages=vantages,
         enterprise_behaviors=behaviors,
+        spec=spec,
     )

@@ -75,6 +75,7 @@ class VantagePoint:
         edu_internal_asns: Sequence[int] = (),
         hour_noise_sigma: float = 0.02,
         day_noise_sigma: float = 0.025,
+        world=None,
     ):
         if kind not in ("isp", "ixp", "edu", "mobile", "ipx"):
             raise ValueError(f"unknown vantage kind: {kind!r}")
@@ -85,7 +86,14 @@ class VantagePoint:
         self.name = name
         self.kind = kind
         self.region = region
-        self.timeline = timebase.timeline_for(region)
+        #: The scenario's composed event timeline
+        #: (:class:`repro.synth.events.Timeline`); ``None`` means the
+        #: default world with no events.
+        self.world = world
+        if world is None:
+            self.timeline = timebase.timeline_for(region)
+        else:
+            self.timeline = world.timeline_for(region)
         self.mix = dict(mix)
         self.base_daily_volume = base_daily_volume
         self.seed = seed
@@ -146,12 +154,28 @@ class VantagePoint:
         if end_day < start_day:
             raise ValueError("end_day precedes start_day")
         profile = use.profile
+        world = self.world
         n_days = (end_day - start_day).days + 1
         values = np.empty(n_days * 24, dtype=np.float64)
         day = start_day
         for i in range(n_days):
-            weekend = timebase.behaves_like_weekend(day, self.region)
+            if world is None:
+                weekend = timebase.behaves_like_weekend(day, self.region)
+            else:
+                weekend = world.behaves_like_weekend(day, self.region)
             mult = profile.daily_multiplier(day, self.timeline, weekend)
+            if world is not None:
+                # Scenario events modulate the phase response.  Both
+                # hooks return exact identities in the default world, so
+                # the guards keep the no-event path bit-identical.
+                modifier = world.volume_modifier(
+                    day, self.name, profile_name
+                )
+                if modifier != 1.0:
+                    mult *= modifier
+                attenuation = world.wfh_attenuation(day, self.name)
+                if attenuation > 0.0:
+                    mult = 1.0 + (mult - 1.0) * (1.0 - attenuation)
             shape = diurnal.get_shape(
                 profile.shape_name(day, self.timeline, weekend)
             )

@@ -18,6 +18,9 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+#: Ordered pandemic phases every region timeline steps through.
+PHASES = ("pre", "outbreak", "response", "lockdown", "relaxation", "reopening")
+
 #: First day of the study period (inclusive).
 STUDY_START = _dt.date(2020, 1, 1)
 
@@ -109,6 +112,62 @@ class LockdownTimeline:
         if day < self.second_relaxation:
             return "relaxation"
         return "reopening"
+
+    def phase_start(self, phase: str) -> Optional[_dt.date]:
+        """First day of ``phase``, or ``None`` for the open-ended "pre"."""
+        starts = {
+            "outbreak": self.outbreak,
+            "response": self.initial_response,
+            "lockdown": self.lockdown,
+            "relaxation": self.relaxation,
+            "reopening": self.second_relaxation,
+        }
+        return starts.get(phase)
+
+    def ramp_context(
+        self, day: _dt.date
+    ) -> Tuple[str, Optional[_dt.date], str]:
+        """``(phase, phase_start, previous_phase)`` in effect on ``day``.
+
+        This is the only timeline surface the profile layer consults, so
+        scenario-event overrides (second waves) can reshape responses by
+        wrapping it.
+        """
+        phase = self.phase(day)
+        return phase, self.phase_start(phase), previous_phase(phase)
+
+    def with_dates(self, **dates: _dt.date) -> "LockdownTimeline":
+        """Copy of the timeline with some milestone dates replaced."""
+        from dataclasses import replace
+
+        return replace(self, **dates)
+
+    def phase_spans(
+        self,
+        start: Optional[_dt.date] = None,
+        end: Optional[_dt.date] = None,
+    ) -> List[Tuple[str, _dt.date, _dt.date]]:
+        """``(phase, first_day, last_day)`` spans inside ``[start, end]``.
+
+        Defaults to the study period; phases that never occur inside the
+        window are omitted.
+        """
+        lo = start or STUDY_START
+        hi = end or STUDY_END
+        spans: List[Tuple[str, _dt.date, _dt.date]] = []
+        for day in iter_days(lo, hi):
+            phase = self.phase(day)
+            if spans and spans[-1][0] == phase:
+                spans[-1] = (phase, spans[-1][1], day)
+            else:
+                spans.append((phase, day, day))
+        return spans
+
+
+def previous_phase(phase: str) -> str:
+    """The phase preceding ``phase`` ("pre" precedes itself)."""
+    idx = PHASES.index(phase)
+    return PHASES[max(0, idx - 1)]
 
 
 #: Central Europe: COVID-19 reached Europe in late January (week 4-5);
@@ -278,6 +337,28 @@ def behaves_like_weekend(
     if day <= NEW_YEAR_HOLIDAY_END:
         return True
     return day_kind(day, region) is not DayKind.WORKDAY
+
+
+def midpoint_workday(
+    start: Optional[_dt.date] = None,
+    end: Optional[_dt.date] = None,
+    region: Region = Region.CENTRAL_EUROPE,
+) -> _dt.date:
+    """First workday-behaving day at or after the window's midpoint.
+
+    Used to derive probe days for scenario self-checks: the midpoint of
+    an arbitrary study window, nudged forward (wrapping to the window
+    start) until it behaves like a workday.
+    """
+    lo = start or STUDY_START
+    hi = end or STUDY_END
+    if hi < lo:
+        raise ValueError("window end precedes start")
+    mid = lo + _dt.timedelta(days=(hi - lo).days // 2)
+    for day in list(iter_days(mid, hi)) + list(iter_days(lo, hi)):
+        if not behaves_like_weekend(day, region):
+            return day
+    return mid
 
 
 # --------------------------------------------------------------------------

@@ -203,3 +203,113 @@ class TestMixTargets:
                       mixes.ixp_us_mix, mixes.mobile_ce_mix, mixes.ipx_mix):
             for use in build().values():
                 assert use.share > 0
+
+
+class TestSpecDrivenScenario:
+    """The declarative spec path and its identity guarantees."""
+
+    def test_legacy_args_and_default_spec_agree(self):
+        from repro.synth.spec import ScenarioSpec
+
+        legacy = build_scenario(n_enterprise=12, n_hosting=5)
+        spec = build_scenario(
+            spec=ScenarioSpec(n_enterprise=12, n_hosting=5)
+        )
+        assert legacy.fingerprint == spec.fingerprint
+        window = (dt.date(2020, 3, 23), dt.date(2020, 3, 25))
+        for name in legacy.vantages:
+            a = legacy.vantages[name].hourly_traffic(*window)
+            b = spec.vantages[name].hourly_traffic(*window)
+            assert np.array_equal(a.values, b.values), name
+        flows_a = legacy.isp_ce.generate_flows(*window, 0.3)
+        flows_b = spec.isp_ce.generate_flows(*window, 0.3)
+        assert np.array_equal(
+            flows_a.column("n_bytes"), flows_b.column("n_bytes")
+        )
+
+    def test_default_world_timeline_is_identity(self):
+        scenario = build_scenario(n_enterprise=12, n_hosting=5)
+        assert scenario.spec is not None
+        assert scenario.spec.timeline.is_default
+        assert scenario.isp_ce.timeline is timebase.TIMELINE_CE
+
+    def test_probe_day_derived_from_study_window(self):
+        scenario = build_scenario(n_enterprise=12, n_hosting=5)
+        probe = scenario.probe_day()
+        assert timebase.STUDY_START <= probe <= timebase.STUDY_END
+        assert probe == timebase.midpoint_workday()
+
+    def test_self_check_with_events_and_moved_timeline(self):
+        from repro.synth.events import VantageOutage, envelope_for
+        from repro.synth.spec import ScenarioSpec
+
+        mid = timebase.midpoint_workday()
+        spec = ScenarioSpec(
+            n_enterprise=12,
+            n_hosting=5,
+            region_timelines=(
+                (
+                    timebase.Region.CENTRAL_EUROPE,
+                    timebase.TIMELINE_CE.with_dates(
+                        lockdown=dt.date(2020, 3, 20)
+                    ),
+                ),
+            ),
+            events=(
+                VantageOutage(
+                    envelope_for(
+                        mid - dt.timedelta(days=2),
+                        mid + dt.timedelta(days=4),
+                    ),
+                    "edu",
+                ),
+            ),
+        )
+        scenario = build_scenario(spec=spec)
+        # The probe day dodges the outage, so every vantage still shows
+        # positive traffic and the world stays internally consistent.
+        assert scenario.self_check() == []
+
+    def test_capacity_boost_adds_upgrades(self):
+        from repro.synth.events import CapacityBoost
+        from repro.synth.spec import ScenarioSpec
+
+        window = (dt.date(2020, 4, 1), dt.date(2020, 4, 30))
+        spec = ScenarioSpec(
+            n_enterprise=12,
+            n_hosting=5,
+            events=(
+                CapacityBoost("ixp-se", 300, window[0], window[1]),
+            ),
+        )
+        boosted = build_scenario(spec=spec)
+        plain = build_scenario(n_enterprise=12, n_hosting=5)
+        extra = (
+            boosted.members["ixp-se"].capacity_added_between(
+                window[0] - dt.timedelta(days=1), window[1]
+            )
+            - plain.members["ixp-se"].capacity_added_between(
+                window[0] - dt.timedelta(days=1), window[1]
+            )
+        )
+        assert extra >= 300
+        # Other IXPs are untouched.
+        assert boosted.members["ixp-ce"].total_capacity_on(
+            dt.date(2020, 5, 17)
+        ) == plain.members["ixp-ce"].total_capacity_on(dt.date(2020, 5, 17))
+
+    def test_vantage_override_scales_volume(self):
+        from repro.synth.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            n_enterprise=12, n_hosting=5,
+            vantage_overrides=(("edu", 2.0),),
+        )
+        scaled = build_scenario(spec=spec)
+        plain = build_scenario(n_enterprise=12, n_hosting=5)
+        day = dt.date(2020, 2, 19)
+        ratio = (
+            scaled.edu.hourly_traffic(day, day).total()
+            / plain.edu.hourly_traffic(day, day).total()
+        )
+        assert ratio == pytest.approx(2.0)

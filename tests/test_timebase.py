@@ -180,3 +180,91 @@ class TestNamedWeeks:
         assert len(timebase.named_weeks("edu")) == 3
         assert len(timebase.named_weeks("ixp")) == 4
         assert len(timebase.named_weeks("isp")) == 7
+
+
+class TestPhaseBoundaries:
+    """First/last day of every phase, for all three region timelines."""
+
+    MILESTONES = (
+        "outbreak", "initial_response", "lockdown", "relaxation",
+        "second_relaxation",
+    )
+
+    @pytest.mark.parametrize("region", list(Region))
+    def test_spans_cover_study_in_phase_order(self, region):
+        timeline = timebase.timeline_for(region)
+        spans = timeline.phase_spans()
+        names = [phase for phase, _, _ in spans]
+        # Phases appear in canonical order with no repeats or gaps.
+        assert names == [p for p in timebase.PHASES if p in names]
+        assert spans[0][1] == timebase.STUDY_START
+        assert spans[-1][2] == timebase.STUDY_END
+        for (_, _, prev_end), (_, next_start, _) in zip(spans, spans[1:]):
+            assert next_start == prev_end + dt.timedelta(days=1)
+
+    @pytest.mark.parametrize("region", list(Region))
+    def test_each_phase_starts_on_its_milestone(self, region):
+        timeline = timebase.timeline_for(region)
+        starts = {
+            phase: first for phase, first, _ in timeline.phase_spans()
+        }
+        for phase, milestone in zip(
+            ("outbreak", "response", "lockdown", "relaxation", "reopening"),
+            self.MILESTONES,
+        ):
+            date = getattr(timeline, milestone)
+            if date > timebase.STUDY_END:
+                assert phase not in starts  # e.g. US reopening (June 1)
+                continue
+            assert starts[phase] == date
+            assert timeline.phase(date) == phase
+            # The day before still belongs to the previous phase.
+            before = date - dt.timedelta(days=1)
+            assert timeline.phase(before) == timebase.previous_phase(phase)
+
+    @pytest.mark.parametrize("region", list(Region))
+    def test_each_phase_ends_day_before_next_milestone(self, region):
+        timeline = timebase.timeline_for(region)
+        ends = {phase: last for phase, _, last in timeline.phase_spans()}
+        assert ends["pre"] == timeline.outbreak - dt.timedelta(days=1)
+        assert ends["outbreak"] == (
+            timeline.initial_response - dt.timedelta(days=1)
+        )
+        assert ends["response"] == timeline.lockdown - dt.timedelta(days=1)
+        assert ends["lockdown"] == timeline.relaxation - dt.timedelta(days=1)
+
+    @pytest.mark.parametrize("region", list(Region))
+    def test_ramp_context_at_boundaries(self, region):
+        timeline = timebase.timeline_for(region)
+        phase, start, prev = timeline.ramp_context(timeline.lockdown)
+        assert (phase, start, prev) == (
+            "lockdown", timeline.lockdown, "response"
+        )
+        phase, start, prev = timeline.ramp_context(
+            timeline.outbreak - dt.timedelta(days=1)
+        )
+        assert phase == "pre"
+        assert start is None
+        assert prev == "pre"
+
+
+class TestMidpointWorkday:
+    def test_default_is_a_workday_near_the_midpoint(self):
+        day = timebase.midpoint_workday()
+        assert not timebase.behaves_like_weekend(
+            day, Region.CENTRAL_EUROPE
+        )
+        mid = timebase.STUDY_START + (
+            timebase.STUDY_END - timebase.STUDY_START
+        ) / 2
+        assert abs((day - mid).days) <= 4
+
+    def test_stays_inside_the_window(self):
+        start, end = dt.date(2020, 2, 3), dt.date(2020, 2, 9)
+        day = timebase.midpoint_workday(start, end)
+        assert start <= day <= end
+
+    def test_weekend_only_window_wraps_to_start(self):
+        # Sat/Sun only: no workday exists, fall back to window start.
+        start, end = dt.date(2020, 2, 22), dt.date(2020, 2, 23)
+        assert timebase.midpoint_workday(start, end) == start
