@@ -21,6 +21,19 @@ timed as ``migrate-v2``.  Both narrow sweeps are warm (a cold pass
 primes the page cache first), so the ratio isolates partition I/O:
 decompress-everything versus map-two-columns.
 
+A final **scaling sweep** replays one scan-heavy multi-vantage batch
+(the mixed shapes over the v2 ``isp-ce`` store plus a second,
+lower-fidelity ``edu`` store) directly through the engine three ways:
+``scale-serial`` (no pool), ``scale-threads`` (the per-partition
+thread pool, GIL-bound), and ``scale-procs`` (the process-backed
+scatter-gather :class:`~repro.query.procpool.ScanPool`, one worker
+per core).  All three must return bit-identical rows; the recorded
+``scaling`` block carries the core count, the pool kind that actually
+ran, worker-side IPC bytes, and the speedups.  Under
+``--fail-on-regression`` the process sweep must beat serial and at
+least match threads when the host has 2+ cores, and clear 2x serial
+with 4+ cores — on a single-core host only the parity checks gate.
+
 The script appends one entry to ``BENCH_results.json`` in the repo's
 ``{"runs": [...]}`` history format.  The script exits non-zero — and
 records ``exit_status`` — if the one-worker and four-worker sweeps
@@ -44,10 +57,12 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import json
+import os
 import platform
 import sys
 import tempfile
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -62,10 +77,13 @@ from repro.flows.store import (  # noqa: E402
     FORMAT_V2,
     FlowStore,
 )
+import repro.obs as obs  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
 from repro.query import (  # noqa: E402
     QueryService,
     QuerySpec,
     execute_query,
+    make_scan_pool,
 )
 from repro.synth.scenario import build_scenario  # noqa: E402
 
@@ -101,6 +119,30 @@ def _batch(n_repeats: int) -> List[QuerySpec]:
                     VANTAGE, day, week_end,
                     where={"proto": 17}, group_by=["service_port"],
                     aggregates=["bytes"],
+                ),
+            ]
+        )
+        day += _dt.timedelta(days=7)
+        if day > END:
+            day = START + _dt.timedelta(days=1)
+    return specs
+
+
+def _scale_specs(vantage: str, n_repeats: int) -> List[QuerySpec]:
+    """Scan-heavy shapes for the scaling sweep's second vantage."""
+    specs: List[QuerySpec] = []
+    day = START
+    for _ in range(2 * n_repeats):
+        week_end = min(day + _dt.timedelta(days=6), END)
+        specs.extend(
+            [
+                QuerySpec.build(
+                    vantage, day, week_end,
+                    group_by=["transport"], aggregates=["bytes", "flows"],
+                ),
+                QuerySpec.build(
+                    vantage, day, week_end,
+                    aggregates=["bytes", "connections"], bucket="day",
                 ),
             ]
         )
@@ -292,6 +334,112 @@ def main(argv=None) -> int:
                 f"(the columnar format should clear 2x)"
             )
 
+        # Scaling sweep: one scan-heavy multi-vantage batch through the
+        # engine in all three execution modes.  The isp-ce store spans
+        # 7 weeks; a second lower-fidelity vantage exercises scans over
+        # more than one store in the same sweep.
+        cores = os.cpu_count() or 1
+        t0 = time.perf_counter()
+        edu_flows = scenario.vantage("edu").generate_flows(
+            START, END, fidelity=fidelity / 2
+        )
+        edu_store = FlowStore(Path(tmp) / "edu")
+        edu_store.write_range(edu_flows, START, END)
+        walls[f"{KEY}[build-edu-store]"] = time.perf_counter() - t0
+
+        scale_batch = [
+            (store, spec) for spec in _batch(n_repeats)
+        ] + [
+            (edu_store, spec)
+            for spec in _scale_specs("edu", n_repeats)
+        ]
+
+        def _mode_sweep(pool):
+            t0 = time.perf_counter()
+            results = [
+                execute_query(st, sp, pool=pool)
+                for st, sp in scale_batch
+            ]
+            return results, time.perf_counter() - t0
+
+        # Pools are persistent in production (one per service), so each
+        # mode gets one untimed warm-up sweep: it primes the page cache,
+        # spawns the workers, and fills their per-process store caches
+        # before the steady-state measurement.
+        _mode_sweep(None)
+        scale_serial, walls[f"{KEY}[scale-serial]"] = _mode_sweep(None)
+        with ThreadPoolExecutor(max_workers=cores) as thread_pool:
+            _mode_sweep(thread_pool)
+            scale_threads, walls[f"{KEY}[scale-threads]"] = _mode_sweep(
+                thread_pool
+            )
+        prior_registry = obs.get_registry()
+        registry = MetricsRegistry()
+        try:
+            with make_scan_pool(cores) as scan_pool:
+                _mode_sweep(scan_pool)
+                # meter only the timed sweep's shard/IPC traffic
+                obs.set_registry(registry)
+                scale_procs, walls[f"{KEY}[scale-procs]"] = _mode_sweep(
+                    scan_pool
+                )
+                pool_info = scan_pool.describe()
+        finally:
+            obs.set_registry(prior_registry)
+        counters = registry.snapshot()["counters"]
+
+        if _rows(scale_threads) != _rows(scale_serial):
+            problems.append("scale-threads rows differ from scale-serial")
+        if _rows(scale_procs) != _rows(scale_serial):
+            problems.append("scale-procs rows differ from scale-serial")
+        if sum(r.n_failed for r in scale_serial + scale_threads
+               + scale_procs):
+            problems.append("scaling sweep had failed partitions")
+
+        serial_wall = walls[f"{KEY}[scale-serial]"]
+        threads_wall = walls[f"{KEY}[scale-threads]"]
+        procs_wall = walls[f"{KEY}[scale-procs]"]
+        scaling = {
+            "cores": cores,
+            "pool_kind": pool_info["kind"],
+            "pool_width": pool_info["width"],
+            "start_method": pool_info["start_method"],
+            "queries": len(scale_batch),
+            "ipc_bytes": int(counters.get("query.proc.ipc-bytes", 0)),
+            "shards": int(counters.get("query.proc.shards", 0)),
+            "speedup_vs_serial": round(serial_wall / procs_wall, 3),
+            "speedup_vs_threads": round(threads_wall / procs_wall, 3),
+        }
+        print(
+            f"scaling: {len(scale_batch)} queries on {cores} core(s) — "
+            f"procs ({scaling['pool_kind']}) runs "
+            f"{scaling['speedup_vs_serial']:.2f}x serial and "
+            f"{scaling['speedup_vs_threads']:.2f}x threads; "
+            f"{scaling['shards']} shards shipped "
+            f"{scaling['ipc_bytes']:,} IPC bytes"
+        )
+        # The scaling gate is core-aware: a single-core host can only
+        # check parity, 2+ cores must show processes winning, and 4+
+        # cores must clear the paper-grade 2x bar.
+        if args.fail_on_regression and scaling["pool_kind"] == "process":
+            if cores >= 2 and procs_wall >= serial_wall:
+                problems.append(
+                    f"scale-procs {procs_wall:.3f} s not faster than "
+                    f"serial {serial_wall:.3f} s on {cores} cores"
+                )
+            if cores >= 2 and procs_wall > threads_wall:
+                problems.append(
+                    f"scale-procs {procs_wall:.3f} s slower than "
+                    f"threads {threads_wall:.3f} s on {cores} cores"
+                )
+            if cores >= 4 and scaling["speedup_vs_serial"] < 2.0:
+                problems.append(
+                    f"scale-procs only "
+                    f"{scaling['speedup_vs_serial']:.2f}x serial on "
+                    f"{cores} cores (process scatter-gather should "
+                    f"clear 2x)"
+                )
+
     for key, wall in walls.items():
         print(f"{key:55s} {wall:8.3f} s")
     w1 = walls[f"{KEY}[cold-w1]"]
@@ -342,6 +490,7 @@ def main(argv=None) -> int:
             "fast": bool(args.fast),
             "exit_status": status,
             "wall_s": {k: round(v, 4) for k, v in sorted(walls.items())},
+            "scaling": scaling,
         }
     )
     history_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -13,9 +13,12 @@ Times the full experiment sweep five ways —
   (a new process reusing a previous run's archives; zero flow
   generation),
 
-plus an optional parallel sweep (``--jobs N``), and appends one entry
-to ``BENCH_results.json`` in the repo's ``{"runs": [...]}`` history
-format.  The script exits non-zero — and records ``exit_status`` —
+plus an optional pool three-way (``--jobs N``) timing the same sweep
+serially, on N worker threads, and on N worker processes — recorded
+as ``threads-N`` / ``procs-N`` with the pool kind and width each
+executor actually used (the old single ``jobs-N`` key hid which pool
+ran) — and appends one entry to ``BENCH_results.json`` in the repo's
+``{"runs": [...]}`` history format.  The script exits non-zero — and records ``exit_status`` —
 if any experiment's checks fail in any mode or the modes disagree,
 so a cache- or executor-induced regression cannot slip through as a
 "fast" result.  ``--fail-on-regression`` additionally compares the
@@ -157,11 +160,27 @@ def main(argv=None) -> int:
         if owned_dir:
             shutil.rmtree(disk_dir, ignore_errors=True)
 
+    pools: Dict[str, Dict[str, object]] = {}
     if args.jobs > 1:
-        par_results, walls[f"{KEY}[jobs-{args.jobs}]"] = _timed(
-            scenario, config, datasets.DatasetCache(), jobs=args.jobs
-        )
-        sweeps[f"jobs-{args.jobs}"] = _checks(par_results)
+        from repro.experiments import make_executor
+
+        for pool, label in (("thread", "threads"), ("process", "procs")):
+            executor = make_executor(args.jobs, pool=pool)
+            mode = f"{label}-{args.jobs}"
+            with datasets.use_cache(datasets.DatasetCache()):
+                t0 = time.perf_counter()
+                pool_results = run_all(
+                    scenario, config, executor=executor, on_error="capture"
+                )
+                walls[f"{KEY}[{mode}]"] = time.perf_counter() - t0
+            sweeps[mode] = _checks(pool_results)
+            # Record what actually ran: a spawn-only platform silently
+            # downgrades "process" to the thread fallback.
+            pools[mode] = {
+                "requested": pool,
+                "kind": executor.kind,
+                "width": executor.width,
+            }
 
     problems: List[str] = []
     baseline = sweeps["cache-off"]
@@ -227,6 +246,7 @@ def main(argv=None) -> int:
             "fast": bool(args.fast),
             "exit_status": status,
             "wall_s": {k: round(v, 4) for k, v in sorted(walls.items())},
+            **({"pools": pools} if pools else {}),
         }
     )
     history_path.write_text(json.dumps(payload, indent=2) + "\n")

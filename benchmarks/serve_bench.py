@@ -25,12 +25,20 @@ p50/p99 per rung.  Reported numbers:
 * saturation throughput — the best achieved q/s across the ladder,
   recorded in the run entry's ``serving`` block.
 
+After the ladder a light **scan-procs stage** replays the workload
+closed-loop twice — once on a plain service and once on a service
+with a process-backed shard pool (``--scan-procs``, default one per
+core) — and requires the two replays to return identical rows; the
+``serving.scan_pool`` block records the pool kind that actually ran
+and both walls.
+
 The script appends one entry to ``BENCH_results.json`` in the repo's
 ``{"runs": [...]}`` history format.  It exits non-zero — and records
 ``exit_status`` — if any query errors, if the cached shape never hits
-the cache, or if nothing is served.  ``--fail-on-regression``
-additionally gates the 0.5x-rung p99 and the saturation throughput
-against the latest recorded baselines at the same fidelity.
+the cache, if nothing is served, or if the scan-procs replay differs
+from the serial one.  ``--fail-on-regression`` additionally gates the
+0.5x-rung p99 and the saturation throughput against the latest
+recorded baselines at the same fidelity.
 
 Usage::
 
@@ -43,6 +51,7 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -115,7 +124,9 @@ def _workload(n: int, end: _dt.date) -> List[QuerySpec]:
 
 
 def _fresh_service(
-    store: FlowStore, queue_capacity: int = QUEUE_CAPACITY
+    store: FlowStore,
+    queue_capacity: int = QUEUE_CAPACITY,
+    scan_procs: int = 0,
 ) -> QueryService:
     return QueryService(
         {VANTAGE: store},
@@ -123,6 +134,7 @@ def _fresh_service(
         queue_capacity=queue_capacity,
         default_timeout=120.0,
         cache_entries=CACHE_ENTRIES,
+        scan_procs=scan_procs,
     )
 
 
@@ -213,6 +225,11 @@ def main(argv=None) -> int:
         help="benchmark history file (default: %(default)s)",
     )
     parser.add_argument(
+        "--scan-procs", type=int, default=None, metavar="N",
+        help="shard-pool width for the scan-procs stage "
+             "(default: one per core; 0 skips the stage)",
+    )
+    parser.add_argument(
         "--fail-on-regression", action="store_true",
         help="exit non-zero if moderate-load p99 or saturation "
              "throughput regress vs. the latest recorded baseline",
@@ -266,6 +283,52 @@ def main(argv=None) -> int:
                 f"p99 {stage.get('p99_s', float('nan')):.4f} s, "
                 f"{stage['shed']} shed, {stage['errors']} error(s), "
                 f"{stage['cache_hits']} cache hit(s)"
+            )
+
+        # Scan-procs stage: the same workload replayed closed-loop on
+        # a plain service and on one with a process-backed shard pool.
+        # Parity is the point; the walls are informational.
+        scan_procs = (
+            args.scan_procs if args.scan_procs is not None
+            else (os.cpu_count() or 1)
+        )
+        scan_pool_info: Optional[Dict[str, object]] = None
+        if scan_procs > 0:
+            def _replay_rows(service):
+                t0 = time.perf_counter()
+                tickets = [
+                    service.submit(spec, timeout=600.0) for spec in specs
+                ]
+                rows = [ticket.result().rows for ticket in tickets]
+                return rows, time.perf_counter() - t0
+
+            with _fresh_service(
+                store, queue_capacity=len(specs)
+            ) as service:
+                serial_rows, serial_wall = _replay_rows(service)
+            with _fresh_service(
+                store, queue_capacity=len(specs), scan_procs=scan_procs
+            ) as service:
+                _replay_rows(service)  # warm the pool's workers
+                procs_rows, procs_wall = _replay_rows(service)
+                described = service.describe()["scan_pool"]
+            walls[f"{KEY}[scan-serial]"] = serial_wall
+            walls[f"{KEY}[scan-procs]"] = procs_wall
+            if procs_rows != serial_rows:
+                problems.append(
+                    "scan-procs replay rows differ from the serial replay"
+                )
+            scan_pool_info = {
+                "kind": described["kind"],
+                "width": described["width"],
+                "start_method": described.get("start_method"),
+                "serial_wall_s": round(serial_wall, 4),
+                "procs_wall_s": round(procs_wall, 4),
+            }
+            print(
+                f"scan-procs: {len(specs)} queries in "
+                f"{procs_wall:.3f} s on a {described['kind']} pool of "
+                f"{described['width']} vs. {serial_wall:.3f} s serial"
             )
 
     moderate = stages[0]
@@ -353,6 +416,7 @@ def main(argv=None) -> int:
                 "workers": WORKERS,
                 "n_requests": n_requests,
                 "stages": stages,
+                "scan_pool": scan_pool_info,
             },
         }
     )

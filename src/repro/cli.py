@@ -154,14 +154,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         run_cache = datasets.get_cache()
     run_width = 1
+    run_pool = "serial"
     with datasets.use_cache(run_cache):
         if args.jobs > 1:
-            executor = make_executor(args.jobs)
+            executor = make_executor(args.jobs, pool=args.pool)
             results = run_all(
                 scenario, config, experiment_ids=ids,
                 executor=executor, on_error="capture",
             )
             run_width = executor.width
+            run_pool = executor.kind
             for result in results:
                 _print_result(result, verbose=args.verbose)
         else:
@@ -185,7 +187,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             results, seed=args.seed, config=config,
             scenario=scenario,
             executor={
-                "name": "parallel" if args.jobs > 1 else "serial",
+                "name": executor.name if args.jobs > 1 else "serial",
+                "pool": run_pool,
                 "jobs": args.jobs,
                 "width": run_width,
                 "dataset_cache": dict(
@@ -229,6 +232,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.procs < 1:
+        print("--procs must be >= 1", file=sys.stderr)
+        return 2
     try:
         grid = load_grid(args.spec_file)
     except (OSError, ValueError, KeyError, TypeError) as exc:
@@ -243,6 +249,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         config=config,
         jobs=args.jobs,
         name=grid["name"],
+        cell_procs=args.procs,
     )
     manifest = experiment.run()
     print(format_grid_manifest(manifest))
@@ -555,7 +562,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     try:
         with QueryService(
-            {vantage: args.store}, workers=args.workers
+            {vantage: args.store}, workers=args.workers,
+            scan_procs=args.scan_procs,
         ) as service:
             result = service.run(spec, timeout=args.timeout)
     except QueryError as exc:
@@ -669,6 +677,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_timeout=args.timeout,
             cache_entries=args.cache,
             slow_log=slow_log,
+            scan_procs=args.scan_procs,
         ) as service:
             # Stream the batch line by line (stdin and huge files never
             # materialize in memory), submitting as specs parse — many
@@ -797,6 +806,12 @@ def build_parser() -> argparse.ArgumentParser:
              "scheduling (default: %(default)s, serial)",
     )
     run_parser.add_argument(
+        "--pool", choices=("thread", "process"), default="thread",
+        help="worker pool backing --jobs: 'process' escapes the GIL "
+             "with forked workers and falls back to threads where "
+             "fork is unavailable (default: %(default)s)",
+    )
+    run_parser.add_argument(
         "--no-dataset-cache", action="store_true",
         help="materialize every dataset per experiment instead of "
              "sharing them through the cache",
@@ -839,6 +854,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
         help="worker threads per grid cell (default: %(default)s)",
+    )
+    experiment_parser.add_argument(
+        "--procs", type=int, default=1, metavar="N",
+        help="run grid cells (scenario x repeat) on N worker "
+             "processes; each cell keeps its own dataset cache "
+             "(default: %(default)s, serial cells)",
     )
     experiment_parser.add_argument(
         "--fast", action="store_true", help="lower sampling fidelity"
@@ -991,6 +1012,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="result rows printed (0 = all; default: %(default)s)",
     )
     query_parser.add_argument(
+        "--scan-procs", type=int, default=0, metavar="N",
+        help="scatter partition scans across N worker processes "
+             "(sharded by date; falls back to threads where fork is "
+             "unavailable; default: %(default)s, in-process scans)",
+    )
+    query_parser.add_argument(
         "--json", action="store_true",
         help="emit the full result as JSON instead of a table",
     )
@@ -1040,6 +1067,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--workers", type=int, default=4, metavar="N",
         help="service worker threads (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--scan-procs", type=int, default=0, metavar="N",
+        help="scatter each query's partition scans across N worker "
+             "processes shared by all service workers (falls back to "
+             "threads where fork is unavailable; default: %(default)s, "
+             "per-worker thread scans)",
     )
     serve_parser.add_argument(
         "--queue", type=int, default=64, metavar="N",

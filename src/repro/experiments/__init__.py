@@ -46,6 +46,7 @@ from repro.experiments.disc09 import run_disc09
 
 from repro.experiments.executor import (
     ParallelExecutor,
+    ProcessExecutor,
     SerialExecutor,
     make_executor,
     run_all,
@@ -57,6 +58,7 @@ from repro.experiments.runner import (
     load_grid,
     measure_expectation,
     repeat_seed,
+    run_grid_cell,
 )
 
 #: Id → runner, in paper order (compat view of :data:`REGISTRY`).
@@ -72,6 +74,7 @@ __all__ = [
     "ExperimentSpec",
     "ParallelExecutor",
     "PipelineConfig",
+    "ProcessExecutor",
     "SerialExecutor",
     "all_specs",
     "format_grid_manifest",
@@ -97,6 +100,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
+    "run_grid_cell",
     "run_table1",
     "run_table2",
     "traced_experiment",

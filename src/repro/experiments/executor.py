@@ -1,6 +1,6 @@
 """Execution strategies for running registered experiments.
 
-Two executors share one contract — take specs, return
+Three executors share one contract — take specs, return
 :class:`~repro.experiments.base.ExperimentResult` objects in paper
 order:
 
@@ -12,16 +12,24 @@ order:
   the pool, and an experiment is submitted as soon as all of its
   declared datasets are in the cache.  Experiments that share a key
   (e.g. Figs 11/12's EDU capture) never materialize it twice.
-
-Threads (not processes) are the right fit: the heavy lifting happens
-inside numpy, which releases the GIL, and the dataset cache lives in
-process memory.
+* :class:`ProcessExecutor` runs them in worker *processes*
+  (``repro run --jobs N --pool process``): each worker rebuilds the
+  scenario from its picklable :class:`~repro.synth.spec.ScenarioSpec`
+  (memoized per process, so one rebuild serves every experiment that
+  worker runs) and ships back the finished result.  Threads stop
+  paying once the Python-level work — grouping, partial merges,
+  result assembly — saturates the GIL; processes sidestep it at the
+  cost of per-worker scenario construction and result pickling.
+  Platforms without ``fork``/``forkserver`` (and the
+  ``REPRO_NO_PROCPOOL`` escape hatch) fall back to the thread
+  executor via :func:`make_executor`.
 """
 
 from __future__ import annotations
 
 import concurrent.futures as _cf
 import os
+import pickle
 from typing import Dict, List, Optional, Sequence, Set
 
 import repro.obs as obs
@@ -64,6 +72,7 @@ class SerialExecutor:
     """Run experiments sequentially in paper order."""
 
     name = "serial"
+    kind = "serial"
     jobs = 1
     width = 1
 
@@ -95,6 +104,7 @@ class ParallelExecutor:
     """
 
     name = "parallel"
+    kind = "thread"
 
     def __init__(self, jobs: int):
         if jobs < 1:
@@ -223,10 +233,169 @@ class ParallelExecutor:
         return [results[spec.id] for spec in specs if spec.id in results]
 
 
-def make_executor(jobs: int = 1):
-    """The executor matching a ``--jobs`` value."""
+# -- process execution --------------------------------------------------------
+
+#: Per-worker rebuilt scenarios, keyed by spec fingerprint.  Bounded:
+#: a grid can stripe many scenarios across few workers, and each world
+#: holds populations + RNG state.
+_WORKER_SCENARIOS: Dict[str, Scenario] = {}
+_WORKER_SCENARIO_CAP = 4
+
+
+def scenario_from_spec(scenario_spec) -> Optional[Scenario]:
+    """Rebuild (or reuse) this process's scenario for ``scenario_spec``.
+
+    Memoized by fingerprint so one worker running several experiments
+    — or several grid cells on the same scenario — constructs the
+    world once.  Top-level so process tasks pickle by reference.
+    """
+    if scenario_spec is None:
+        return None
+    key = scenario_spec.fingerprint
+    cached = _WORKER_SCENARIOS.get(key)
+    if cached is None:
+        cached = build_scenario(spec=scenario_spec)
+        while len(_WORKER_SCENARIOS) >= _WORKER_SCENARIO_CAP:
+            _WORKER_SCENARIOS.pop(next(iter(_WORKER_SCENARIOS)))
+        _WORKER_SCENARIOS[key] = cached
+    return cached
+
+
+def _portable_result(result: ExperimentResult) -> ExperimentResult:
+    """Make a result safe to ship across the process boundary.
+
+    ``data`` is a free-form attachment (arrays, exceptions, figure
+    payloads); anything that does not pickle is dropped rather than
+    failing the experiment — metrics, checks, and rendered output are
+    what the callers consume.
+    """
+    try:
+        pickle.dumps(result.data, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        result.data = None
+    return result
+
+
+def _run_one_in_process(
+    experiment_id: str,
+    scenario_spec,
+    config: Optional[PipelineConfig],
+    on_error: str,
+) -> ExperimentResult:
+    """Worker-side task: rebuild the world, run one experiment."""
+    spec = get_spec(experiment_id)
+    scenario = scenario_from_spec(scenario_spec)
+    return _portable_result(_run_one(spec, scenario, config, on_error))
+
+
+class ProcessExecutor:
+    """Run experiments in worker processes, one task per experiment.
+
+    Workers receive ``(experiment id, scenario spec, config)`` — all
+    cheaply picklable — rebuild the scenario once per process, and
+    return finished results.  There is no dataset-ready scheduling:
+    each worker owns a private in-memory dataset cache, so sharing
+    happens per worker rather than globally (the trade for leaving
+    the GIL).  Unlike the thread executor, the pool width is not
+    capped by ``os.cpu_count()`` — the regression that motivated that
+    cap was GIL contention, which processes do not have; the bench
+    gates stay core-aware instead.
+
+    Requires a platform with ``fork`` or ``forkserver`` and a
+    scenario built from a :class:`~repro.synth.spec.ScenarioSpec`
+    (every ``build_scenario`` world qualifies; only hand-assembled
+    test scenarios do not).
+    """
+
+    name = "process"
+    kind = "process"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        from repro.query import procpool
+
+        if not procpool.processes_supported():
+            raise RuntimeError(
+                "process executor unavailable: no fork/forkserver start "
+                "method (or REPRO_NO_PROCPOOL is set); use the thread "
+                "executor"
+            )
+        self.jobs = jobs
+        self.width = jobs
+        self._start_method = procpool.start_method()
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        scenario: Optional[Scenario],
+        config: Optional[PipelineConfig],
+        *,
+        on_error: str = "raise",
+    ) -> List[ExperimentResult]:
+        import multiprocessing
+
+        scenario_spec = scenario.spec if scenario is not None else None
+        if scenario is not None and scenario_spec is None:
+            raise ValueError(
+                "the process executor needs a scenario built from a "
+                "ScenarioSpec (hand-assembled scenarios cannot be "
+                "rebuilt in workers); use the thread executor"
+            )
+        self.width = max(1, min(self.jobs, len(specs)))
+        results: Dict[str, ExperimentResult] = {}
+        first_error: Optional[BaseException] = None
+        with obs.span("executor/process") as span:
+            span.set_metric("experiments", len(specs))
+            span.set_metric("jobs", self.jobs)
+            span.set_metric("width", self.width)
+            with _cf.ProcessPoolExecutor(
+                max_workers=self.width,
+                mp_context=multiprocessing.get_context(self._start_method),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_one_in_process, spec.id, scenario_spec,
+                        config, on_error,
+                    ): spec
+                    for spec in specs
+                }
+                for future in _cf.as_completed(futures):
+                    spec = futures[future]
+                    try:
+                        results[spec.id] = future.result()
+                    except BaseException as exc:
+                        # A worker that died (or a result that failed
+                        # to pickle back) is attributed to its
+                        # experiment, like any runner crash.
+                        if on_error == "capture":
+                            results[spec.id] = _crash_result(spec, exc)
+                        elif first_error is None:
+                            first_error = exc
+        if first_error is not None:
+            raise first_error
+        return [results[spec.id] for spec in specs if spec.id in results]
+
+
+def make_executor(jobs: int = 1, pool: str = "thread"):
+    """The executor matching ``--jobs``/``--pool`` values.
+
+    ``pool`` chooses between worker threads (``"thread"``, the
+    default) and worker processes (``"process"``) once ``jobs > 1``;
+    a platform that cannot run process pools falls back to threads
+    gracefully.  ``jobs <= 1`` is always serial.
+    """
+    if pool not in ("thread", "process"):
+        raise ValueError(
+            f"unknown executor pool {pool!r}; use 'thread' or 'process'"
+        )
     if jobs <= 1:
         return SerialExecutor()
+    if pool == "process":
+        try:
+            return ProcessExecutor(jobs)
+        except RuntimeError:
+            obs.counter("experiments.process-fallbacks").inc()
     return ParallelExecutor(jobs)
 
 
@@ -248,13 +417,15 @@ def run_all(
     *,
     experiment_ids: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    pool: str = "thread",
     executor=None,
     on_error: str = "raise",
 ) -> List[ExperimentResult]:
     """Run every experiment (or a subset) in paper order.
 
-    ``jobs > 1`` switches to the dataset-ready parallel executor; the
-    metrics and checks are identical to a serial run because every
+    ``jobs > 1`` switches to the dataset-ready thread executor
+    (``pool="thread"``) or the process executor (``pool="process"``);
+    the metrics and checks are identical to a serial run because every
     dataset key is a deterministic function of the scenario and config.
     ``on_error="capture"`` converts a crashing experiment into a failed
     :class:`ExperimentResult` instead of propagating the exception.
@@ -263,5 +434,5 @@ def run_all(
     if scenario is None and any(spec.needs_scenario for spec in specs):
         scenario = build_scenario()
     if executor is None:
-        executor = make_executor(jobs)
+        executor = make_executor(jobs, pool=pool)
     return executor.run(specs, scenario, config, on_error=on_error)

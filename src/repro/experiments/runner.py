@@ -16,6 +16,11 @@ registry/executor and the fingerprint-keyed
 * all cells share one dataset cache: entry tokens are keyed by each
   world's canonical fingerprint, so scenarios never collide and
   repeated requests within a cell are shared across analyses,
+* with ``cell_procs > 1`` the grid's cells are distributed across
+  worker *processes* (``repro experiment --procs N``): each cell is an
+  independent (scenario, repeat) world, so cells scale without GIL
+  contention; workers keep a private per-process dataset cache, and
+  cell payloads come back as picklable results,
 * cross-run statistics (per-metric mean/std/min/max, per-check and
   per-expectation pass rates, wall times, cache stats) are aggregated
   into a JSON-serializable grid manifest.
@@ -104,6 +109,83 @@ def _expectation_holds(expectation: Expectation, ratio: float) -> bool:
     return True
 
 
+def run_grid_cell(
+    spec: ScenarioSpec,
+    repeat: int,
+    experiment_ids: Optional[Sequence[str]],
+    config: Optional[PipelineConfig],
+    jobs: int,
+    cache: Optional[datasets.DatasetCache] = None,
+) -> Dict[str, object]:
+    """Build one (scenario, repeat) world and run its analyses.
+
+    The cell body shared by the in-process grid loop and the
+    process-distributed path: derive the repeat seed, build the world,
+    run the registered analyses with crash capture, then re-derive
+    every planted expectation blind.  Top-level so process workers can
+    import it by reference.
+    """
+    seed = repeat_seed(spec, repeat)
+    derived = spec.with_seed(seed)
+    started = time.perf_counter()
+    if cache is None:
+        cache = datasets.DatasetCache()
+    with obs.span(f"grid/{spec.name}/repeat-{repeat}"):
+        scenario = build_scenario(spec=derived)
+        with datasets.use_cache(cache):
+            results = run_all(
+                scenario,
+                config,
+                experiment_ids=experiment_ids,
+                jobs=jobs,
+                on_error="capture",
+            )
+            expectations = []
+            for expectation in spec.expectations:
+                ratio = measure_expectation(scenario, expectation, config)
+                expectations.append(
+                    (expectation, ratio,
+                     _expectation_holds(expectation, ratio))
+                )
+    return {
+        "seed": seed,
+        "fingerprint": derived.fingerprint,
+        "results": results,
+        "expectations": expectations,
+        "wall_s": time.perf_counter() - started,
+    }
+
+
+#: Per-worker dataset cache for process-distributed cells: one cache
+#: per worker process, shared by every cell that worker runs (cells on
+#: the same scenario fingerprint share entries; different scenarios
+#: are token-isolated as usual).
+_GRID_WORKER_CACHE: Optional[datasets.DatasetCache] = None
+
+
+def _grid_cell_in_process(
+    spec: ScenarioSpec,
+    repeat: int,
+    experiment_ids: Optional[Sequence[str]],
+    config: Optional[PipelineConfig],
+    jobs: int,
+) -> Dict[str, object]:
+    """Worker-side grid cell: private cache, picklable payload."""
+    from repro.experiments import executor as executor_mod
+
+    global _GRID_WORKER_CACHE
+    if _GRID_WORKER_CACHE is None:
+        _GRID_WORKER_CACHE = datasets.DatasetCache()
+    cell = run_grid_cell(
+        spec, repeat, experiment_ids, config, jobs,
+        cache=_GRID_WORKER_CACHE,
+    )
+    cell["results"] = [
+        executor_mod._portable_result(result) for result in cell["results"]
+    ]
+    return cell
+
+
 def _stats(values: Sequence[float]) -> Dict[str, float]:
     arr = np.asarray(values, dtype=np.float64)
     return {
@@ -126,11 +208,14 @@ class Experiment:
         jobs: int = 1,
         cache: Optional[datasets.DatasetCache] = None,
         name: str = "experiment-grid",
+        cell_procs: int = 1,
     ):
         if nb_repeats < 1:
             raise ValueError("nb_repeats must be >= 1")
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if cell_procs < 1:
+            raise ValueError("cell_procs must be >= 1")
         self.name = name
         self.scenarios_list: List[ScenarioSpec] = []
         for spec in scenarios_list:
@@ -141,6 +226,10 @@ class Experiment:
         )
         self.config = config
         self.jobs = jobs
+        #: Worker processes cells are distributed across (1 = in
+        #: process); falls back to the in-process loop on platforms
+        #: without fork/forkserver or under ``REPRO_NO_PROCPOOL``.
+        self.cell_procs = cell_procs
         #: One fingerprint-keyed cache shared by every grid cell.
         self.cache = cache if cache is not None else datasets.DatasetCache()
 
@@ -168,51 +257,80 @@ class Experiment:
         self, spec: ScenarioSpec, repeat: int
     ) -> Dict[str, object]:
         """Build one world and run its analyses + blind re-derivations."""
-        seed = repeat_seed(spec, repeat)
-        derived = spec.with_seed(seed)
-        started = time.perf_counter()
-        with obs.span(f"grid/{spec.name}/repeat-{repeat}"):
-            scenario = build_scenario(spec=derived)
-            with datasets.use_cache(self.cache):
-                results = run_all(
-                    scenario,
-                    self.config,
-                    experiment_ids=self._ids_for(spec),
-                    jobs=self.jobs,
-                    on_error="capture",
-                )
-                expectations = []
-                for expectation in spec.expectations:
-                    ratio = measure_expectation(
-                        scenario, expectation, self.config
-                    )
-                    expectations.append(
-                        (expectation, ratio,
-                         _expectation_holds(expectation, ratio))
-                    )
-        return {
-            "seed": seed,
-            "fingerprint": derived.fingerprint,
-            "results": results,
-            "expectations": expectations,
-            "wall_s": time.perf_counter() - started,
+        return run_grid_cell(
+            spec, repeat, self._ids_for(spec), self.config, self.jobs,
+            cache=self.cache,
+        )
+
+    def _cell_pool_kind(self) -> str:
+        """How cells will execute: ``"process"`` or ``"serial"``."""
+        if self.cell_procs <= 1:
+            return "serial"
+        from repro.query import procpool
+
+        return "process" if procpool.processes_supported() else "serial"
+
+    def _run_cells(self) -> Dict[str, List[Dict[str, object]]]:
+        """All (scenario, repeat) cells, keyed by scenario name.
+
+        With ``cell_procs > 1`` on a capable platform, cells fan out
+        across a process pool and land back in grid order; otherwise
+        they run in process, sequentially, sharing ``self.cache``.
+        """
+        if self._cell_pool_kind() != "process":
+            return {
+                spec.name: [
+                    self._run_cell(spec, repeat)
+                    for repeat in range(self.nb_repeats)
+                ]
+                for spec in self.scenarios_list
+            }
+        import concurrent.futures as _cf
+        import multiprocessing
+
+        from repro.query import procpool
+
+        width = min(
+            self.cell_procs,
+            max(1, len(self.scenarios_list) * self.nb_repeats),
+        )
+        cells: Dict[str, List[Optional[Dict[str, object]]]] = {
+            spec.name: [None] * self.nb_repeats
+            for spec in self.scenarios_list
         }
+        with _cf.ProcessPoolExecutor(
+            max_workers=width,
+            mp_context=multiprocessing.get_context(procpool.start_method()),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _grid_cell_in_process, spec, repeat,
+                    self._ids_for(spec), self.config, self.jobs,
+                ): (spec.name, repeat)
+                for spec in self.scenarios_list
+                for repeat in range(self.nb_repeats)
+            }
+            for future in _cf.as_completed(futures):
+                name, repeat = futures[future]
+                cells[name][repeat] = future.result()
+        return cells  # type: ignore[return-value]
 
     def run(self) -> Dict[str, object]:
         """Run the full grid and return the aggregated manifest."""
         grid_started = time.perf_counter()
-        scenarios: Dict[str, Dict[str, object]] = {}
-        for spec in self.scenarios_list:
-            cells = [
-                self._run_cell(spec, repeat)
-                for repeat in range(self.nb_repeats)
-            ]
-            scenarios[spec.name] = self._aggregate(spec, cells)
+        cell_pool = self._cell_pool_kind()
+        all_cells = self._run_cells()
+        scenarios: Dict[str, Dict[str, object]] = {
+            spec.name: self._aggregate(spec, all_cells[spec.name])
+            for spec in self.scenarios_list
+        }
         manifest: Dict[str, object] = {
             "schema": GRID_SCHEMA,
             "name": self.name,
             "nb_repeats": self.nb_repeats,
             "jobs": self.jobs,
+            "cell_procs": self.cell_procs,
+            "cell_pool": cell_pool,
             "config": (
                 {
                     "flow_fidelity": (self.config or PipelineConfig()).flow_fidelity,

@@ -291,15 +291,35 @@ class ColumnBundle:
     dict of (possibly memory-mapped) column arrays.  Derived keys are
     computed with the same helpers as ``FlowTable``, so every scan path
     produces identical values.
+
+    A bundle produced by :meth:`ColumnarPartition.load` pickles
+    *cheaply*: its reduce payload is the partition path, sidecar
+    (manifest entry), and projected column names — never the mapped
+    bytes — and unpickling re-maps the segments in the target process
+    through the usual checksum verification.  A derived bundle (e.g.
+    from :meth:`filter`) has no backing segments and falls back to
+    shipping its materialized arrays by value.
     """
 
-    __slots__ = ("_cols", "_rows", "_derived", "_indexes")
+    __slots__ = ("_cols", "_rows", "_derived", "_indexes", "_source")
 
     def __init__(self, columns: Dict[str, np.ndarray], rows: int):
         self._cols = columns
         self._rows = rows
         self._derived: Dict[str, np.ndarray] = {}
         self._indexes: Dict[str, GroupIndex] = {}
+        #: (day, partition dir, sidecar, column names, mmap flag) when
+        #: the bundle maps on-disk segments; None once derived.
+        self._source: Optional[tuple] = None
+
+    def __reduce__(self):
+        if self._source is not None:
+            return (_rebuild_bundle, self._source)
+        arrays = {
+            name: np.ascontiguousarray(col)
+            for name, col in self._cols.items()
+        }
+        return (ColumnBundle, (arrays, self._rows))
 
     def __len__(self) -> int:
         return self._rows
@@ -364,8 +384,27 @@ class ColumnBundle:
         return ColumnBundle(selected, rows)
 
 
+def _rebuild_bundle(
+    day: str, partition_dir: str, sidecar: dict,
+    columns: Tuple[str, ...], mmap: bool,
+) -> "ColumnBundle":
+    """Unpickle hook: re-map a bundle's segments in this process.
+
+    Goes through :meth:`ColumnarPartition.load`, so the rebuilt bundle
+    is checksum-verified against the shipped sidecar (memoized by the
+    per-process verified-cache) exactly like a locally opened one.
+    """
+    partition = ColumnarPartition(day, Path(partition_dir), sidecar)
+    bundle, _ = partition.load(columns, mmap=mmap)
+    return bundle
+
+
 class ColumnarPartition:
-    """One v2 partition directory opened for reading."""
+    """One v2 partition directory opened for reading.
+
+    Pickles by ``(day, path, sidecar)`` — plain data, no open mmaps —
+    so partition handles are cheap to ship to scan workers.
+    """
 
     __slots__ = ("day", "_dir", "_sidecar")
 
@@ -373,6 +412,9 @@ class ColumnarPartition:
         self.day = day
         self._dir = Path(partition_dir)
         self._sidecar = sidecar
+
+    def __reduce__(self):
+        return (ColumnarPartition, (self.day, str(self._dir), self._sidecar))
 
     @property
     def rows(self) -> int:
@@ -437,7 +479,11 @@ class ColumnarPartition:
         obs.counter("colstore.loads").inc()
         obs.counter("colstore.columns-loaded").inc(len(arrays))
         obs.counter("colstore.bytes-mapped").inc(bytes_read)
-        return ColumnBundle(arrays, self.rows), bytes_read
+        bundle = ColumnBundle(arrays, self.rows)
+        bundle._source = (
+            self.day, str(self._dir), self._sidecar, tuple(columns), mmap
+        )
+        return bundle, bytes_read
 
     def table(self, mmap: bool = False) -> FlowTable:
         """The whole partition as a :class:`FlowTable` (all columns).

@@ -38,9 +38,10 @@ import hashlib
 import json
 import os
 import shutil
+import threading
 import zipfile
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro import timebase
 from repro.flows import colstore
@@ -53,6 +54,7 @@ __all__ = [
     "FORMAT_V2",
     "FlowStore",
     "FlowStoreError",
+    "open_cached",
 ]
 
 PathLike = Union[str, Path]
@@ -407,3 +409,40 @@ class FlowStore:
         """
         for day in self.days():
             yield day, self.read_day(day)
+
+
+# -- per-process open cache ---------------------------------------------------
+
+#: root path → (manifest identity, opened store).  Process-local by
+#: construction: fork'd scan workers each start with a copy and then
+#: diverge, so one worker's cache never aliases another's mmaps.
+_OPEN_STORES: Dict[str, Tuple[Tuple[int, int], "FlowStore"]] = {}
+_OPEN_LOCK = threading.Lock()
+
+
+def open_cached(root: PathLike) -> FlowStore:
+    """Open ``root`` through the per-process verified-open cache.
+
+    Keyed by the manifest file's ``(mtime_ns, size)`` identity, so a
+    store rewritten between queries is reopened (and re-verified)
+    rather than served from a stale manifest, while repeat opens of an
+    unchanged store reuse the parsed manifest *and* its verified
+    sidecar cache.  This is what shard-scan workers call: the first
+    shard a worker sees pays the manifest parse, every later shard is
+    a dictionary hit.
+    """
+    path = Path(root)
+    key = str(path)
+    try:
+        stat = (path / _MANIFEST).stat()
+        identity = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        identity = (0, 0)
+    with _OPEN_LOCK:
+        cached = _OPEN_STORES.get(key)
+        if cached is not None and cached[0] == identity:
+            return cached[1]
+    store = FlowStore(path)
+    with _OPEN_LOCK:
+        _OPEN_STORES[key] = (identity, store)
+    return store

@@ -11,9 +11,13 @@ that access pattern as a subsystem:
 * :mod:`repro.query.engine` — manifest-driven partition pruning,
   predicate pushdown, parallel per-partition scans, and exact/HLL
   partial-aggregate merging;
+* :mod:`repro.query.procpool` — :class:`ScanPool`, the persistent
+  process-backed (thread-fallback) shard pool running scatter-gather
+  partition scans outside the GIL;
 * :mod:`repro.query.service` — :class:`QueryService`, the bounded
   concurrent front end with per-query deadlines, cancellation, an LRU
-  result cache, and ``query.*`` telemetry.
+  result cache, ``query.*`` telemetry, and ``scan_procs`` process
+  scan-out.
 
 Quickstart::
 
@@ -47,6 +51,12 @@ from repro.query.errors import (
     QueryRejected,
     QueryTimeout,
 )
+from repro.query.procpool import (
+    ScanPool,
+    ShardOutcome,
+    make_scan_pool,
+    shard_days,
+)
 from repro.query.service import (
     QueryService,
     QueryTicket,
@@ -75,10 +85,14 @@ __all__ = [
     "QuerySpec",
     "QueryTicket",
     "QueryTimeout",
+    "ScanPool",
     "ScanStats",
     "ServiceStats",
+    "ShardOutcome",
     "execute_plan",
     "execute_query",
+    "make_scan_pool",
     "plan_query",
     "scan_partition",
+    "shard_days",
 ]

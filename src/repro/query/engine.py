@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import time
-from concurrent.futures import FIRST_COMPLETED, Executor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field, replace
 from threading import Event
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -644,19 +644,25 @@ def _timed_scan(
 def execute_plan(
     store: FlowStore,
     plan: QueryPlan,
-    pool: Optional[Executor] = None,
+    pool: Optional[object] = None,
     deadline: Optional[float] = None,
     cancel: Optional[Event] = None,
     plan_s: float = 0.0,
 ) -> QueryResult:
     """Run a plan, merging per-partition partials as they complete.
 
-    ``pool`` scans partitions concurrently (each worker handles whole
-    partitions, so partials stay thread-local until the single-threaded
-    merge).  ``deadline`` is a ``time.monotonic()`` timestamp enforced
-    between partitions — on expiry pending scans are cancelled and
-    :class:`QueryTimeout` is raised.  ``cancel`` aborts the same way
-    with :class:`QueryCancelled`.
+    ``pool`` scans partitions concurrently.  A plain executor runs one
+    partition per task (each worker handles whole partitions, so
+    partials stay thread-local until the single-threaded merge); a
+    :class:`repro.query.procpool.ScanPool` — anything exposing
+    ``submit_shard`` — takes the scatter-gather path instead: the
+    plan's days are split into contiguous shards, each shard is
+    scanned and pre-merged inside a worker (a separate process when
+    the platform allows), and only the compact merged partials cross
+    back for the final fold.  ``deadline`` is a ``time.monotonic()``
+    timestamp enforced between partitions — on expiry pending scans
+    are cancelled and :class:`QueryTimeout` is raised.  ``cancel``
+    aborts the same way with :class:`QueryCancelled`.
 
     ``plan_s`` is the planning wall time measured by the caller (zero
     when the plan was built out of band); it flows into the result's
@@ -706,6 +712,77 @@ def execute_plan(
         columns_loaded.update(stats.columns)
         registry.counter("query.partitions-scanned").inc()
 
+    def _absorb_shard(outcome) -> None:
+        nonlocal scanned, rows_scanned, rows_matched, bytes_read
+        nonlocal merge_s, scan_s
+        t_merge = time.perf_counter()
+        _merge_partial(
+            total_sums, total_sketches, outcome.sums, outcome.sketches
+        )
+        merge_s += time.perf_counter() - t_merge
+        scanned += outcome.n_scanned
+        rows_scanned += outcome.rows_scanned
+        rows_matched += outcome.rows_matched
+        bytes_read += outcome.bytes_read
+        scan_s += outcome.scan_s
+        columns_loaded.update(outcome.columns)
+        for day_iso, error in outcome.failures:
+            failures.append(PartitionFailure(day_iso, error))
+            registry.counter("query.partitions-failed").inc()
+        if outcome.n_scanned:
+            registry.counter(
+                "query.partitions-scanned"
+            ).inc(outcome.n_scanned)
+        pool.note_outcome(outcome)
+
+    def _run_sharded() -> None:
+        """Scatter contiguous day shards across the pool's workers."""
+        from repro.query import procpool
+
+        shards = procpool.shard_days(plan.days, getattr(pool, "width", 1))
+        futures = {
+            pool.submit_shard(store, shard, spec): shard
+            for shard in shards
+        }
+        pending = set(futures)
+        try:
+            while pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                done, pending = wait(
+                    pending, timeout=remaining,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    raise QueryTimeout(
+                        f"query {spec.describe()} exceeded its deadline "
+                        f"after {scanned}/{len(plan.days)} partitions"
+                    )
+                for future in done:
+                    shard = futures[future]
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:
+                        # A worker that died (or a payload that failed
+                        # to cross the pipe) fails its shard's days as
+                        # partition failures, like any unreadable
+                        # partition.
+                        for day in shard:
+                            _absorb(
+                                day, None,
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                    else:
+                        _absorb_shard(outcome)
+                if cancel is not None and cancel.is_set():
+                    raise QueryCancelled(
+                        f"query {spec.describe()} cancelled"
+                    )
+        finally:
+            for future in pending:
+                future.cancel()
+
     with obs.span(f"query/{spec.describe()}") as span:
         with obs.span("scan") as scan_span:
             if pool is None or len(plan.days) <= 1:
@@ -718,6 +795,8 @@ def execute_plan(
                     else:
                         scan_s += scan_dt
                         _absorb(day, outcome, None)
+            elif hasattr(pool, "submit_shard"):
+                _run_sharded()
             else:
                 futures = {
                     pool.submit(_timed_scan, store, day, spec): day
@@ -796,11 +875,17 @@ def execute_plan(
 def execute_query(
     store: FlowStore,
     spec: QuerySpec,
-    pool: Optional[Executor] = None,
+    pool: Optional[object] = None,
     deadline: Optional[float] = None,
     cancel: Optional[Event] = None,
 ) -> QueryResult:
-    """Plan and execute ``spec`` against ``store`` in one call."""
+    """Plan and execute ``spec`` against ``store`` in one call.
+
+    ``pool`` may be a plain executor (per-partition thread scans) or a
+    :class:`repro.query.procpool.ScanPool` (sharded scatter-gather,
+    process-backed when available); ``None`` scans serially.  All
+    three produce bit-identical results.
+    """
     t0 = time.perf_counter()
     plan = plan_query(store, spec)
     plan_s = time.perf_counter() - t0

@@ -44,7 +44,7 @@ import repro.obs as obs
 from repro.flows import colstore
 from repro.flows.store import FlowStore
 from repro.obs.slowlog import SlowQueryLog
-from repro.query import engine
+from repro.query import engine, procpool
 from repro.query.errors import QueryError, QueryRejected, QueryTimeout
 from repro.query.spec import QuerySpec
 
@@ -143,9 +143,12 @@ class QueryService:
         default_timeout: float = 30.0,
         cache_entries: int = 128,
         slow_log: Optional[SlowQueryLog] = None,
+        scan_procs: int = 0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if scan_procs < 0:
+            raise ValueError("scan_procs must be >= 0")
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if not stores:
@@ -170,6 +173,14 @@ class QueryService:
         self._scan_pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="query-scan"
         )
+        # With scan_procs > 0, partition scans scatter-gather across a
+        # persistent shard pool (processes when the platform allows,
+        # threads otherwise) shared by every worker; the thread scan
+        # pool above still serves as the explicit-thread path.
+        self._shard_pool = (
+            procpool.make_scan_pool(scan_procs) if scan_procs else None
+        )
+        self.scan_procs = scan_procs
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -190,9 +201,13 @@ class QueryService:
         self.close()
 
     def close(self) -> None:
-        """Drain the queue, stop the workers, release the scan pool.
+        """Drain the queue, stop the workers, release the scan pools.
 
         Queries already queued still execute; new submissions raise.
+        The shard pool (if any) is closed without waiting on scans
+        abandoned by timed-out or cancelled queries — its close
+        terminates worker processes that outlive the grace period, so
+        a scan sleeping past its deadline cannot leave zombies.
         """
         with self._lock:
             if self._closed:
@@ -203,6 +218,8 @@ class QueryService:
         for thread in self._workers:
             thread.join()
         self._scan_pool.shutdown(wait=True)
+        if self._shard_pool is not None:
+            self._shard_pool.close()
 
     # -- stores -------------------------------------------------------------
 
@@ -401,7 +418,7 @@ class QueryService:
             self.stats.cache_misses += 1
         registry.counter("query.cache-misses").inc()
         result = engine.execute_query(
-            store, job.spec, pool=self._scan_pool,
+            store, job.spec, pool=self._shard_pool or self._scan_pool,
             deadline=job.deadline, cancel=job.cancel,
         )
         t_store = time.monotonic()
@@ -432,6 +449,11 @@ class QueryService:
             "default_timeout": self.default_timeout,
             "cache_entries": self._cache_entries,
             "vantages": list(self.vantages),
+            "scan_pool": (
+                self._shard_pool.describe()
+                if self._shard_pool is not None
+                else {"kind": "thread", "width": self.workers}
+            ),
             "stats": self.stats.to_dict(),
         }
         if self.slow_log is not None:
