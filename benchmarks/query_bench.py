@@ -21,6 +21,16 @@ timed as ``migrate-v2``.  Both narrow sweeps are warm (a cold pass
 primes the page cache first), so the ratio isolates partition I/O:
 decompress-everything versus map-two-columns.
 
+An **encoding sweep** then replays a selective filtered batch
+(equality and membership predicates on the dictionary-encoded
+``proto`` column) against the same store as v2 (``filtered-v2``) and
+after a timed ``migrate-v3`` as v3 (``filtered-v3``): the v3 scan
+resolves predicates on dictionary codes and bitmap index rows before
+materializing any row data, so it must read fewer bytes and — under
+``--fail-on-regression`` — run at least 2x the v2 sweep.  Per-column
+on-disk totals from ``FlowStore.column_stats`` land in the recorded
+``colstore`` block.
+
 A final **scaling sweep** replays one scan-heavy multi-vantage batch
 (the mixed shapes over the v2 ``isp-ce`` store plus a second,
 lower-fidelity ``edu`` store) directly through the engine three ways:
@@ -75,6 +85,7 @@ import numpy as np  # noqa: E402
 from repro.flows.store import (  # noqa: E402
     FORMAT_V1,
     FORMAT_V2,
+    FORMAT_V3,
     FlowStore,
 )
 import repro.obs as obs  # noqa: E402
@@ -169,6 +180,38 @@ def _narrow_batch(n_repeats: int) -> List[QuerySpec]:
                 VANTAGE, day, week_end,
                 group_by=["proto"], aggregates=["bytes"],
             )
+        )
+        day += _dt.timedelta(days=7)
+        if day > END:
+            day = START + _dt.timedelta(days=1)
+    return specs
+
+
+def _filtered_batch(n_repeats: int) -> List[QuerySpec]:
+    """Selective predicate shapes — the v3 bitmap/dictionary sweep.
+
+    Equality and membership predicates on the dictionary-encoded
+    ``proto`` column: v2 must map and verify every referenced raw
+    segment before masking, v3 resolves the predicate on dictionary
+    codes and bitmap rows and gathers only the surviving rows.
+    """
+    specs: List[QuerySpec] = []
+    day = START
+    for _ in range(4 * n_repeats):
+        week_end = min(day + _dt.timedelta(days=6), END)
+        specs.extend(
+            [
+                QuerySpec.build(
+                    VANTAGE, day, week_end,
+                    where={"proto": 17}, group_by=["service_port"],
+                    aggregates=["bytes"],
+                ),
+                QuerySpec.build(
+                    VANTAGE, day, week_end,
+                    where={"proto": [47, 50]},
+                    aggregates=["bytes", "flows"], bucket="day",
+                ),
+            ]
         )
         day += _dt.timedelta(days=7)
         if day > END:
@@ -334,6 +377,61 @@ def main(argv=None) -> int:
                 f"(the columnar format should clear 2x)"
             )
 
+        # Encoding sweep: the same flows migrated v2 → v3, replaying a
+        # selective filtered batch on both.  v2 maps full raw segments
+        # and masks; v3 answers the predicate on dictionary codes and
+        # bitmap index rows before materializing anything.
+        filtered = _filtered_batch(n_repeats)
+        _direct_sweep(format_store, filtered)
+        fv2_results, walls[f"{KEY}[filtered-v2]"] = _direct_sweep(
+            format_store, filtered
+        )
+        t0 = time.perf_counter()
+        format_store.migrate(FORMAT_V3)
+        walls[f"{KEY}[migrate-v3]"] = time.perf_counter() - t0
+        _direct_sweep(format_store, filtered)
+        fv3_results, walls[f"{KEY}[filtered-v3]"] = _direct_sweep(
+            format_store, filtered
+        )
+
+        if _rows(fv2_results) != _rows(fv3_results):
+            problems.append("filtered-v3 rows differ from filtered-v2")
+        fv2_bytes = sum(r.bytes_read for r in fv2_results)
+        fv3_bytes = sum(r.bytes_read for r in fv3_results)
+        if not 0 < fv3_bytes < fv2_bytes:
+            problems.append(
+                f"v3 filtered sweep read {fv3_bytes} bytes vs. v2's "
+                f"{fv2_bytes}; predicate pushdown is not reducing I/O"
+            )
+        v3_speedup = (
+            walls[f"{KEY}[filtered-v2]"] / walls[f"{KEY}[filtered-v3]"]
+        )
+        column_stats = format_store.column_stats()
+        stored_ratio = (
+            sum(int(e["stored_nbytes"]) for e in column_stats.values())
+            / max(1, sum(int(e["raw_nbytes"])
+                         for e in column_stats.values()))
+        )
+        colstore_block = {
+            "queries": len(filtered),
+            "filtered_v2_bytes": int(fv2_bytes),
+            "filtered_v3_bytes": int(fv3_bytes),
+            "bytes_ratio": round(fv3_bytes / max(1, fv2_bytes), 4),
+            "stored_ratio": round(stored_ratio, 4),
+            "speedup_vs_v2": round(v3_speedup, 3),
+        }
+        print(
+            f"encodings: {len(filtered)} filtered queries read "
+            f"{fv3_bytes:,} bytes on v3 vs. {fv2_bytes:,} on v2, run "
+            f"{v3_speedup:.2f}x the v2 sweep; columns store at "
+            f"{stored_ratio:.2f}x raw width"
+        )
+        if args.fail_on_regression and v3_speedup < 2.0:
+            problems.append(
+                f"v3 filtered sweep only {v3_speedup:.2f}x faster than "
+                f"v2 (bitmap + dictionary pushdown should clear 2x)"
+            )
+
         # Scaling sweep: one scan-heavy multi-vantage batch through the
         # engine in all three execution modes.  The isp-ce store spans
         # 7 weeks; a second lower-fidelity vantage exercises scans over
@@ -458,7 +556,8 @@ def main(argv=None) -> int:
         payload = {"runs": []}
 
     if args.fail_on_regression:
-        for gated in (f"{KEY}[warm]", f"{KEY}[narrow-v2]"):
+        for gated in (f"{KEY}[warm]", f"{KEY}[narrow-v2]",
+                      f"{KEY}[filtered-v3]"):
             recorded = _latest_baseline(payload, gated, args.fast)
             if recorded is None:
                 print(f"no recorded {gated} baseline at this fidelity; "
@@ -491,6 +590,7 @@ def main(argv=None) -> int:
             "exit_status": status,
             "wall_s": {k: round(v, 4) for k, v in sorted(walls.items())},
             "scaling": scaling,
+            "colstore": colstore_block,
         }
     )
     history_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -461,10 +461,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_migrate(args: argparse.Namespace) -> int:
-    from repro.flows.store import FORMAT_V1, FORMAT_V2, FlowStore
+    from repro.flows.store import (
+        FORMAT_V1,
+        FORMAT_V2,
+        FORMAT_V3,
+        FlowStore,
+    )
 
     store = FlowStore(args.store)
-    target = FORMAT_V1 if args.to == "v1" else FORMAT_V2
+    target = {"v1": FORMAT_V1, "v2": FORMAT_V2, "v3": FORMAT_V3}[args.to]
     migrated = store.migrate(target)
     counts = store.format_counts()
     inventory = ", ".join(
@@ -473,6 +478,57 @@ def _cmd_store_migrate(args: argparse.Namespace) -> int:
     print(
         f"migrated {migrated} partition(s) to {args.to} under "
         f"{store.root} ({inventory})"
+    )
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    from repro.flows.store import FlowStore
+
+    store = FlowStore(args.store)
+    stats = store.column_stats()
+    counts = store.format_counts()
+    inventory = ", ".join(
+        f"v{fmt}: {n}" for fmt, n in sorted(counts.items())
+    ) or "no partitions"
+    total_raw = sum(int(e["raw_nbytes"]) for e in stats.values())
+    total_stored = sum(int(e["stored_nbytes"]) for e in stats.values())
+    total_index = sum(int(e["index_nbytes"]) for e in stats.values())
+    if args.json:
+        payload = {
+            "store": str(store.root),
+            "partitions": {f"v{fmt}": n for fmt, n in sorted(counts.items())},
+            "columns": stats,
+            "total_raw_nbytes": total_raw,
+            "total_stored_nbytes": total_stored,
+            "total_index_nbytes": total_index,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"store {store.root} ({inventory})")
+    if not stats:
+        print("no columnar partitions to report (v1 archives only)")
+        return 0
+    header = (
+        f"{'column':<12} {'encoding':<12} {'card':>6} "
+        f"{'raw':>12} {'stored':>12} {'index':>9} {'ratio':>6}"
+    )
+    print(header)
+    for name, entry in stats.items():
+        raw = int(entry["raw_nbytes"])
+        stored = int(entry["stored_nbytes"])
+        ratio = stored / raw if raw else 1.0
+        card = entry.get("max_cardinality")
+        print(
+            f"{name:<12} {'/'.join(entry['encodings']):<12} "
+            f"{card if card is not None else '-':>6} "
+            f"{raw:>12,} {stored:>12,} "
+            f"{int(entry['index_nbytes']):>9,} {ratio:>6.2f}"
+        )
+    overall = total_stored / total_raw if total_raw else 1.0
+    print(
+        f"{'total':<12} {'':<12} {'':>6} {total_raw:>12,} "
+        f"{total_stored:>12,} {total_index:>9,} {overall:>6.2f}"
     )
     return 0
 
@@ -502,6 +558,13 @@ def _render_explain(plan) -> str:
     columns = ", ".join(d["columns"]) if d["columns"] else \
         "(none — row counts only)"
     lines.append(f"  columns projected: {columns}")
+    strategies = d.get("strategies") or {}
+    scanned = {k: v for k, v in strategies.items() if k != "sidecar"}
+    if scanned:
+        rendered = ", ".join(
+            f"{count} {name}" for name, count in sorted(scanned.items())
+        )
+        lines.append(f"  scan strategies: {rendered}")
     lines.append(f"  estimated bytes read: {d['estimated_bytes']:,}")
     return "\n".join(lines)
 
@@ -1044,11 +1107,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="FlowStore directory (as written by generate --store)",
     )
     migrate_parser.add_argument(
-        "--to", choices=("v1", "v2"), default="v2",
+        "--to", choices=("v1", "v2", "v3"), default="v3",
         help="target partition format (default: %(default)s — "
-             "per-column segments with a zone-map sidecar)",
+             "encoded columns with bitmap indexes; v2 keeps raw "
+             "per-column segments, v1 one .npz archive per day)",
     )
     migrate_parser.set_defaults(func=_cmd_store_migrate)
+
+    stats_parser = store_sub.add_parser(
+        "stats",
+        help="per-column storage report: encoding, bytes, compression",
+    )
+    stats_parser.add_argument(
+        "store", metavar="DIR",
+        help="FlowStore directory (as written by generate --store)",
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON instead of the table",
+    )
+    stats_parser.set_defaults(func=_cmd_store_stats)
 
     serve_parser = sub.add_parser(
         "serve",

@@ -1,0 +1,264 @@
+"""Column encodings for the v3 partition format.
+
+Each encoder turns a 1-D numpy array into one or more byte *parts* plus a
+JSON-serializable metadata dict; the matching decoder reconstructs the exact
+array (same dtype, same values).  Encoders are pure functions of the input
+array so seal decisions are deterministic.
+
+Encodings:
+
+- ``raw``   — the array's own bytes, C-contiguous.  Universal fallback.
+- ``dict``  — sorted unique values + small-dtype codes.  Chosen for
+  low-cardinality columns (proto, ports, ASNs); also powers bitmap indexes
+  and code-space predicate evaluation.
+- ``delta`` — first value + bit-packed per-row deltas.  Chosen for
+  near-sorted columns (hour) where deltas fit in a few bits per row.
+
+Bit packing is MSB-first via ``np.packbits`` over a ``(rows, bits)`` bit
+matrix, so the packed size is ``ceil(rows * bits / 8)`` bytes.
+"""
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+RAW = "raw"
+DICT = "dict"
+DELTA = "delta"
+
+ENCODINGS = (RAW, DICT, DELTA)
+
+# Above this many distinct values a dictionary stops paying for itself.
+DICT_MAX_CARD = 65536
+# Exact per-value counts are persisted in the sidecar only up to this
+# cardinality; beyond it the planner falls back to a uniform estimate.
+STATS_MAX_CARD = 1024
+# Bitmap indexes are built only for very low cardinality columns: each
+# distinct value costs rows/8 bytes of index.
+BITMAP_MAX_CARD = 16
+
+# Keep delta spans comfortably inside int64 arithmetic.
+_DELTA_MAX_SPAN = 1 << 62
+
+
+class EncodingError(ValueError):
+    """Raised when encoded parts and metadata are inconsistent."""
+
+
+def codes_dtype(cardinality: int) -> np.dtype:
+    """Smallest unsigned dtype able to index ``cardinality`` dictionary slots."""
+    if cardinality <= 1 << 8:
+        return np.dtype(np.uint8)
+    if cardinality <= 1 << 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+# ---------------------------------------------------------------------------
+# bit packing
+
+
+def pack_bits(offsets: np.ndarray, bits: int) -> np.ndarray:
+    """Pack non-negative int64 ``offsets`` into ``bits`` bits each (MSB first)."""
+    if bits == 0 or offsets.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint64)
+    matrix = (offsets.astype(np.uint64)[:, None] >> shifts) & np.uint64(1)
+    return np.packbits(matrix.astype(np.uint8).reshape(-1))
+
+
+def unpack_bits(packed: np.ndarray, rows: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns int64 offsets of length ``rows``."""
+    if bits == 0 or rows == 0:
+        return np.zeros(rows, dtype=np.int64)
+    need = rows * bits
+    raw = np.unpackbits(packed, count=need).astype(np.int64)
+    matrix = raw.reshape(rows, bits)
+    weights = (np.int64(1) << np.arange(bits - 1, -1, -1, dtype=np.int64))
+    return matrix @ weights
+
+
+# ---------------------------------------------------------------------------
+# dictionary encoding
+
+
+def dict_encode(array: np.ndarray) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]] | None:
+    """Encode via sorted unique values + codes, or None when not worthwhile."""
+    values, codes, counts = np.unique(array, return_inverse=True, return_counts=True)
+    card = int(values.size)
+    if card > DICT_MAX_CARD:
+        return None
+    cdtype = codes_dtype(max(card, 1))
+    codes = np.ascontiguousarray(codes.astype(cdtype))
+    values = np.ascontiguousarray(values)
+    meta: Dict[str, Any] = {
+        "encoding": DICT,
+        "cardinality": card,
+        "codes_dtype": cdtype.str,
+        "values_dtype": values.dtype.str,
+    }
+    if card <= STATS_MAX_CARD:
+        meta["values"] = [int(v) for v in values]
+        meta["counts"] = [int(c) for c in counts]
+    return meta, {"codes": codes, "values": values}
+
+
+def dict_decode(parts: Dict[str, np.ndarray], meta: Dict[str, Any],
+                dtype: np.dtype) -> np.ndarray:
+    values = parts["values"]
+    codes = parts["codes"]
+    if values.size == 0:
+        if codes.size:
+            raise EncodingError("dict codes present but value table empty")
+        return np.zeros(0, dtype=dtype)
+    if int(codes.max(initial=0)) >= values.size:
+        raise EncodingError("dict code out of range for value table")
+    return values[codes].astype(dtype, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# delta encoding
+
+
+def delta_encode(array: np.ndarray) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]] | None:
+    """Encode as base + bit-packed deltas, or None when deltas are too wide."""
+    if array.size == 0:
+        return (
+            {"encoding": DELTA, "base": 0, "delta_min": 0, "bits": 0},
+            {"deltas": np.zeros(0, dtype=np.uint8)},
+        )
+    if array.dtype.kind not in "iu":
+        return None
+    as_int = array.astype(np.int64)
+    # Span guard with Python ints: huge uint64-ish ranges would overflow diff.
+    lo, hi = int(as_int.min()), int(as_int.max())
+    if hi - lo >= _DELTA_MAX_SPAN:
+        return None
+    deltas = np.diff(as_int)
+    if deltas.size:
+        dmin, dmax = int(deltas.min()), int(deltas.max())
+    else:
+        dmin = dmax = 0
+    if dmax - dmin >= _DELTA_MAX_SPAN:
+        return None
+    bits = int(dmax - dmin).bit_length()
+    offsets = (deltas - dmin).astype(np.int64)
+    packed = pack_bits(offsets, bits)
+    meta = {
+        "encoding": DELTA,
+        "base": int(as_int[0]),
+        "delta_min": dmin,
+        "bits": bits,
+    }
+    return meta, {"deltas": packed}
+
+
+def delta_decode(parts: Dict[str, np.ndarray], meta: Dict[str, Any],
+                 dtype: np.dtype, rows: int) -> np.ndarray:
+    if rows == 0:
+        return np.zeros(0, dtype=dtype)
+    bits = int(meta["bits"])
+    offsets = unpack_bits(parts["deltas"], rows - 1, bits)
+    deltas = offsets + np.int64(meta["delta_min"])
+    out = np.empty(rows, dtype=np.int64)
+    out[0] = np.int64(meta["base"])
+    if rows > 1:
+        np.cumsum(deltas, out=out[1:])
+        out[1:] += np.int64(meta["base"])
+    return out.astype(dtype, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# bitmap indexes
+
+
+def build_bitmap(codes: np.ndarray, cardinality: int) -> np.ndarray:
+    """Packed per-value bit rows: shape ``(cardinality, ceil(rows/8))``."""
+    rows = codes.size
+    onehot = codes[None, :] == np.arange(cardinality, dtype=codes.dtype)[:, None]
+    packed = np.packbits(onehot, axis=1)
+    if rows == 0:
+        packed = packed.reshape(cardinality, 0)
+    return np.ascontiguousarray(packed)
+
+
+def bitmap_row_nbytes(rows: int) -> int:
+    return (rows + 7) // 8
+
+
+def bitmap_select(bitmap: np.ndarray, value_slots: np.ndarray, rows: int) -> np.ndarray:
+    """OR the packed rows for ``value_slots`` and unpack to a bool mask."""
+    if value_slots.size == 0:
+        return np.zeros(rows, dtype=bool)
+    merged = bitmap[value_slots[0]]
+    for slot in value_slots[1:]:
+        merged = merged | bitmap[slot]
+    return np.unpackbits(merged, count=rows).view(bool)
+
+
+# ---------------------------------------------------------------------------
+# seal-time choice
+
+
+#: Delta must beat the best random-access encoding by this factor to be
+#: chosen.  Dict and raw columns can be gathered row-by-row after a
+#: predicate, but a delta column pays a whole-column unpack + prefix sum
+#: on *every* partial scan — only a large size win (near-sorted columns
+#: like ``hour``) covers that decode tax.
+DELTA_WIN_FACTOR = 4
+
+def encode_column(array: np.ndarray) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Pick the cheapest-to-scan encoding for ``array``.
+
+    Returns ``(meta, parts)`` where ``meta['encoding']`` names the winner and
+    ``parts`` maps part-role names to contiguous arrays to be serialized.
+    Smallest wins among the random-access encodings (dict, raw); delta is
+    admitted only past :data:`DELTA_WIN_FACTOR`.
+    """
+    raw = np.ascontiguousarray(array)
+    raw_nbytes = raw.nbytes
+
+    access_size = raw_nbytes
+    best = None
+    encoded = dict_encode(array)
+    if encoded is not None:
+        meta, parts = encoded
+        size = sum(p.nbytes for p in parts.values())
+        # A bitmap-range dictionary wins outright when it beats raw at all:
+        # code-space predicates and bitmap indexes are worth more than the
+        # bytes another encoding might additionally shave off.
+        if meta["cardinality"] <= BITMAP_MAX_CARD and size < raw_nbytes:
+            return meta, parts
+        if size < raw_nbytes:
+            best = (meta, parts)
+            access_size = size
+
+    encoded = delta_encode(array)
+    if encoded is not None:
+        meta, parts = encoded
+        size = sum(p.nbytes for p in parts.values())
+        if size * DELTA_WIN_FACTOR < access_size:
+            return meta, parts
+
+    if best is None:
+        return {"encoding": RAW}, {"raw": raw}
+    return best[0], best[1]
+
+
+def decode_column(meta: Dict[str, Any], parts: Dict[str, np.ndarray],
+                  dtype: np.dtype, rows: int) -> np.ndarray:
+    """Decode any known encoding back to the logical array."""
+    encoding = meta.get("encoding", RAW)
+    if encoding == RAW:
+        return parts["raw"].astype(dtype, copy=False)
+    if encoding == DICT:
+        out = dict_decode(parts, meta, dtype)
+    elif encoding == DELTA:
+        out = delta_decode(parts, meta, dtype, rows)
+    else:
+        raise EncodingError(f"unknown encoding {encoding!r}")
+    if out.size != rows:
+        raise EncodingError(
+            f"decoded {out.size} rows for {encoding} column, expected {rows}")
+    return out

@@ -14,10 +14,16 @@ Two partition formats coexist under one manifest:
   segments plus a zone-map sidecar (see
   :mod:`repro.flows.colstore`); reads memory-map only the columns a
   query references and verify checksums per loaded column.
+* **v3** — one directory per day holding a single ``segments.bin`` of
+  per-column *encoded* parts (dictionary / delta+bit-pack / raw) plus
+  bitmap indexes, described by the same sidecar discipline; scans can
+  evaluate predicates on dictionary codes or bitmap rows before
+  materializing any row data.
 
-New writes default to v2 (v1 when ``REPRO_NO_COLSTORE`` is set), the
-manifest records each partition's format, and :meth:`FlowStore.migrate`
-upgrades v1 partitions in place — atomically, one day at a time.
+New writes default to v3 (v2 under ``REPRO_NO_COLSTORE_V3``, v1 under
+``REPRO_NO_COLSTORE``), the manifest records each partition's format,
+and :meth:`FlowStore.migrate` rewrites partitions between any two
+formats in place — atomically, one day at a time.
 
 Writes are append-only at day granularity; re-writing a day replaces
 its partition atomically (write to a temp name, then rename).
@@ -45,17 +51,26 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro import timebase
 from repro.flows import colstore
-from repro.flows.colstore import FORMAT_V1, FORMAT_V2, FlowStoreError
+from repro.flows.colstore import (
+    FORMAT_V1,
+    FORMAT_V2,
+    FORMAT_V3,
+    FlowStoreError,
+)
 from repro.flows.io import file_sha256, read_npz, write_npz
 from repro.flows.table import COLUMNS, FlowTable
 
 __all__ = [
     "FORMAT_V1",
     "FORMAT_V2",
+    "FORMAT_V3",
     "FlowStore",
     "FlowStoreError",
     "open_cached",
 ]
+
+#: Every format the store can read and write.
+_ALL_FORMATS = (FORMAT_V1, FORMAT_V2, FORMAT_V3)
 
 PathLike = Union[str, Path]
 
@@ -70,19 +85,19 @@ class FlowStore:
         """Open (or create) a store.
 
         ``default_format`` fixes the partition format for new writes;
-        by default it follows the colstore switch — v2, or v1 under
-        ``REPRO_NO_COLSTORE``.
+        by default it follows the colstore switches — v3, or v2 under
+        ``REPRO_NO_COLSTORE_V3``, or v1 under ``REPRO_NO_COLSTORE``.
         """
-        if default_format not in (None, FORMAT_V1, FORMAT_V2):
+        if default_format is not None and default_format not in _ALL_FORMATS:
             raise ValueError(
                 f"unknown partition format {default_format!r}; "
-                f"use {FORMAT_V1} or {FORMAT_V2}"
+                f"use one of {_ALL_FORMATS}"
             )
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._default_format = default_format
         self._manifest: Dict[str, Dict[str, object]] = {}
-        self._sidecars: Dict[tuple, dict] = {}
+        self._partitions: Dict[tuple, colstore.ColumnarPartition] = {}
         manifest_path = self._root / _MANIFEST
         if manifest_path.exists():
             with manifest_path.open() as handle:
@@ -100,7 +115,9 @@ class FlowStore:
         """The format new partitions are written in."""
         if self._default_format is not None:
             return self._default_format
-        return FORMAT_V2 if colstore.enabled() else FORMAT_V1
+        if not colstore.enabled():
+            return FORMAT_V1
+        return FORMAT_V3 if colstore.v3_enabled() else FORMAT_V2
 
     def state_token(self) -> str:
         """Hex digest identifying the store's current contents.
@@ -126,6 +143,11 @@ class FlowStore:
             json.dump(self._manifest, handle, indent=2, sort_keys=True)
         os.replace(temp, self._root / _MANIFEST)
 
+    def _invalidate(self, key: str) -> None:
+        """Drop cached partition handles for one rewritten/deleted day."""
+        for cache_key in [k for k in self._partitions if k[0] == key]:
+            del self._partitions[cache_key]
+
     # -- inventory ------------------------------------------------------------
 
     def days(self) -> List[_dt.date]:
@@ -146,7 +168,7 @@ class FlowStore:
         return int(entry["flows"])
 
     def partition_format(self, day: _dt.date) -> int:
-        """The stored format of one day's partition (1 or 2)."""
+        """The stored format of one day's partition (1, 2, or 3)."""
         entry = self._manifest.get(day.isoformat())
         if entry is None:
             raise KeyError(f"no partition for {day}")
@@ -163,12 +185,13 @@ class FlowStore:
     def partition_disk_bytes(self, day: _dt.date) -> int:
         """Approximate bytes behind one partition (planner estimates).
 
-        Segment bytes for v2 directories, archive size for v1 files;
-        zero when the partition cannot be inspected — estimation must
-        never fail a query that the scan itself could still serve.
+        Segment bytes for v2 directories, encoded part bytes for v3,
+        archive size for v1 files; zero when the partition cannot be
+        inspected — estimation must never fail a query that the scan
+        itself could still serve.
         """
         entry = self._entry(day)
-        if int(entry.get("format", FORMAT_V1)) == FORMAT_V2:
+        if int(entry.get("format", FORMAT_V1)) in (FORMAT_V2, FORMAT_V3):
             try:
                 partition = self.open_partition(day)
             except FlowStoreError:
@@ -178,6 +201,45 @@ class FlowStore:
             return self._partition_path(day).stat().st_size
         except OSError:
             return 0
+
+    def column_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-column storage stats aggregated over v2/v3 partitions.
+
+        Maps column name to summed raw vs. stored bytes, the set of
+        encodings chosen across partitions, the largest dictionary
+        cardinality seen, and total bitmap-index bytes.  v1 partitions
+        carry no per-column layout and are skipped (their count is in
+        :meth:`format_counts`).  Backs ``repro store stats``.
+        """
+        totals: Dict[str, Dict[str, object]] = {}
+        for day in self.days():
+            try:
+                partition = self.open_partition(day)
+            except FlowStoreError:
+                continue
+            if partition is None:
+                continue
+            for name, stat in partition.encoding_stats().items():
+                entry = totals.setdefault(name, {
+                    "raw_nbytes": 0,
+                    "stored_nbytes": 0,
+                    "index_nbytes": 0,
+                    "encodings": set(),
+                    "max_cardinality": None,
+                })
+                entry["raw_nbytes"] += int(stat["raw_nbytes"])
+                entry["stored_nbytes"] += int(stat["stored_nbytes"])
+                entry["index_nbytes"] += int(stat.get("index_nbytes", 0))
+                entry["encodings"].add(str(stat["encoding"]))
+                card = stat.get("cardinality")
+                if card is not None:
+                    prev = entry["max_cardinality"]
+                    entry["max_cardinality"] = (
+                        int(card) if prev is None else max(prev, int(card))
+                    )
+        for entry in totals.values():
+            entry["encodings"] = sorted(entry["encodings"])
+        return totals
 
     def total_flows(self) -> int:
         """Flow records across all partitions (from the manifest)."""
@@ -207,12 +269,12 @@ class FlowStore:
                 f"flows outside {day} cannot go into its partition"
             )
         fmt = partition_format or self.default_format
-        if fmt not in (FORMAT_V1, FORMAT_V2):
+        if fmt not in _ALL_FORMATS:
             raise ValueError(f"unknown partition format {fmt!r}")
         key = day.isoformat()
-        if fmt == FORMAT_V2:
+        if fmt in (FORMAT_V2, FORMAT_V3):
             _, sidecar_sha = colstore.write_partition(
-                flows, self._partition_dir(day), start
+                flows, self._partition_dir(day), start, fmt=fmt
             )
             checksum = sidecar_sha
             # Drop a leftover v1 archive from a format switch.
@@ -232,10 +294,10 @@ class FlowStore:
             "bytes": flows.total_bytes(),
             "sha256": checksum,
         }
-        if fmt == FORMAT_V2:
-            entry["format"] = FORMAT_V2
+        if fmt != FORMAT_V1:
+            entry["format"] = fmt
         self._manifest[key] = entry
-        self._sidecars.pop(key, None)
+        self._invalidate(key)
         self._save_manifest()
 
     def write_range(
@@ -272,7 +334,7 @@ class FlowStore:
         if directory.exists():
             shutil.rmtree(directory)
         del self._manifest[key]
-        self._sidecars.pop(key, None)
+        self._invalidate(key)
         self._save_manifest()
 
     def migrate(self, to_format: int = FORMAT_V2) -> int:
@@ -284,7 +346,7 @@ class FlowStore:
         either fully old or fully new.  Returns the number of
         partitions rewritten; already-converted days are untouched.
         """
-        if to_format not in (FORMAT_V1, FORMAT_V2):
+        if to_format not in _ALL_FORMATS:
             raise ValueError(f"unknown partition format {to_format!r}")
         migrated = 0
         for day in self.days():
@@ -308,16 +370,19 @@ class FlowStore:
         """A :class:`~repro.flows.colstore.ColumnarPartition` handle, or
         ``None`` for v1 partitions.
 
-        The sidecar is verified against the manifest hash and cached
-        per ``(day, sha)``, so repeated queries pay one JSON parse.
+        The sidecar is verified against the manifest hash and the
+        *handle* is cached per ``(day, sha)``, so repeated queries pay
+        one JSON parse and — for v3 — keep one ``segments.bin``
+        mapping open instead of re-mmapping per scan.  Rewriting a day
+        changes its manifest sha, which drops the stale handle.
         """
         entry = self._entry(day)
-        if int(entry.get("format", FORMAT_V1)) != FORMAT_V2:
+        if int(entry.get("format", FORMAT_V1)) not in (FORMAT_V2, FORMAT_V3):
             return None
         key = day.isoformat()
         cache_key = (key, entry.get("sha256"))
-        sidecar = self._sidecars.get(cache_key)
-        if sidecar is None:
+        partition = self._partitions.get(cache_key)
+        if partition is None:
             directory = self._partition_dir(day)
             if not directory.exists():
                 raise FlowStoreError(
@@ -334,10 +399,11 @@ class FlowStore:
                     f"partition for {day} is corrupt: sidecar reports "
                     f"{sidecar['rows']} rows, manifest {entry['flows']}"
                 )
-            self._sidecars[cache_key] = sidecar
-        return colstore.ColumnarPartition(
-            key, self._partition_dir(day), sidecar
-        )
+            partition = colstore.ColumnarPartition(
+                key, self._partition_dir(day), sidecar
+            )
+            self._partitions[cache_key] = partition
+        return partition
 
     def _read_day_v1(self, day: _dt.date) -> FlowTable:
         path = self._partition_path(day)

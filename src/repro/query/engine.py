@@ -32,13 +32,14 @@ import numpy as np
 
 import repro.obs as obs
 from repro import timebase
-from repro.flows import colstore
+from repro.flows import colstore, encodings
 from repro.flows.groupby import GroupIndex
 from repro.flows.hll import HyperLogLog
-from repro.flows.store import FORMAT_V1, FlowStore, FlowStoreError
-from repro.flows.table import COLUMNS, FlowTable
+from repro.flows.store import FORMAT_V1, FORMAT_V3, FlowStore, FlowStoreError
+from repro.flows.table import COLUMNS, DERIVED_KEYS, FlowTable
 from repro.query.errors import QueryCancelled, QueryTimeout
 from repro.query.spec import (
+    AGGREGATE_INPUT_COLUMNS,
     EXACT_AGGREGATE_COLUMNS,
     SKETCH_AGGREGATES,
     QuerySpec,
@@ -68,8 +69,12 @@ class QueryPlan:
     ``columns`` is the physical projection the scans will load,
     ``sidecar_days`` how many planned days will be answered from
     sidecar pre-aggregates without row I/O, and ``estimated_bytes`` the
-    predicted partition bytes behind the remaining scans (segment bytes
-    of projected columns for v2 days, archive size for v1 days).
+    predicted partition bytes behind the remaining scans (encoded part
+    bytes for v3 days, segment bytes of projected columns for v2 days,
+    archive bytes scaled by the projected-column fraction for v1 days).
+    ``day_strategies`` records, parallel to ``days``, the per-partition
+    scan strategy the cost model picked (``"sidecar"``, ``"bitmap"``,
+    ``"scan"``, or ``"full"`` for v1/full loads).
     """
 
     spec: QuerySpec
@@ -82,12 +87,20 @@ class QueryPlan:
     columns: Tuple[str, ...] = ()
     sidecar_days: int = 0
     estimated_bytes: int = 0
+    day_strategies: Tuple[str, ...] = ()
 
     @property
     def n_pruned(self) -> int:
         """Store partitions skipped without being read."""
         return self.pruned_out_of_range + self.pruned_empty + \
             self.pruned_by_hour + self.pruned_by_zone
+
+    def strategy_counts(self) -> Dict[str, int]:
+        """How many planned days use each scan strategy."""
+        counts: Dict[str, int] = {}
+        for strategy in self.day_strategies:
+            counts[strategy] = counts.get(strategy, 0) + 1
+        return counts
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (``repro query --explain``)."""
@@ -105,6 +118,7 @@ class QueryPlan:
             "columns": list(self.columns),
             "sidecar_days": self.sidecar_days,
             "estimated_bytes": self.estimated_bytes,
+            "strategies": self.strategy_counts(),
         }
 
 
@@ -113,9 +127,11 @@ class ScanStats:
     """Per-partition scan diagnostics.
 
     ``mode`` names the I/O strategy taken: ``"mmap"`` (projected
-    memory-mapped v2 scan), ``"full"`` (whole-partition load — v1
-    archives and the ``REPRO_NO_COLSTORE`` path), or ``"sidecar"``
-    (answered from pre-aggregates without touching row data).
+    memory-mapped v2/v3 scan), ``"bitmap"`` (v3 predicate-first scan —
+    bitmap/dictionary-code filtering before any row materialization),
+    ``"full"`` (whole-partition load — v1 archives and the
+    ``REPRO_NO_COLSTORE`` path), or ``"sidecar"`` (answered from
+    pre-aggregates without touching row data).
     """
 
     rows_scanned: int
@@ -253,6 +269,121 @@ def _zone_disjoint(partition: colstore.ColumnarPartition,
     return predicate.values[0] > hi or predicate.values[-1] < lo
 
 
+def _materialize_columns(spec: QuerySpec) -> Tuple[str, ...]:
+    """Physical columns a scan needs *after* the filter stage.
+
+    Group keys (derived expanded), the ``hour`` column for hour
+    bucketing, and aggregate inputs — but not pure-predicate columns,
+    which the v3 predicate-first scan never materializes.
+    """
+    names = list(spec.group_by)
+    if spec.bucket == "hour":
+        names.append("hour")
+    for aggregate in spec.aggregates:
+        column = AGGREGATE_INPUT_COLUMNS[aggregate]
+        if column is not None:
+            names.append(column)
+    base = colstore.required_base_columns(names)
+    return tuple(name for name in COLUMNS if name in base)
+
+
+def _predicate_selectivity(predicate, meta: dict, rows: int) -> float:
+    """Estimated match fraction of one predicate on a dict column.
+
+    Exact when the sidecar carries per-value counts (cardinality up to
+    ``encodings.STATS_MAX_CARD``); otherwise assumes uniform spread
+    over the dictionary; 1.0 when nothing is known.
+    """
+    values = meta.get("values")
+    counts = meta.get("counts")
+    if values is not None and counts is not None and rows:
+        if predicate.op == "range":
+            lo, hi = predicate.values[0], predicate.values[-1]
+            matched = sum(
+                c for v, c in zip(values, counts) if lo <= v <= hi
+            )
+        else:
+            lookup = dict(zip(values, counts))
+            matched = sum(lookup.get(int(v), 0) for v in predicate.values)
+        return min(1.0, matched / rows)
+    cardinality = int(meta.get("cardinality") or 0)
+    if cardinality and predicate.op == "in":
+        return min(1.0, len(predicate.values) / cardinality)
+    return 1.0
+
+
+def _partition_strategy(
+    partition: colstore.ColumnarPartition, spec: QuerySpec
+) -> Tuple[str, int]:
+    """Pick bitmap-vs-scan for one partition, with estimated read bytes.
+
+    A pure function of ``(partition sidecar, spec)``: the planner, the
+    in-process scan, and every process-pool worker re-derive the same
+    choice independently, so no plan context needs shipping.
+
+    The v3 predicate-first path pays for predicate structures up front
+    (bitmap rows or dictionary codes, plus a rows/8 mask) and then
+    reads only the estimated surviving fraction of the materialized
+    columns; the plain scan reads every projected column in full.  The
+    smaller estimate wins.
+
+    Being pure also makes the result cacheable: partition handles live
+    as long as their manifest sha, so the choice is memoized per spec
+    and the planner + scan pair cost one derivation, not two.
+    """
+    cache = partition.strategy_cache
+    key = (spec, colstore.v3_enabled())
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    choice = _derive_partition_strategy(partition, spec)
+    if len(cache) >= 128:
+        cache.clear()
+    cache[key] = choice
+    return choice
+
+
+def _derive_partition_strategy(
+    partition: colstore.ColumnarPartition, spec: QuerySpec
+) -> Tuple[str, int]:
+    scan_bytes = partition.column_nbytes(spec.referenced_columns())
+    if partition.format != FORMAT_V3 or not colstore.v3_enabled():
+        return "scan", scan_bytes
+    if not spec.where:
+        return "scan", scan_bytes
+    sidecar = partition.sidecar
+    rows = partition.rows
+    predicate_bytes = 0
+    selectivity = 1.0
+    resolvable = 0
+    for predicate in spec.where:
+        meta = (
+            sidecar["columns"].get(predicate.column)
+            if predicate.column in COLUMNS else None
+        )
+        if meta is None or meta.get("encoding") != encodings.DICT:
+            continue
+        resolvable += 1
+        index = (sidecar.get("indexes") or {}).get(predicate.column)
+        if index is not None and predicate.op == "in":
+            predicate_bytes += int(index["part"]["nbytes"])
+        else:
+            parts = meta.get("parts") or {}
+            codes = parts.get("codes")
+            if codes is not None:
+                predicate_bytes += int(codes["nbytes"])
+        selectivity *= _predicate_selectivity(predicate, meta, rows)
+    if not resolvable:
+        return "scan", scan_bytes
+    materialize_bytes = partition.column_nbytes(_materialize_columns(spec))
+    bitmap_bytes = int(
+        predicate_bytes + rows // 8 + selectivity * materialize_bytes
+    )
+    if bitmap_bytes < scan_bytes:
+        return "bitmap", bitmap_bytes
+    return "scan", scan_bytes
+
+
 def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
     """Choose the partitions to scan, with data skipping.
 
@@ -273,12 +404,25 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
             hour_windows.append(
                 (predicate.values[0], predicate.values[-1])
             )
-    # Physical zone maps exist only for real columns; derived-key
-    # predicates are filtered at scan time.
-    zone_predicates = [p for p in spec.where if p.column in COLUMNS]
+    # Physical columns carry zone maps in every sidecar; derived keys
+    # (service_port, transport) use the seal-time derived_zones block,
+    # absent from old sidecars — partition.zone() then returns None and
+    # the day simply stays planned.
+    zone_predicates = [
+        p for p in spec.where
+        if p.column in COLUMNS or p.column in DERIVED_KEYS
+    ]
     projected = (
         spec.referenced_columns() if colstore.enabled()
         else tuple(COLUMNS)
+    )
+    # v1 archives store every column; a projected scan still reads the
+    # whole file, but the *useful* bytes — what v2/v3 estimates count —
+    # are the projected fraction of the row width.
+    row_width = sum(dtype.itemsize for dtype in COLUMNS.values())
+    projected_fraction = (
+        sum(COLUMNS[name].itemsize for name in projected) / row_width
+        if row_width else 1.0
     )
     sidecar_ok = colstore.enabled() and _sidecar_answerable(spec)
     days: List[_dt.date] = []
@@ -288,6 +432,7 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
     pruned_by_zone = 0
     sidecar_days = 0
     estimated_bytes = 0
+    day_strategies: List[str] = []
     present = set()
     for day in store.days():
         present.add(day)
@@ -315,11 +460,17 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
             continue
         days.append(day)
         if partition is None:
-            estimated_bytes += store.partition_disk_bytes(day)
+            estimated_bytes += int(
+                store.partition_disk_bytes(day) * projected_fraction
+            )
+            day_strategies.append("full")
         elif sidecar_ok:
             sidecar_days += 1
+            day_strategies.append("sidecar")
         else:
-            estimated_bytes += partition.column_nbytes(projected)
+            strategy, day_bytes = _partition_strategy(partition, spec)
+            estimated_bytes += day_bytes
+            day_strategies.append(strategy)
     missing = tuple(
         day
         for day in timebase.iter_days(spec.start, spec.end)
@@ -336,6 +487,7 @@ def plan_query(store: FlowStore, spec: QuerySpec) -> QueryPlan:
         columns=projected,
         sidecar_days=sidecar_days,
         estimated_bytes=estimated_bytes,
+        day_strategies=tuple(day_strategies),
     )
 
 
@@ -353,6 +505,7 @@ def _plan_summary(plan: QueryPlan) -> Dict[str, object]:
         "columns": list(plan.columns),
         "sidecar_days": plan.sidecar_days,
         "estimated_bytes": plan.estimated_bytes,
+        "strategies": plan.strategy_counts(),
     }
 
 
@@ -465,19 +618,34 @@ def scan_partition(
     value first (absolute hour index, or the day's ordinal for day
     bucketing), then the group-by key values.
 
-    With the colstore enabled, a v2 partition is answered from sidecar
-    pre-aggregates when possible, and otherwise scanned through a
-    memory-mapped projection of :meth:`QuerySpec.referenced_columns`;
+    With the colstore enabled, a v2/v3 partition is answered from
+    sidecar pre-aggregates when possible; otherwise the cost model
+    (:func:`_partition_strategy`) picks between the v3 predicate-first
+    scan — bitmap/dictionary-code filtering, then gathering only the
+    surviving rows — and a memory-mapped projection of
+    :meth:`QuerySpec.referenced_columns` filtered through a row mask.
     v1 partitions (and every partition under ``REPRO_NO_COLSTORE``)
-    take the full-load path.  All three produce identical partials.
+    take the full-load path.  All strategies produce identical
+    partials.
     """
     partition = store.open_partition(day) if colstore.enabled() else None
     if partition is not None and _sidecar_answerable(spec):
         return _scan_sidecar(partition, day, spec)
+    prefiltered = False
     if partition is not None:
-        columns = spec.referenced_columns()
-        table, bytes_read = partition.load(columns)
-        mode = "mmap"
+        strategy, _ = _partition_strategy(partition, spec)
+        if strategy == "bitmap":
+            columns = _materialize_columns(spec)
+            table, bytes_read = partition.load_filtered(
+                spec.where, columns
+            )
+            mode = "bitmap"
+            prefiltered = True
+            obs.counter("query.bitmap-scans").inc()
+        else:
+            columns = spec.referenced_columns()
+            table, bytes_read = partition.load(columns)
+            mode = "mmap"
     else:
         table = store.read_day(day)
         columns = tuple(COLUMNS)
@@ -485,10 +653,13 @@ def scan_partition(
             int(table.column(name).nbytes) for name in columns
         )
         mode = "full"
-    rows_scanned = len(table)
-    mask = _predicate_mask(table, spec) if spec.where else None
-    if mask is not None:
-        table = table.filter(mask)
+    if prefiltered:
+        rows_scanned = partition.rows
+    else:
+        rows_scanned = len(table)
+        mask = _predicate_mask(table, spec) if spec.where else None
+        if mask is not None:
+            table = table.filter(mask)
     rows_matched = len(table)
 
     def _stats() -> ScanStats:

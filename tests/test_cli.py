@@ -250,14 +250,14 @@ class TestStoreMigrate:
         return root
 
     def test_migrate_reports_inventory(self, v1_store_dir, capsys):
-        from repro.flows.store import FORMAT_V2, FlowStore
+        from repro.flows.store import FORMAT_V3, FlowStore
 
         capsys.readouterr()
         assert cli.main(["store", "migrate", str(v1_store_dir)]) == 0
         out = capsys.readouterr().out
-        assert "migrated 3 partition(s) to v2" in out
-        assert "v2: 3" in out
-        assert FlowStore(v1_store_dir).format_counts() == {FORMAT_V2: 3}
+        assert "migrated 3 partition(s) to v3" in out
+        assert "v3: 3" in out
+        assert FlowStore(v1_store_dir).format_counts() == {FORMAT_V3: 3}
 
     def test_migrate_is_idempotent(self, v1_store_dir, capsys):
         cli.main(["store", "migrate", str(v1_store_dir)])
@@ -287,11 +287,58 @@ class TestStoreMigrate:
         cli.main(["store", "migrate", str(v1_store_dir), "--to", "v1"])
         assert run_query() == before
 
-    def test_migrate_requires_direction(self, v1_store_dir):
+    def test_migrate_rejects_unknown_format(self, v1_store_dir):
         with pytest.raises(SystemExit):
             cli.main(
-                ["store", "migrate", str(v1_store_dir), "--to", "v3"]
+                ["store", "migrate", str(v1_store_dir), "--to", "v4"]
             )
+
+
+class TestStoreStats:
+    @pytest.fixture
+    def v3_store_dir(self, tmp_path):
+        root = tmp_path / "ce"
+        code = cli.main(
+            [
+                "generate", "--vantage", "isp-ce",
+                "--start", "2020-02-19", "--end", "2020-02-21",
+                "--fidelity", "0.2", "--store", str(root),
+            ]
+        )
+        assert code == 0
+        return root
+
+    def test_stats_reports_per_column_encodings(
+        self, v3_store_dir, capsys
+    ):
+        capsys.readouterr()
+        assert cli.main(["store", "stats", str(v3_store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "v3: 3" in out
+        for column in ("proto", "hour", "n_bytes", "total"):
+            assert column in out
+        assert "dict" in out and "delta" in out
+
+    def test_stats_json_payload(self, v3_store_dir, capsys):
+        capsys.readouterr()
+        assert cli.main(
+            ["store", "stats", str(v3_store_dir), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["partitions"] == {"v3": 3}
+        assert payload["total_stored_nbytes"] < \
+            payload["total_raw_nbytes"]
+        proto = payload["columns"]["proto"]
+        assert "dict" in proto["encodings"]
+        assert proto["max_cardinality"] >= 2
+
+    def test_stats_on_v1_store(self, v3_store_dir, capsys):
+        cli.main(["store", "migrate", str(v3_store_dir), "--to", "v1"])
+        capsys.readouterr()
+        assert cli.main(["store", "stats", str(v3_store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "v1: 3" in out
+        assert "v1 archives only" in out
 
 
 class TestQueryExplain:

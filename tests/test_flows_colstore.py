@@ -327,11 +327,126 @@ class TestZonePruning:
             execute_query(v1_store, spec).rows == []
 
     def test_plan_estimates_projected_bytes(self, v1_store, v2_store):
-        spec = _spec(group_by=["proto"], aggregates=["bytes"])
-        narrow = plan_query(v2_store, spec)
-        full = plan_query(v1_store, spec)
+        narrow_spec = _spec(group_by=["proto"], aggregates=["bytes"])
+        wide_spec = _spec(
+            group_by=["proto"],
+            aggregates=["bytes", "packets", "distinct_src_ips",
+                        "distinct_dst_ips"],
+        )
+        narrow = plan_query(v2_store, narrow_spec)
         assert narrow.columns == ("proto", "n_bytes")
-        assert 0 < narrow.estimated_bytes < full.estimated_bytes
+        # Within each format, a narrower projection costs fewer bytes:
+        # v2 counts only the projected segments, and v1 archive bytes
+        # are scaled by the projected-column fraction.
+        for store in (v1_store, v2_store):
+            narrow_est = plan_query(store, narrow_spec).estimated_bytes
+            wide_est = plan_query(store, wide_spec).estimated_bytes
+            assert 0 < narrow_est < wide_est
+
+
+class TestZoneBoundaries:
+    def test_predicate_at_exact_zone_edge_stays_planned(self, v2_store):
+        # A point predicate sitting exactly on the zone's lower edge
+        # (value == lo, and == hi when the day holds a single value)
+        # must keep the day planned — pruning is strictly "disjoint".
+        partition = v2_store.open_partition(START)
+        lo, hi = partition.zone("src_port")
+        plan = plan_query(
+            v2_store, _spec(where={"src_port": {"min": lo, "max": lo}},
+                            start=START, end=START),
+        )
+        assert plan.days == (START,)
+        assert plan.pruned_by_zone == 0
+        hi_plan = plan_query(
+            v2_store, _spec(where={"src_port": {"min": hi, "max": hi}},
+                            start=START, end=START),
+        )
+        assert hi_plan.days == (START,)
+
+    def test_predicate_one_past_zone_edge_prunes(self, v2_store):
+        partition = v2_store.open_partition(START)
+        _, hi = partition.zone("src_port")
+        plan = plan_query(
+            v2_store,
+            _spec(where={"src_port": {"min": hi + 1, "max": hi + 10}},
+                  start=START, end=START),
+        )
+        assert plan.pruned_by_zone == 1
+        assert plan.days == ()
+
+    def test_empty_partition_pruned_before_zones(self, tmp_path,
+                                                 week_flows):
+        store = FlowStore(tmp_path / "holes")
+        empty = week_flows.filter(np.zeros(len(week_flows), dtype=bool))
+        store.write_day(START, empty, partition_format=FORMAT_V2)
+        plan = plan_query(store, _spec(aggregates=["bytes", "flows"]))
+        assert plan.pruned_empty == 1
+        assert plan.days == ()
+        result = execute_query(store, _spec(aggregates=["flows"]))
+        assert result.rows == []
+        assert result.rows_scanned == 0
+
+    def test_all_days_pruned_matches_unpruned_store(
+        self, v1_store, v2_store
+    ):
+        # v1 cannot prune (no sidecars) and scans every row; v2 prunes
+        # all seven days. Both must produce the identical empty result.
+        spec = _spec(where={"src_port": {"min": 100000, "max": 200000}},
+                     group_by=["proto"], aggregates=["bytes"])
+        pruned = execute_query(v2_store, spec)
+        scanned = execute_query(v1_store, spec)
+        assert pruned.rows == scanned.rows == []
+        assert pruned.rows_matched == scanned.rows_matched == 0
+        assert pruned.bytes_read == 0
+
+
+class TestDerivedZones:
+    def test_sidecar_records_derived_zones(self, v2_store):
+        partition = v2_store.open_partition(START)
+        for key in ("service_port", "transport"):
+            zone = partition.zone(key)
+            assert zone is not None
+            lo, hi = zone
+            assert 0 <= lo <= hi
+
+    def test_impossible_derived_predicate_prunes(self, v2_store):
+        # service ports live below 65536; transport keys encode
+        # proto*65536 + service_port, so a band above every generated
+        # protocol is impossible and zone-prunes each day.
+        for where in (
+            {"service_port": {"min": 100000, "max": 200000}},
+            {"transport": {"min": 300 * 65536, "max": 400 * 65536}},
+        ):
+            plan = plan_query(v2_store, _spec(where=where))
+            assert plan.pruned_by_zone == 7, where
+            assert plan.days == ()
+
+    def test_old_sidecars_without_derived_zones_stay_planned(
+        self, v2_store
+    ):
+        # Pre-ISSUE-10 sidecars lack the derived_zones block; the day
+        # must stay planned (and the scan still answers correctly).
+        import json
+        from repro.flows.io import file_sha256
+
+        spec = _spec(where={"service_port": {"min": 100000,
+                                             "max": 200000}})
+        for day in v2_store.days():
+            day_dir = v2_store.root / day.isoformat()
+            path = day_dir / colstore.SIDECAR
+            sidecar = json.loads(path.read_text())
+            sidecar.pop("derived_zones", None)
+            path.write_text(json.dumps(sidecar, indent=2, sort_keys=True))
+            manifest_path = v2_store.root / "manifest.json"
+            manifest = json.loads(manifest_path.read_text())
+            manifest[day.isoformat()]["sha256"] = file_sha256(path)
+            manifest_path.write_text(json.dumps(manifest))
+        legacy = FlowStore(v2_store.root)
+        assert legacy.open_partition(START).zone("service_port") is None
+        plan = plan_query(legacy, spec)
+        assert plan.pruned_by_zone == 0
+        assert len(plan.days) == 7
+        assert execute_query(legacy, spec).rows == []
 
 
 class TestSidecarFastPath:

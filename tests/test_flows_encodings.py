@@ -1,0 +1,179 @@
+"""Tests for the v3 column encodings (dict, delta+bit-pack, bitmaps)."""
+
+import numpy as np
+import pytest
+
+from repro.flows import encodings as enc
+
+
+def _roundtrip(array):
+    meta, parts = enc.encode_column(array)
+    out = enc.decode_column(meta, parts, array.dtype, array.size)
+    assert out.dtype == array.dtype
+    assert np.array_equal(out, array)
+    return meta, parts
+
+
+class TestBitPacking:
+    @pytest.mark.parametrize("bits", range(0, 13))
+    def test_round_trip_every_width(self, bits):
+        rng = np.random.default_rng(bits)
+        rows = 257  # deliberately not a multiple of 8
+        offsets = rng.integers(
+            0, max(1, 1 << bits), size=rows, dtype=np.int64
+        )
+        if bits == 0:
+            offsets[:] = 0
+        packed = enc.pack_bits(offsets, bits)
+        assert packed.nbytes == (rows * bits + 7) // 8
+        assert np.array_equal(enc.unpack_bits(packed, rows, bits), offsets)
+
+    def test_empty_and_zero_bits(self):
+        assert enc.pack_bits(np.zeros(0, dtype=np.int64), 5).size == 0
+        assert enc.unpack_bits(
+            np.zeros(0, dtype=np.uint8), 0, 5
+        ).size == 0
+        assert np.array_equal(
+            enc.unpack_bits(np.zeros(0, dtype=np.uint8), 4, 0),
+            np.zeros(4, dtype=np.int64),
+        )
+
+
+class TestDictEncoding:
+    def test_low_cardinality_round_trip(self):
+        rng = np.random.default_rng(7)
+        proto = rng.choice(
+            np.array([6, 17, 47, 50], dtype=np.int16), size=1000
+        )
+        meta, parts = _roundtrip(proto)
+        assert meta["encoding"] == enc.DICT
+        assert meta["cardinality"] == 4
+        assert parts["codes"].dtype == np.uint8
+        # Per-value counts are exact and complete.
+        assert sum(meta["counts"]) == 1000
+        assert meta["values"] == [6, 17, 47, 50]
+
+    def test_counts_omitted_above_stats_cap(self):
+        values = np.arange(enc.STATS_MAX_CARD + 10, dtype=np.int64)
+        encoded = enc.dict_encode(np.repeat(values, 3))
+        assert encoded is not None
+        meta, _ = encoded
+        assert "values" not in meta and "counts" not in meta
+
+    def test_cardinality_cap_rejects(self):
+        big = np.arange(enc.DICT_MAX_CARD + 1, dtype=np.int64)
+        assert enc.dict_encode(big) is None
+
+    def test_corrupt_codes_raise(self):
+        meta, parts = enc.dict_encode(
+            np.array([5, 5, 9], dtype=np.int64)
+        )[0], enc.dict_encode(np.array([5, 5, 9], dtype=np.int64))[1]
+        bad = dict(parts)
+        bad["codes"] = np.array([0, 1, 7], dtype=np.uint8)
+        with pytest.raises(enc.EncodingError):
+            enc.dict_decode(bad, meta, np.dtype(np.int64))
+
+
+class TestDeltaEncoding:
+    def test_sorted_hours_pack_tight(self):
+        hours = np.repeat(np.arange(24, dtype=np.int64), 40)
+        meta, parts = enc.delta_encode(hours)
+        assert meta["bits"] == 1
+        assert parts["deltas"].nbytes <= hours.size // 8 + 1
+        out = enc.delta_decode(parts, meta, hours.dtype, hours.size)
+        assert np.array_equal(out, hours)
+
+    def test_negative_deltas(self):
+        x = np.array([100, 90, 95, 200, 199], dtype=np.int64)
+        meta, parts = enc.delta_encode(x)
+        assert np.array_equal(
+            enc.delta_decode(parts, meta, x.dtype, x.size), x
+        )
+
+    def test_unsorted_data_still_exact(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(-5000, 5000, size=777, dtype=np.int64)
+        meta, parts = enc.delta_encode(x)
+        assert np.array_equal(
+            enc.delta_decode(parts, meta, x.dtype, x.size), x
+        )
+
+    def test_single_element_and_empty(self):
+        one = np.array([42], dtype=np.int32)
+        meta, parts = enc.delta_encode(one)
+        assert meta["bits"] == 0
+        assert np.array_equal(
+            enc.delta_decode(parts, meta, one.dtype, 1), one
+        )
+        empty = np.zeros(0, dtype=np.int64)
+        meta, parts = enc.delta_encode(empty)
+        assert enc.delta_decode(parts, meta, empty.dtype, 0).size == 0
+
+    def test_span_guard_rejects_wide_ranges(self):
+        wide = np.array([0, 1 << 62], dtype=np.int64)
+        assert enc.delta_encode(wide) is None
+
+
+class TestBitmaps:
+    def test_select_matches_equality(self):
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, 4, size=1000).astype(np.uint8)
+        bitmap = enc.build_bitmap(codes, 4)
+        assert bitmap.shape == (4, enc.bitmap_row_nbytes(1000))
+        for value in range(4):
+            mask = enc.bitmap_select(bitmap, np.array([value]), 1000)
+            assert np.array_equal(mask, codes == value)
+
+    def test_select_ors_multiple_values(self):
+        codes = np.array([0, 1, 2, 3, 1, 2], dtype=np.uint8)
+        bitmap = enc.build_bitmap(codes, 4)
+        mask = enc.bitmap_select(bitmap, np.array([1, 3]), codes.size)
+        assert np.array_equal(mask, (codes == 1) | (codes == 3))
+
+    def test_empty_slots_and_empty_rows(self):
+        codes = np.array([0, 1], dtype=np.uint8)
+        bitmap = enc.build_bitmap(codes, 2)
+        assert not enc.bitmap_select(
+            bitmap, np.zeros(0, dtype=np.int64), 2
+        ).any()
+        assert enc.build_bitmap(
+            np.zeros(0, dtype=np.uint8), 4
+        ).shape == (4, 0)
+
+
+class TestSealChoice:
+    def test_low_card_column_prefers_dict(self):
+        # Delta would be a few bytes smaller, but a bitmap-range dict
+        # unlocks code-space predicates — it must win anyway.
+        rng = np.random.default_rng(7)
+        proto = rng.choice(
+            np.array([6, 17, 47, 50], dtype=np.int16), size=1000
+        )
+        meta, _ = enc.encode_column(proto)
+        assert meta["encoding"] == enc.DICT
+
+    def test_high_entropy_falls_back_to_raw(self):
+        rng = np.random.default_rng(13)
+        noise = rng.integers(0, 1 << 62, size=500, dtype=np.int64)
+        meta, parts = enc.encode_column(noise)
+        assert meta["encoding"] == enc.RAW
+        assert parts["raw"].nbytes == noise.nbytes
+
+    def test_sorted_column_prefers_delta(self):
+        hours = np.repeat(np.arange(24, dtype=np.int64), 100)
+        meta, _ = enc.encode_column(hours)
+        # card 24 > BITMAP_MAX_CARD would not apply; 24 > 16 so the
+        # outright-dict rule is off and the 1-bit delta wins on size.
+        assert meta["encoding"] == enc.DELTA
+
+    @pytest.mark.parametrize("dtype", [np.int16, np.int64, np.uint32])
+    def test_empty_arrays_round_trip(self, dtype):
+        _roundtrip(np.zeros(0, dtype=dtype))
+
+    def test_unknown_encoding_raises(self):
+        with pytest.raises(enc.EncodingError):
+            enc.decode_column(
+                {"encoding": "zstd-fancy"},
+                {"raw": np.zeros(3, dtype=np.int64)},
+                np.dtype(np.int64), 3,
+            )
